@@ -1,0 +1,40 @@
+"""Shared fixtures for the benchmark harness.
+
+Every bench consumes the four benchmark-like datasets generated at
+``REPRO_BENCH_SCALE`` (default 0.25 — a few hundred to a couple of
+thousand entities per KB, seconds per pipeline run).  Rendered tables are
+printed and also written under ``benchmarks/results/`` so the regenerated
+paper tables persist as artifacts.
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.datasets import PROFILE_ORDER, generate_benchmark
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.25"))
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def datasets():
+    """All four benchmark-like datasets, generated once per session."""
+    return {
+        name: generate_benchmark(name, scale=BENCH_SCALE)
+        for name in PROFILE_ORDER
+    }
+
+
+@pytest.fixture(scope="session")
+def save_table():
+    """Print a rendered table and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _save(name: str, text: str) -> None:
+        print()
+        print(text)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+
+    return _save

@@ -1,0 +1,122 @@
+"""Table III — method comparison (the paper's headline table).
+
+Runs MinoanER and the five baselines on all four benchmark-like datasets
+and prints precision/recall/F1 per (dataset, method), next to the values
+the paper reports.  The asserted shape:
+
+- everything saturates on the clean Restaurant pair;
+- MinoanER is within a few points of the best method on Rexa-DBLP;
+- the exact-literal system (PARIS) collapses on BBCmusic-DBpedia;
+- the value-only baseline (BSL) is the clearly worst method on YAGO-IMDb
+  while MinoanER stays close to the domain-knowledge-assisted tools.
+
+Set ``REPRO_FULL_BSL=1`` to sweep BSL's complete 420-configuration grid.
+"""
+
+import os
+
+from repro.datasets import PROFILE_ORDER
+from repro.evaluation import (
+    render_records,
+    run_bsl,
+    run_linda,
+    run_minoaner,
+    run_paris,
+    run_rimom,
+    run_sigma,
+)
+
+#: Paper Table III F1 values (percent); None where the paper has no entry.
+PAPER_F1 = {
+    ("restaurant", "SiGMa"): 97.0,
+    ("restaurant", "LINDA"): 77.0,
+    ("restaurant", "RiMOM"): 81.0,
+    ("restaurant", "PARIS"): 91.0,
+    ("restaurant", "BSL"): 100.0,
+    ("restaurant", "MinoanER"): 100.0,
+    ("rexa_dblp", "SiGMa"): 94.0,
+    ("rexa_dblp", "LINDA"): None,
+    ("rexa_dblp", "RiMOM"): 76.0,
+    ("rexa_dblp", "PARIS"): 91.41,
+    ("rexa_dblp", "BSL"): 89.82,
+    ("rexa_dblp", "MinoanER"): 96.04,
+    ("bbc_dbpedia", "SiGMa"): None,
+    ("bbc_dbpedia", "LINDA"): None,
+    ("bbc_dbpedia", "RiMOM"): None,
+    ("bbc_dbpedia", "PARIS"): 0.51,
+    ("bbc_dbpedia", "BSL"): 50.70,
+    ("bbc_dbpedia", "MinoanER"): 89.97,
+    ("yago_imdb", "SiGMa"): 91.0,
+    ("yago_imdb", "LINDA"): None,
+    ("yago_imdb", "RiMOM"): None,
+    ("yago_imdb", "PARIS"): 92.0,
+    ("yago_imdb", "BSL"): 6.88,
+    ("yago_imdb", "MinoanER"): 90.79,
+}
+
+
+def _run_bsl(data):
+    if os.environ.get("REPRO_FULL_BSL"):
+        return run_bsl(data)
+    return run_bsl(
+        data,
+        ngram_sizes=(1, 2),
+        thresholds=tuple(round(0.1 * i, 2) for i in range(10)),
+    )
+
+
+RUNNERS = (
+    ("SiGMa", run_sigma),
+    ("LINDA", run_linda),
+    ("RiMOM", run_rimom),
+    ("PARIS", run_paris),
+    ("BSL", _run_bsl),
+    ("MinoanER", run_minoaner),
+)
+
+
+def compute_table3(datasets):
+    rows = []
+    for name in PROFILE_ORDER:
+        data = datasets[name]
+        for method, runner in RUNNERS:
+            result = runner(data)
+            rows.append(
+                {
+                    "dataset": name,
+                    "method": method,
+                    "precision": round(result.precision, 2),
+                    "recall": round(result.recall, 2),
+                    "f1": round(result.f1, 2),
+                    "paper f1": PAPER_F1.get((name, method)) or "-",
+                }
+            )
+    return rows
+
+
+def test_table3_method_comparison(benchmark, datasets, save_table):
+    rows = benchmark.pedantic(
+        compute_table3, args=(datasets,), rounds=1, iterations=1
+    )
+    save_table(
+        "table3_methods",
+        render_records(
+            rows, title="Table III — method comparison (scaled; paper F1 aside)"
+        ),
+    )
+
+    f1 = {(r["dataset"], r["method"]): r["f1"] for r in rows}
+    # Restaurant: every method effective, MinoanER and BSL saturate
+    assert f1[("restaurant", "MinoanER")] > 95.0
+    assert f1[("restaurant", "BSL")] > 95.0
+    # Rexa-DBLP: MinoanER competitive with the best method
+    best_rexa = max(v for (d, _), v in f1.items() if d == "rexa_dblp")
+    assert f1[("rexa_dblp", "MinoanER")] >= best_rexa - 3.0
+    # BBC: PARIS collapses, MinoanER does not
+    assert f1[("bbc_dbpedia", "PARIS")] < 25.0
+    assert f1[("bbc_dbpedia", "MinoanER")] > 70.0
+    # YAGO: the value-only baseline collapses; among the methods the paper
+    # reports on this dataset (SiGMa, PARIS, BSL, MinoanER), BSL is last,
+    # far below MinoanER and PARIS
+    assert f1[("yago_imdb", "MinoanER")] >= f1[("yago_imdb", "BSL")] + 10.0
+    assert f1[("yago_imdb", "PARIS")] >= f1[("yago_imdb", "BSL")] + 10.0

@@ -1,0 +1,55 @@
+"""Matching highly heterogeneous music KBs (the BBCmusic-DBpedia regime).
+
+Run with::
+
+    python examples/music_kbs.py [scale]
+
+Generates the BBCmusic-DBpedia-like benchmark pair — a small clean KB of
+musicians/bands/places against a noisy, schema-exploded one — then runs
+MinoanER and reports per-heuristic contributions and evaluation scores.
+This is the regime the paper motivates: value-only evidence is weak, so
+neighbor evidence (H3) and reciprocity (H4) have to carry their weight.
+"""
+
+import sys
+
+from repro import MinoanER, evaluate_matching, generate_benchmark
+from repro.evaluation import render_records
+from repro.kb import Tokenizer, dataset_statistics
+
+
+def main(scale: float = 0.25) -> None:
+    data = generate_benchmark("bbc_dbpedia", scale=scale)
+    kb1, kb2 = data.kb1, data.kb2
+
+    stats = dataset_statistics(kb1, kb2, len(data.ground_truth), Tokenizer())
+    print("Dataset statistics (Table I style):")
+    print(render_records([stats.kb1.as_row(), stats.kb2.as_row()]))
+    print(f"ground-truth matches: {stats.matches}")
+    print()
+    print(
+        f"KB2 has {len(kb2.attribute_names())} distinct attribute names vs "
+        f"{len(kb1.attribute_names())} in KB1 — schema-based matching is "
+        "hopeless here."
+    )
+    print()
+
+    result = MinoanER().match(kb1, kb2)
+    report = result.purging_report
+    print(
+        f"Block Purging: {report.blocks_before} -> {report.blocks_after} "
+        f"blocks, comparisons cut by {100 * report.comparison_reduction:.1f}%"
+    )
+    print(f"Matches by heuristic: {result.by_heuristic()}")
+    print(f"Discarded by reciprocity (H4): {len(result.discarded_by_h4)}")
+
+    quality = evaluate_matching(result.pairs(), data.ground_truth)
+    print(
+        f"Precision {100 * quality.precision:.2f}  "
+        f"Recall {100 * quality.recall:.2f}  "
+        f"F1 {100 * quality.f1:.2f}"
+    )
+
+
+if __name__ == "__main__":
+    main(float(sys.argv[1]) if len(sys.argv) > 1 else 0.25)

@@ -1,0 +1,8 @@
+"""Compatibility shim: offline environments without the ``wheel`` package
+cannot perform PEP 660 editable installs; ``python setup.py develop`` still
+works with plain setuptools.  All real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

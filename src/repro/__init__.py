@@ -1,0 +1,49 @@
+"""repro: a from-scratch reproduction of MinoanER (ICDE 2018).
+
+Schema-agnostic, non-iterative entity resolution on Web data: name/token
+blocking with Block Purging, statistics-driven name and relation
+discovery, block-derived value and neighbor similarities, and four
+threshold-free heuristics (H1 names, H2 values, H3 rank aggregation,
+H4 reciprocity).
+
+Quickstart::
+
+    from repro import KnowledgeBase, EntityDescription, MinoanER
+
+    kb1, kb2 = KnowledgeBase("A"), KnowledgeBase("B")
+    ...  # add EntityDescriptions
+    result = MinoanER().match(kb1, kb2)
+    print(result.pairs())
+"""
+
+from .core.config import PAPER_DEFAULTS, MinoanERConfig
+from .core.pipeline import MatchResult, MinoanER, match_kbs
+from .datasets.generator import GeneratedDataset
+from .datasets.ground_truth import GroundTruth
+from .datasets.profiles import PROFILE_ORDER, generate_benchmark
+from .evaluation.metrics import MatchingQuality, evaluate_matching
+from .kb.entity import EntityDescription, Literal, UriRef
+from .kb.knowledge_base import KnowledgeBase
+from .kb.tokenizer import Tokenizer
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "EntityDescription",
+    "GeneratedDataset",
+    "GroundTruth",
+    "KnowledgeBase",
+    "Literal",
+    "MatchResult",
+    "MatchingQuality",
+    "MinoanER",
+    "MinoanERConfig",
+    "PAPER_DEFAULTS",
+    "PROFILE_ORDER",
+    "Tokenizer",
+    "UriRef",
+    "evaluate_matching",
+    "generate_benchmark",
+    "match_kbs",
+    "__version__",
+]

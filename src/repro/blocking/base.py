@@ -1,0 +1,168 @@
+"""Block data structures shared by all blocking methods.
+
+A *block* groups the entities of both KBs that share a blocking key; for
+clean-clean ER (two duplicate-free KBs, the paper's setting) a block's
+comparisons are the cross product of its two sides.  A
+:class:`BlockCollection` is a keyed set of blocks with the aggregate
+counters the paper reports in Table II: ``|B|`` (number of blocks) and
+``||B||`` (total comparisons).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+
+@dataclass
+class Block:
+    """One blocking key with the entities of each KB that carry it."""
+
+    key: str
+    entities1: set[str] = field(default_factory=set)
+    entities2: set[str] = field(default_factory=set)
+
+    def cardinality(self) -> int:
+        """Number of cross-KB comparisons suggested by this block."""
+        return len(self.entities1) * len(self.entities2)
+
+    def assignments(self) -> int:
+        """Number of entity-to-block placements (|b| in the literature)."""
+        return len(self.entities1) + len(self.entities2)
+
+    def is_empty(self) -> bool:
+        """True when either side has no entity (no comparison to suggest)."""
+        return not self.entities1 or not self.entities2
+
+    def pairs(self) -> Iterator[tuple[str, str]]:
+        """All (E1 uri, E2 uri) comparisons of the block."""
+        for uri1 in self.entities1:
+            for uri2 in self.entities2:
+                yield uri1, uri2
+
+    def __repr__(self) -> str:
+        return (
+            f"Block({self.key!r}, {len(self.entities1)}x{len(self.entities2)})"
+        )
+
+
+class BlockCollection:
+    """A keyed set of blocks produced by one blocking method."""
+
+    def __init__(self, name: str = "blocks", blocks: Iterable[Block] = ()) -> None:
+        self.name = name
+        self._blocks: dict[str, Block] = {}
+        for block in blocks:
+            self.add(block)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add(self, block: Block) -> None:
+        """Register a block; raises on duplicate keys."""
+        if block.key in self._blocks:
+            raise ValueError(f"duplicate block key: {block.key}")
+        self._blocks[block.key] = block
+
+    def place(self, key: str, uri: str, side: int) -> None:
+        """Add ``uri`` to the block for ``key``, creating it on demand.
+
+        ``side`` is 1 for the first KB and 2 for the second.
+        """
+        block = self._blocks.get(key)
+        if block is None:
+            block = Block(key)
+            self._blocks[key] = block
+        if side == 1:
+            block.entities1.add(uri)
+        elif side == 2:
+            block.entities2.add(uri)
+        else:
+            raise ValueError("side must be 1 or 2")
+
+    def drop_empty(self) -> "BlockCollection":
+        """A new collection without one-sided (comparison-free) blocks."""
+        kept = (b for b in self._blocks.values() if not b.is_empty())
+        return BlockCollection(self.name, kept)
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def __iter__(self) -> Iterator[Block]:
+        return iter(self._blocks.values())
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._blocks
+
+    def __getitem__(self, key: str) -> Block:
+        return self._blocks[key]
+
+    def get(self, key: str) -> Block | None:
+        """The block for ``key`` or None."""
+        return self._blocks.get(key)
+
+    def keys(self) -> list[str]:
+        """All block keys."""
+        return list(self._blocks)
+
+    # ------------------------------------------------------------------
+    # Aggregates (Table II counters)
+    # ------------------------------------------------------------------
+    def total_comparisons(self) -> int:
+        """||B||: the summed cardinality of all blocks."""
+        return sum(block.cardinality() for block in self._blocks.values())
+
+    def total_assignments(self) -> int:
+        """Summed |b| over all blocks (entity-block placements)."""
+        return sum(block.assignments() for block in self._blocks.values())
+
+    def entity_index(self, side: int) -> dict[str, list[str]]:
+        """uri -> list of keys of the blocks containing it (one KB side)."""
+        index: dict[str, list[str]] = {}
+        for block in self._blocks.values():
+            members = block.entities1 if side == 1 else block.entities2
+            for uri in members:
+                index.setdefault(uri, []).append(block.key)
+        return index
+
+    def distinct_pairs(self) -> set[tuple[str, str]]:
+        """The deduplicated set of comparisons across all blocks."""
+        pairs: set[tuple[str, str]] = set()
+        for block in self._blocks.values():
+            pairs.update(block.pairs())
+        return pairs
+
+    def co_occurring(self, uri: str, side: int) -> set[str]:
+        """Entities of the *other* KB sharing at least one block with ``uri``.
+
+        Mostly a convenience for tests; the matcher builds a full index
+        once instead of calling this per entity.
+        """
+        found: set[str] = set()
+        for block in self._blocks.values():
+            mine = block.entities1 if side == 1 else block.entities2
+            if uri in mine:
+                found.update(block.entities2 if side == 1 else block.entities1)
+        return found
+
+    def union(self, other: "BlockCollection", name: str | None = None) -> "BlockCollection":
+        """Union of two collections; colliding keys are namespaced."""
+        merged = BlockCollection(name or f"{self.name}+{other.name}")
+        for block in self._blocks.values():
+            merged.add(
+                Block(f"{self.name}:{block.key}", set(block.entities1), set(block.entities2))
+            )
+        for block in other:
+            merged.add(
+                Block(f"{other.name}:{block.key}", set(block.entities1), set(block.entities2))
+            )
+        return merged
+
+    def __repr__(self) -> str:
+        return (
+            f"BlockCollection({self.name!r}, {len(self)} blocks, "
+            f"{self.total_comparisons()} comparisons)"
+        )

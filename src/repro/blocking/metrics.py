@@ -1,0 +1,114 @@
+"""Blocking quality metrics (the paper's Table II).
+
+For a block collection and a ground truth, the paper reports the number of
+blocks ``|B|``, the comparisons ``||B||``, the Cartesian product size, and
+the blocking precision / recall / F1, where recall (a.k.a. pair
+completeness) is the fraction of ground-truth matches co-occurring in some
+block and precision is the fraction of distinct suggested comparisons that
+are matches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from .base import BlockCollection
+
+
+@dataclass(frozen=True)
+class BlockingQuality:
+    """Precision / recall / F1 of a set of suggested comparisons."""
+
+    n_blocks: int
+    n_comparisons: int
+    n_distinct_pairs: int
+    cartesian: int
+    true_positives: int
+    n_matches: int
+
+    @property
+    def precision(self) -> float:
+        if self.n_distinct_pairs == 0:
+            return 0.0
+        return self.true_positives / self.n_distinct_pairs
+
+    @property
+    def recall(self) -> float:
+        if self.n_matches == 0:
+            return 0.0
+        return self.true_positives / self.n_matches
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        if p + r == 0.0:
+            return 0.0
+        return 2 * p * r / (p + r)
+
+    def as_row(self) -> dict[str, object]:
+        """Dict view used by report rendering (percent-scaled P/R/F1)."""
+        return {
+            "blocks": self.n_blocks,
+            "comparisons": self.n_comparisons,
+            "cartesian": self.cartesian,
+            "precision %": 100.0 * self.precision,
+            "recall %": 100.0 * self.recall,
+            "f1 %": 100.0 * self.f1,
+        }
+
+
+def blocking_quality(
+    blocks: BlockCollection,
+    ground_truth: Mapping[str, str] | Iterable[tuple[str, str]],
+    n_entities1: int,
+    n_entities2: int,
+) -> BlockingQuality:
+    """Evaluate a block collection against the ground truth.
+
+    ``ground_truth`` maps E1 URIs to their matching E2 URI (or is an
+    iterable of such pairs).
+    """
+    if isinstance(ground_truth, Mapping):
+        truth = set(ground_truth.items())
+    else:
+        truth = set(ground_truth)
+    suggested = blocks.distinct_pairs()
+    true_positives = len(truth & suggested)
+    return BlockingQuality(
+        n_blocks=len(blocks),
+        n_comparisons=blocks.total_comparisons(),
+        n_distinct_pairs=len(suggested),
+        cartesian=n_entities1 * n_entities2,
+        true_positives=true_positives,
+        n_matches=len(truth),
+    )
+
+
+def union_quality(
+    collections: Iterable[BlockCollection],
+    ground_truth: Mapping[str, str] | Iterable[tuple[str, str]],
+    n_entities1: int,
+    n_entities2: int,
+) -> BlockingQuality:
+    """Quality of the union of several collections (BN ∪ BT in Table II)."""
+    if isinstance(ground_truth, Mapping):
+        truth = set(ground_truth.items())
+    else:
+        truth = set(ground_truth)
+    suggested: set[tuple[str, str]] = set()
+    n_blocks = 0
+    n_comparisons = 0
+    for collection in collections:
+        suggested.update(collection.distinct_pairs())
+        n_blocks += len(collection)
+        n_comparisons += collection.total_comparisons()
+    true_positives = len(truth & suggested)
+    return BlockingQuality(
+        n_blocks=n_blocks,
+        n_comparisons=n_comparisons,
+        n_distinct_pairs=len(suggested),
+        cartesian=n_entities1 * n_entities2,
+        true_positives=true_positives,
+        n_matches=len(truth),
+    )

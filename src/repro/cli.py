@@ -1,0 +1,175 @@
+"""Command-line interface for the MinoanER reproduction.
+
+Subcommands::
+
+    repro-er generate <profile> <directory> [--scale S] [--seed N]
+        Generate a benchmark-like dataset bundle (N-Triples + CSVs).
+
+    repro-er match <kb1.nt> <kb2.nt> [--output links.nt] [--theta T] ...
+        Match two N-Triples KBs with MinoanER and write owl:sameAs links.
+
+    repro-er evaluate <links.nt|csv> <ground_truth.csv>
+        Score predicted links against a ground-truth CSV.
+
+    repro-er stats <kb.nt>
+        Print Table I-style statistics of one KB.
+
+Also runnable as ``python -m repro.cli ...``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import sys
+from pathlib import Path
+
+from .core.config import MinoanERConfig
+from .core.pipeline import MinoanER
+from .datasets.io import read_ground_truth_csv, save_dataset
+from .datasets.profiles import PROFILE_ORDER, generate_benchmark
+from .evaluation.metrics import evaluate_matching
+from .evaluation.report import render_records
+from .kb.io_ntriples import read_ntriples
+from .kb.stats import kb_statistics
+from .kb.tokenizer import Tokenizer
+
+SAME_AS = "http://www.w3.org/2002/07/owl#sameAs"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-er",
+        description="Schema-agnostic, non-iterative entity resolution "
+        "(MinoanER reproduction)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    generate = commands.add_parser(
+        "generate", help="generate a benchmark-like dataset bundle"
+    )
+    generate.add_argument("profile", choices=PROFILE_ORDER)
+    generate.add_argument("directory")
+    generate.add_argument("--scale", type=float, default=0.25)
+    generate.add_argument("--seed", type=int, default=None)
+
+    match = commands.add_parser("match", help="match two N-Triples KBs")
+    match.add_argument("kb1")
+    match.add_argument("kb2")
+    match.add_argument("--output", default=None, help="links file (N-Triples)")
+    match.add_argument("--theta", type=float, default=0.6)
+    match.add_argument("--top-k", type=int, default=15)
+    match.add_argument("--top-n-relations", type=int, default=3)
+    match.add_argument("--name-attributes", type=int, default=2)
+    match.add_argument(
+        "--no-purging", action="store_true", help="disable Block Purging"
+    )
+    match.add_argument(
+        "--no-reciprocity", action="store_true", help="disable H4"
+    )
+
+    evaluate = commands.add_parser(
+        "evaluate", help="score predicted links against a ground truth"
+    )
+    evaluate.add_argument("predictions", help="links.nt or two-column CSV")
+    evaluate.add_argument("ground_truth", help="two-column CSV")
+
+    stats = commands.add_parser("stats", help="statistics of one KB")
+    stats.add_argument("kb")
+    return parser
+
+
+# ----------------------------------------------------------------------
+# Subcommand implementations (each returns a process exit code)
+# ----------------------------------------------------------------------
+def cmd_generate(args: argparse.Namespace) -> int:
+    dataset = generate_benchmark(args.profile, scale=args.scale, seed=args.seed)
+    bundle = save_dataset(dataset, args.directory)
+    print(
+        f"wrote {bundle}: |E1|={len(dataset.kb1)} |E2|={len(dataset.kb2)} "
+        f"matches={len(dataset.ground_truth)}"
+    )
+    return 0
+
+
+def cmd_match(args: argparse.Namespace) -> int:
+    kb1 = read_ntriples(args.kb1, name=Path(args.kb1).stem)
+    kb2 = read_ntriples(args.kb2, name=Path(args.kb2).stem)
+    config = MinoanERConfig(
+        theta=args.theta,
+        top_k_candidates=args.top_k,
+        top_n_relations=args.top_n_relations,
+        name_attributes=args.name_attributes,
+        purge_token_blocks=not args.no_purging,
+        enable_h4_reciprocity=not args.no_reciprocity,
+    )
+    result = MinoanER(config).match(kb1, kb2)
+    print(
+        f"matched {len(result.matches)} pairs in {result.seconds:.2f}s "
+        f"({result.by_heuristic()})"
+    )
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            for uri1, uri2 in sorted(result.pairs()):
+                handle.write(f"<{uri1}> <{SAME_AS}> <{uri2}> .\n")
+        print(f"wrote {args.output}")
+    else:
+        for uri1, uri2 in sorted(result.pairs()):
+            print(f"{uri1}\t{uri2}")
+    return 0
+
+
+def _read_predictions(path: str) -> set[tuple[str, str]]:
+    if path.endswith(".csv"):
+        with open(path, encoding="utf-8", newline="") as handle:
+            return {
+                (row[0], row[1])
+                for row in csv.reader(handle)
+                if len(row) >= 2 and row[0] != "uri1"
+            }
+    kb = read_ntriples(path)
+    pairs = set()
+    for entity in kb:
+        for predicate, target in entity.relation_pairs():
+            if predicate == SAME_AS:
+                pairs.add((entity.uri, target))
+    return pairs
+
+
+def cmd_evaluate(args: argparse.Namespace) -> int:
+    predictions = _read_predictions(args.predictions)
+    truth = read_ground_truth_csv(args.ground_truth)
+    quality = evaluate_matching(predictions, truth)
+    print(
+        f"precision {100 * quality.precision:.2f}  "
+        f"recall {100 * quality.recall:.2f}  "
+        f"f1 {100 * quality.f1:.2f}  "
+        f"({quality.true_positives}/{quality.emitted} correct, "
+        f"{quality.n_matches} in ground truth)"
+    )
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    kb = read_ntriples(args.kb, name=Path(args.kb).stem)
+    stats = kb_statistics(kb, Tokenizer())
+    print(render_records([stats.as_row()]))
+    return 0
+
+
+COMMANDS = {
+    "generate": cmd_generate,
+    "match": cmd_match,
+    "evaluate": cmd_evaluate,
+    "stats": cmd_stats,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

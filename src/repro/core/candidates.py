@@ -1,0 +1,123 @@
+"""Per-entity candidate lists drawn from the two similarity indices.
+
+Each entity carries up to ``K`` value-based candidates and up to ``K``
+neighbor-based candidates.  These lists feed H3 (rank aggregation over the
+two orders) and H4 (reciprocity: a match must appear in the other side's
+lists too).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .neighbors import NeighborSimilarityIndex
+from .similarity import ValueSimilarityIndex
+
+
+@dataclass(frozen=True)
+class CandidateLists:
+    """Top-K value and neighbor candidates of one entity (URIs, best first)."""
+
+    value: tuple[str, ...] = ()
+    neighbor: tuple[str, ...] = ()
+
+    def contains(self, uri: str) -> bool:
+        """True when ``uri`` appears in either list (H4's test)."""
+        return uri in self.value or uri in self.neighbor
+
+    def is_empty(self) -> bool:
+        return not self.value and not self.neighbor
+
+
+class CandidateIndex:
+    """Candidate lists for every entity of both KBs.
+
+    Parameters
+    ----------
+    value_index / neighbor_index:
+        The sparse similarity maps computed from the token blocks.
+    k:
+        List length cap (the paper's K=15).
+    restrict_neighbors_to_cooccurring:
+        When true (the conference paper's reading), the neighbor list only
+        keeps candidates that also co-occur with the entity in the token
+        blocks; the journal version admits purely neighbor-derived
+        candidates.
+    """
+
+    def __init__(
+        self,
+        value_index: ValueSimilarityIndex,
+        neighbor_index: NeighborSimilarityIndex,
+        k: int,
+        restrict_neighbors_to_cooccurring: bool = True,
+    ) -> None:
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.k = k
+        self._value_index = value_index
+        self._neighbor_index = neighbor_index
+        self._restrict = restrict_neighbors_to_cooccurring
+        self._cache1: dict[str, CandidateLists] = {}
+        self._cache2: dict[str, CandidateLists] = {}
+
+    # ------------------------------------------------------------------
+    # Lookup (lazy, cached)
+    # ------------------------------------------------------------------
+    def of_entity1(self, uri1: str) -> CandidateLists:
+        """Candidate lists of an E1 entity."""
+        cached = self._cache1.get(uri1)
+        if cached is None:
+            cached = self._build(uri1, side=1)
+            self._cache1[uri1] = cached
+        return cached
+
+    def of_entity2(self, uri2: str) -> CandidateLists:
+        """Candidate lists of an E2 entity."""
+        cached = self._cache2.get(uri2)
+        if cached is None:
+            cached = self._build(uri2, side=2)
+            self._cache2[uri2] = cached
+        return cached
+
+    def _build(self, uri: str, side: int) -> CandidateLists:
+        if side == 1:
+            value_ranked = self._value_index.candidates_of_entity1(uri, self.k)
+            neighbor_ranked = self._neighbor_index.candidates_of_entity1(uri)
+        else:
+            value_ranked = self._value_index.candidates_of_entity2(uri, self.k)
+            neighbor_ranked = self._neighbor_index.candidates_of_entity2(uri)
+
+        if self._restrict:
+            cooccurring = self._cooccurring(uri, side)
+            neighbor_ranked = [
+                (candidate, sim)
+                for candidate, sim in neighbor_ranked
+                if candidate in cooccurring
+            ]
+        neighbor_ranked = neighbor_ranked[: self.k]
+
+        return CandidateLists(
+            value=tuple(candidate for candidate, _ in value_ranked),
+            neighbor=tuple(candidate for candidate, _ in neighbor_ranked),
+        )
+
+    def _cooccurring(self, uri: str, side: int) -> set[str]:
+        if side == 1:
+            ranked = self._value_index.candidates_of_entity1(uri)
+        else:
+            ranked = self._value_index.candidates_of_entity2(uri)
+        return {candidate for candidate, _ in ranked}
+
+    # ------------------------------------------------------------------
+    # Reciprocity helper
+    # ------------------------------------------------------------------
+    def mutually_listed(self, uri1: str, uri2: str) -> bool:
+        """True when each entity lists the other among its candidates.
+
+        This is exactly H4's test: a matched pair survives only if both
+        sides "agree" the other is a plausible candidate.
+        """
+        return self.of_entity1(uri1).contains(uri2) and self.of_entity2(
+            uri2
+        ).contains(uri1)

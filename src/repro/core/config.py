@@ -1,0 +1,98 @@
+"""Configuration of the MinoanER pipeline.
+
+The paper reports one configuration as robust across all datasets:
+``K=15`` (candidate matches per entity from values and from neighbors),
+``N=3`` (most important relations per KB), ``k=2`` (most distinctive
+attributes per KB serving as names) and ``θ=0.6`` (trade-off between
+value- and neighbor-based candidate ranks).  Those are the defaults here;
+the remaining knobs control substrate behaviour (tokenization, purging)
+and heuristic toggles for the ablation benches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..blocking.purging import DEFAULT_GAIN_FACTOR
+
+
+@dataclass(frozen=True)
+class MinoanERConfig:
+    """All tunables of the matching pipeline (paper defaults)."""
+
+    #: Candidate matches kept per entity, per evidence type (paper: K=15).
+    top_k_candidates: int = 15
+    #: Most important relations whose objects count as top neighbors (N=3).
+    top_n_relations: int = 3
+    #: Most distinctive attributes per KB serving as names (k=2).
+    name_attributes: int = 2
+    #: Weight of value-based vs neighbor-based ranks in H3 (θ=0.6).
+    theta: float = 0.6
+
+    # ------------------------------------------------------------------
+    # Substrate behaviour
+    # ------------------------------------------------------------------
+    #: Minimum token length considered by the tokenizer.
+    min_token_length: int = 1
+    #: Tokenize URI local names too (token-poor KBs; see DESIGN.md).
+    include_uri_localnames: bool = False
+    #: Index incoming edges in addition to outgoing ones: entities that
+    #: only ever appear as objects (persons pointed at by movies) then get
+    #: neighbor evidence too, via inverse (~-tagged) relations.
+    include_incoming_edges: bool = True
+    #: Apply Block Purging to the token blocks.
+    purge_token_blocks: bool = True
+    #: Cost multiple above which a cardinality level is purged.
+    purging_gain_factor: float = DEFAULT_GAIN_FACTOR
+    #: Hard override for the purging cardinality threshold (None = auto).
+    purging_max_cardinality: int | None = None
+    #: Restrict H3 candidates to pairs co-occurring in token blocks, as the
+    #: conference paper describes (the journal version also admits
+    #: neighbor-derived candidates that never share a token).
+    restrict_h3_to_cooccurring: bool = True
+
+    # ------------------------------------------------------------------
+    # Heuristic toggles (ablation benches)
+    # ------------------------------------------------------------------
+    enable_h1_names: bool = True
+    enable_h2_values: bool = True
+    enable_h3_rank_aggregation: bool = True
+    enable_h4_reciprocity: bool = True
+
+    def __post_init__(self) -> None:
+        if self.top_k_candidates < 1:
+            raise ValueError("top_k_candidates must be >= 1")
+        if self.top_n_relations < 0:
+            raise ValueError("top_n_relations must be >= 0")
+        if self.name_attributes < 0:
+            raise ValueError("name_attributes must be >= 0")
+        if not 0.0 < self.theta < 1.0:
+            raise ValueError("theta must lie strictly between 0 and 1")
+        if self.min_token_length < 1:
+            raise ValueError("min_token_length must be >= 1")
+        if self.purging_gain_factor < 1.0:
+            raise ValueError("purging_gain_factor must be >= 1.0")
+
+    def with_heuristics(
+        self,
+        h1: bool | None = None,
+        h2: bool | None = None,
+        h3: bool | None = None,
+        h4: bool | None = None,
+    ) -> "MinoanERConfig":
+        """A copy with some heuristics switched on/off (ablations)."""
+        return replace(
+            self,
+            enable_h1_names=self.enable_h1_names if h1 is None else h1,
+            enable_h2_values=self.enable_h2_values if h2 is None else h2,
+            enable_h3_rank_aggregation=(
+                self.enable_h3_rank_aggregation if h3 is None else h3
+            ),
+            enable_h4_reciprocity=(
+                self.enable_h4_reciprocity if h4 is None else h4
+            ),
+        )
+
+
+#: The configuration the paper evaluates everywhere.
+PAPER_DEFAULTS = MinoanERConfig()

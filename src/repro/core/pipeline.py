@@ -1,0 +1,207 @@
+"""The end-to-end MinoanER pipeline.
+
+Given two KBs, :class:`MinoanER` (i) discovers name attributes and
+important relations from statistics, (ii) builds the schema-agnostic block
+collections ``BN`` and ``BT`` with Block Purging, (iii) derives the value
+and neighbor similarity indices from block statistics alone, and (iv) runs
+the non-iterative heuristics H1-H4.  No schema knowledge, no similarity
+threshold, no convergence loop.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..blocking.base import BlockCollection
+from ..blocking.name_blocking import name_blocking, names_from_attributes
+from ..blocking.purging import PurgingReport, purge_blocks
+from ..blocking.token_blocking import token_blocking
+from ..kb.knowledge_base import KnowledgeBase
+from ..kb.tokenizer import Tokenizer
+from .candidates import CandidateIndex
+from .config import MinoanERConfig
+from .heuristics import (
+    Match,
+    MatchedRegistry,
+    h1_name_matches,
+    h2_value_matches,
+    h3_rank_aggregation_matches,
+    h4_reciprocity_filter,
+)
+from .neighbors import NeighborSimilarityIndex, top_neighbors
+from .similarity import ValueSimilarityIndex
+from .statistics import top_name_attributes, top_relations
+
+
+@dataclass
+class MatchResult:
+    """Everything the pipeline produced, with full provenance.
+
+    ``matches`` holds the final output (after H4 when enabled);
+    ``pre_h4_matches`` the union of H1/H2/H3 decisions, and
+    ``discarded_by_h4`` what reciprocity pruned.
+    """
+
+    matches: list[Match]
+    pre_h4_matches: list[Match]
+    discarded_by_h4: list[Match]
+    name_attributes1: list[str]
+    name_attributes2: list[str]
+    top_relations1: list[str]
+    top_relations2: list[str]
+    name_blocks: BlockCollection
+    token_blocks: BlockCollection
+    purging_report: PurgingReport | None
+    seconds: float = 0.0
+
+    def pairs(self) -> set[tuple[str, str]]:
+        """The final matched (E1 uri, E2 uri) pairs."""
+        return {match.pair() for match in self.matches}
+
+    def as_mapping(self) -> dict[str, str]:
+        """E1 uri -> E2 uri of the final matches (first decision wins)."""
+        mapping: dict[str, str] = {}
+        for match in self.matches:
+            mapping.setdefault(match.uri1, match.uri2)
+        return mapping
+
+    def by_heuristic(self) -> dict[str, int]:
+        """Final match counts per producing heuristic."""
+        counts: dict[str, int] = {}
+        for match in self.matches:
+            counts[match.heuristic] = counts.get(match.heuristic, 0) + 1
+        return counts
+
+
+class MinoanER:
+    """Schema-agnostic, non-iterative entity matcher (the paper's system).
+
+    Usage::
+
+        matcher = MinoanER()          # paper defaults: K=15, N=3, k=2, θ=0.6
+        result = matcher.match(kb1, kb2)
+        result.pairs()
+
+    ``kb1`` is treated as the smaller/primary KB: H2 and H3 iterate over
+    its unmatched descriptions, and evaluation in the paper is with respect
+    to the first KB's descriptions.  All four benchmark datasets of the
+    paper follow this convention.
+    """
+
+    def __init__(self, config: MinoanERConfig | None = None) -> None:
+        self.config = config or MinoanERConfig()
+
+    # ------------------------------------------------------------------
+    # Pipeline stages (public so examples/benches can introspect)
+    # ------------------------------------------------------------------
+    def build_tokenizer(self) -> Tokenizer:
+        """The tokenizer implied by the configuration."""
+        return Tokenizer(
+            min_length=self.config.min_token_length,
+            include_uri_localnames=self.config.include_uri_localnames,
+        )
+
+    def build_name_blocks(
+        self, kb1: KnowledgeBase, kb2: KnowledgeBase
+    ) -> tuple[BlockCollection, list[str], list[str]]:
+        """Discover name attributes and build ``BN``."""
+        k = self.config.name_attributes
+        names1 = top_name_attributes(kb1, k)
+        names2 = top_name_attributes(kb2, k)
+        blocks = name_blocking(
+            kb1,
+            kb2,
+            names_from_attributes(names1),
+            names_from_attributes(names2),
+        )
+        return blocks, names1, names2
+
+    def build_token_blocks(
+        self, kb1: KnowledgeBase, kb2: KnowledgeBase
+    ) -> tuple[BlockCollection, PurgingReport | None]:
+        """Build ``BT`` and purge oversized blocks."""
+        blocks = token_blocking(kb1, kb2, self.build_tokenizer())
+        if not self.config.purge_token_blocks:
+            return blocks, None
+        purged, report = purge_blocks(
+            blocks,
+            gain_factor=self.config.purging_gain_factor,
+            max_cardinality=self.config.purging_max_cardinality,
+        )
+        return purged, report
+
+    # ------------------------------------------------------------------
+    # End-to-end matching
+    # ------------------------------------------------------------------
+    def match(self, kb1: KnowledgeBase, kb2: KnowledgeBase) -> MatchResult:
+        """Run the full non-iterative matching process on two KBs."""
+        started = time.perf_counter()
+        config = self.config
+
+        name_blocks, names1, names2 = self.build_name_blocks(kb1, kb2)
+        token_blocks, purging_report = self.build_token_blocks(kb1, kb2)
+
+        value_index = ValueSimilarityIndex(token_blocks)
+        relations1 = top_relations(
+            kb1, config.top_n_relations, config.include_incoming_edges
+        )
+        relations2 = top_relations(
+            kb2, config.top_n_relations, config.include_incoming_edges
+        )
+        neighbor_index = NeighborSimilarityIndex(
+            value_index,
+            top_neighbors(kb1, relations1, config.include_incoming_edges),
+            top_neighbors(kb2, relations2, config.include_incoming_edges),
+        )
+        candidate_index = CandidateIndex(
+            value_index,
+            neighbor_index,
+            k=config.top_k_candidates,
+            restrict_neighbors_to_cooccurring=config.restrict_h3_to_cooccurring,
+        )
+
+        registry = MatchedRegistry()
+        collected: list[Match] = []
+        entity1_uris = kb1.uris()
+
+        if config.enable_h1_names:
+            collected.extend(h1_name_matches(name_blocks, registry))
+        if config.enable_h2_values:
+            collected.extend(
+                h2_value_matches(entity1_uris, value_index, registry)
+            )
+        if config.enable_h3_rank_aggregation:
+            collected.extend(
+                h3_rank_aggregation_matches(
+                    entity1_uris, candidate_index, config.theta, registry
+                )
+            )
+
+        if config.enable_h4_reciprocity:
+            kept, discarded = h4_reciprocity_filter(collected, candidate_index)
+        else:
+            kept, discarded = list(collected), []
+
+        return MatchResult(
+            matches=kept,
+            pre_h4_matches=collected,
+            discarded_by_h4=discarded,
+            name_attributes1=names1,
+            name_attributes2=names2,
+            top_relations1=relations1,
+            top_relations2=relations2,
+            name_blocks=name_blocks,
+            token_blocks=token_blocks,
+            purging_report=purging_report,
+            seconds=time.perf_counter() - started,
+        )
+
+
+def match_kbs(
+    kb1: KnowledgeBase,
+    kb2: KnowledgeBase,
+    config: MinoanERConfig | None = None,
+) -> MatchResult:
+    """Convenience one-liner: ``match_kbs(kb1, kb2).pairs()``."""
+    return MinoanER(config).match(kb1, kb2)

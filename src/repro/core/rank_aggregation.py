@@ -1,0 +1,66 @@
+"""Threshold-free rank aggregation (heuristic H3's scoring rule).
+
+Instead of combining raw value and neighbor similarities into one score —
+which would need a calibration threshold — H3 only uses the *order* of the
+candidates.  Each ranked list of size K assigns its first element the
+normalized rank K/K, the second (K-1)/K, ... and the last 1/K; candidates
+absent from a list score 0 on it.  A candidate's aggregate score is the
+weighted sum of its normalized ranks: θ for the value list, 1−θ for the
+neighbor list.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def normalized_ranks(candidates: Sequence[str]) -> dict[str, float]:
+    """Map each candidate to its normalized rank (first → 1.0, last → 1/K).
+
+    >>> normalized_ranks(["a", "b", "c", "d"])
+    {'a': 1.0, 'b': 0.75, 'c': 0.5, 'd': 0.25}
+    """
+    size = len(candidates)
+    return {
+        candidate: (size - position) / size
+        for position, candidate in enumerate(candidates)
+    }
+
+
+def aggregate_scores(
+    value_ranked: Sequence[str],
+    neighbor_ranked: Sequence[str],
+    theta: float,
+) -> dict[str, float]:
+    """Weighted sum of normalized ranks over both evidence lists.
+
+    ``theta`` weighs the value list and ``1 - theta`` the neighbor list.
+    Every candidate appearing in either list gets a score.
+    """
+    if not 0.0 < theta < 1.0:
+        raise ValueError("theta must lie strictly between 0 and 1")
+    value_ranks = normalized_ranks(value_ranked)
+    neighbor_ranks = normalized_ranks(neighbor_ranked)
+    scores: dict[str, float] = {}
+    for candidate in set(value_ranks) | set(neighbor_ranks):
+        scores[candidate] = theta * value_ranks.get(candidate, 0.0) + (
+            1.0 - theta
+        ) * neighbor_ranks.get(candidate, 0.0)
+    return scores
+
+
+def top_aggregate_candidate(
+    value_ranked: Sequence[str],
+    neighbor_ranked: Sequence[str],
+    theta: float,
+) -> tuple[str, float] | None:
+    """The candidate with the highest aggregate score (ties: smaller id).
+
+    Returns None when both lists are empty — the entity then has no H3
+    candidate at all.
+    """
+    scores = aggregate_scores(value_ranked, neighbor_ranked, theta)
+    if not scores:
+        return None
+    best = min(scores.items(), key=lambda item: (-item[1], item[0]))
+    return best

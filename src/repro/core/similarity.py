@@ -1,0 +1,95 @@
+"""Value similarity computed purely from token-block statistics.
+
+The paper's ``valueSim`` sums, over the tokens two descriptions share,
+``1 / log2(EF_E1(t) · EF_E2(t) + 1)`` where ``EF_E(t)`` counts the entities
+of KB ``E`` containing token ``t``.  Because Token Blocking places exactly
+the entities containing ``t`` into block ``t``, the two block side sizes
+*are* the entity frequencies — the similarity "can be computed using
+exclusively block statistics (e.g. block size)", as the paper puts it.
+
+:class:`ValueSimilarityIndex` walks the (purged) token blocks once, adding
+each block's token weight to every pair it suggests.  This yields the exact
+valueSim restricted to tokens that survived purging, for precisely the
+pairs co-occurring in some block — all other pairs have similarity zero.
+"""
+
+from __future__ import annotations
+
+from ..blocking.base import BlockCollection
+from ..textsim.weighted import arcs_token_weight
+
+Pair = tuple[str, str]
+
+
+def block_token_weight(n_entities1: int, n_entities2: int) -> float:
+    """Weight of one shared token given its block's side sizes."""
+    return arcs_token_weight(n_entities1, n_entities2)
+
+
+class ValueSimilarityIndex:
+    """Sparse valueSim over all pairs co-occurring in the token blocks."""
+
+    def __init__(self, token_blocks: BlockCollection) -> None:
+        self._sims: dict[Pair, float] = {}
+        self._by_entity1: dict[str, list[tuple[str, float]]] = {}
+        self._by_entity2: dict[str, list[tuple[str, float]]] = {}
+        self._accumulate(token_blocks)
+        self._build_ranked_lists()
+
+    def _accumulate(self, token_blocks: BlockCollection) -> None:
+        sims = self._sims
+        for block in token_blocks:
+            weight = block_token_weight(len(block.entities1), len(block.entities2))
+            for uri1 in block.entities1:
+                for uri2 in block.entities2:
+                    pair = (uri1, uri2)
+                    sims[pair] = sims.get(pair, 0.0) + weight
+
+    def _build_ranked_lists(self) -> None:
+        by1 = self._by_entity1
+        by2 = self._by_entity2
+        for (uri1, uri2), sim in self._sims.items():
+            by1.setdefault(uri1, []).append((uri2, sim))
+            by2.setdefault(uri2, []).append((uri1, sim))
+        # Descending similarity; URI breaks ties deterministically.
+        for ranked in by1.values():
+            ranked.sort(key=lambda item: (-item[1], item[0]))
+        for ranked in by2.values():
+            ranked.sort(key=lambda item: (-item[1], item[0]))
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def similarity(self, uri1: str, uri2: str) -> float:
+        """valueSim of a pair (0.0 when they share no surviving token)."""
+        return self._sims.get((uri1, uri2), 0.0)
+
+    def pairs(self) -> dict[Pair, float]:
+        """The full sparse pair-to-similarity map (read-only by convention)."""
+        return self._sims
+
+    def candidates_of_entity1(self, uri1: str, k: int | None = None) -> list[tuple[str, float]]:
+        """Co-occurring E2 entities of ``uri1``, best first (top-k if given)."""
+        ranked = self._by_entity1.get(uri1, [])
+        return ranked if k is None else ranked[:k]
+
+    def candidates_of_entity2(self, uri2: str, k: int | None = None) -> list[tuple[str, float]]:
+        """Co-occurring E1 entities of ``uri2``, best first (top-k if given)."""
+        ranked = self._by_entity2.get(uri2, [])
+        return ranked if k is None else ranked[:k]
+
+    def best_candidate(self, uri1: str, exclude: set[str] = frozenset()) -> tuple[str, float] | None:
+        """The co-occurring E2 entity with maximum valueSim (H2's vmax).
+
+        ``exclude`` removes already-matched E2 entities from consideration.
+        """
+        for uri2, sim in self._by_entity1.get(uri1, []):
+            if uri2 not in exclude:
+                return uri2, sim
+        return None
+
+    def __len__(self) -> int:
+        return len(self._sims)
+
+    def __repr__(self) -> str:
+        return f"ValueSimilarityIndex({len(self._sims)} co-occurring pairs)"

@@ -1,0 +1,56 @@
+"""Synthetic dataset substrate standing in for the paper's benchmarks.
+
+A latent-entity KB-pair generator with controlled heterogeneity, and one
+profile per benchmark dataset of the paper (Restaurant, Rexa-DBLP,
+BBCmusic-DBpedia, YAGO-IMDb).  Ground truth is known by construction.
+"""
+
+from .generator import (
+    GeneratedDataset,
+    KbPairGenerator,
+    LatentEntity,
+    PairProfile,
+    RelationSpec,
+    SideSpec,
+    TypeSpec,
+    generate,
+)
+from .ground_truth import GroundTruth
+from .io import load_dataset, read_ground_truth_csv, save_dataset
+from .profiles import (
+    PROFILE_BUILDERS,
+    PROFILE_ORDER,
+    bbc_dbpedia_profile,
+    generate_benchmark,
+    load_profile,
+    restaurant_profile,
+    rexa_dblp_profile,
+    yago_imdb_profile,
+)
+from .vocab import ZipfSampler, pseudo_word, word_pool
+
+__all__ = [
+    "GeneratedDataset",
+    "GroundTruth",
+    "KbPairGenerator",
+    "LatentEntity",
+    "PROFILE_BUILDERS",
+    "PROFILE_ORDER",
+    "PairProfile",
+    "RelationSpec",
+    "SideSpec",
+    "TypeSpec",
+    "ZipfSampler",
+    "bbc_dbpedia_profile",
+    "generate",
+    "generate_benchmark",
+    "load_dataset",
+    "load_profile",
+    "read_ground_truth_csv",
+    "save_dataset",
+    "pseudo_word",
+    "restaurant_profile",
+    "rexa_dblp_profile",
+    "word_pool",
+    "yago_imdb_profile",
+]

@@ -1,0 +1,71 @@
+"""Ground-truth match sets for evaluation."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping
+
+
+class GroundTruth:
+    """A 1-1 mapping of E1 URIs to their matching E2 URIs.
+
+    The paper's setting is clean-clean ER: each KB is duplicate-free, so
+    an entity of one KB matches at most one entity of the other.
+    """
+
+    def __init__(self, pairs: Mapping[str, str] | Iterable[tuple[str, str]] = ()) -> None:
+        items = pairs.items() if isinstance(pairs, Mapping) else pairs
+        self._forward: dict[str, str] = {}
+        self._backward: dict[str, str] = {}
+        for uri1, uri2 in items:
+            self.add(uri1, uri2)
+
+    def add(self, uri1: str, uri2: str) -> None:
+        """Register a match; raises if either side is already matched."""
+        if uri1 in self._forward:
+            raise ValueError(f"{uri1} already has a match")
+        if uri2 in self._backward:
+            raise ValueError(f"{uri2} already has a match")
+        self._forward[uri1] = uri2
+        self._backward[uri2] = uri1
+
+    # ------------------------------------------------------------------
+    def match_of_entity1(self, uri1: str) -> str | None:
+        """The E2 match of an E1 entity, or None."""
+        return self._forward.get(uri1)
+
+    def match_of_entity2(self, uri2: str) -> str | None:
+        """The E1 match of an E2 entity, or None."""
+        return self._backward.get(uri2)
+
+    def contains_pair(self, uri1: str, uri2: str) -> bool:
+        """True when (uri1, uri2) is a ground-truth match."""
+        return self._forward.get(uri1) == uri2
+
+    def entities1(self) -> set[str]:
+        """All matched E1 URIs."""
+        return set(self._forward)
+
+    def entities2(self) -> set[str]:
+        """All matched E2 URIs."""
+        return set(self._backward)
+
+    def as_mapping(self) -> dict[str, str]:
+        """A copy of the forward mapping."""
+        return dict(self._forward)
+
+    def pairs(self) -> set[tuple[str, str]]:
+        """All ground-truth pairs."""
+        return set(self._forward.items())
+
+    def __len__(self) -> int:
+        return len(self._forward)
+
+    def __iter__(self) -> Iterator[tuple[str, str]]:
+        return iter(self._forward.items())
+
+    def __contains__(self, pair: tuple[str, str]) -> bool:
+        uri1, uri2 = pair
+        return self.contains_pair(uri1, uri2)
+
+    def __repr__(self) -> str:
+        return f"GroundTruth({len(self)} matches)"

@@ -1,0 +1,109 @@
+"""Persistence of generated dataset bundles.
+
+A :class:`~repro.datasets.generator.GeneratedDataset` is written as a
+directory of plain files, so benchmark inputs can be shipped, versioned
+and reloaded without re-running the generator:
+
+```
+bundle/
+  kb1.nt            first KB as N-Triples
+  kb2.nt            second KB as N-Triples
+  ground_truth.csv  uri1,uri2 per line
+  alignment.csv     relation1,relation2 per line (domain knowledge)
+  meta.json         profile name and entity counts
+```
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+from ..kb.io_ntriples import read_ntriples, write_ntriples
+from ..kb.knowledge_base import KnowledgeBase
+from .generator import GeneratedDataset, PairProfile, SideSpec, TypeSpec
+from .ground_truth import GroundTruth
+
+
+def save_dataset(dataset: GeneratedDataset, directory: str | Path) -> Path:
+    """Write a dataset bundle; returns the bundle directory."""
+    bundle = Path(directory)
+    bundle.mkdir(parents=True, exist_ok=True)
+    write_ntriples(dataset.kb1, bundle / "kb1.nt")
+    write_ntriples(dataset.kb2, bundle / "kb2.nt")
+    _write_pairs(bundle / "ground_truth.csv", dataset.ground_truth.pairs())
+    _write_pairs(bundle / "alignment.csv", dataset.relation_alignment.items())
+    meta = {
+        "profile": dataset.profile.name,
+        "seed": dataset.profile.seed,
+        "kb1_name": dataset.kb1.name,
+        "kb2_name": dataset.kb2.name,
+        "n_entities1": len(dataset.kb1),
+        "n_entities2": len(dataset.kb2),
+        "n_matches": len(dataset.ground_truth),
+    }
+    (bundle / "meta.json").write_text(json.dumps(meta, indent=2))
+    return bundle
+
+
+def load_dataset(directory: str | Path) -> GeneratedDataset:
+    """Reload a dataset bundle written by :func:`save_dataset`.
+
+    The profile object is reconstructed as a minimal stub carrying the
+    original name and seed (generation parameters are not round-tripped;
+    the data itself is).
+    """
+    bundle = Path(directory)
+    meta = json.loads((bundle / "meta.json").read_text())
+    kb1 = read_ntriples(bundle / "kb1.nt", name=meta.get("kb1_name", "KB1"))
+    kb2 = read_ntriples(bundle / "kb2.nt", name=meta.get("kb2_name", "KB2"))
+    truth = GroundTruth(_read_pairs(bundle / "ground_truth.csv"))
+    alignment = dict(_read_pairs(bundle / "alignment.csv"))
+    profile = _stub_profile(meta.get("profile", "loaded"), meta.get("seed", 0))
+    return GeneratedDataset(
+        profile=profile,
+        kb1=kb1,
+        kb2=kb2,
+        ground_truth=truth,
+        relation_alignment=alignment,
+    )
+
+
+def read_ground_truth_csv(path: str | Path) -> GroundTruth:
+    """Load a ground truth from a two-column CSV (with or without header)."""
+    pairs = []
+    for row in _read_pairs(Path(path)):
+        if row == ("uri1", "uri2"):
+            continue
+        pairs.append(row)
+    return GroundTruth(pairs)
+
+
+def _write_pairs(path: Path, pairs) -> None:
+    with open(path, "w", encoding="utf-8", newline="") as handle:
+        writer = csv.writer(handle)
+        for left, right in sorted(pairs):
+            writer.writerow([left, right])
+
+
+def _read_pairs(path: Path) -> list[tuple[str, str]]:
+    with open(path, encoding="utf-8", newline="") as handle:
+        return [
+            (row[0], row[1])
+            for row in csv.reader(handle)
+            if len(row) >= 2 and row[0]
+        ]
+
+
+def _stub_profile(name: str, seed: int) -> PairProfile:
+    return PairProfile(
+        name=name,
+        seed=seed,
+        n_matches=0,
+        n_extra1=0,
+        n_extra2=0,
+        types=(TypeSpec(name="loaded", proportion=1.0),),
+        side1=SideSpec(label="KB1", uri_prefix="loaded://a"),
+        side2=SideSpec(label="KB2", uri_prefix="loaded://b"),
+    )

@@ -1,0 +1,101 @@
+"""Deterministic pseudo-word vocabularies with Zipfian sampling.
+
+The synthetic KBs need token distributions that behave like Web text:
+a long-tailed (Zipf) content vocabulary, small pools of highly ambiguous
+ambient tokens (years, genres), and per-type name pools whose tokens are
+reused across entities while full names stay unique.
+"""
+
+from __future__ import annotations
+
+import bisect
+import itertools
+import random
+
+_CONSONANTS = "bcdfghjklmnprstvz"
+_VOWELS = "aeiou"
+
+
+def pseudo_word(rng: random.Random, syllables: int = 3) -> str:
+    """A pronounceable pseudo-word, e.g. ``"katerzo"``."""
+    if syllables < 1:
+        raise ValueError("syllables must be >= 1")
+    parts = []
+    for _ in range(syllables):
+        parts.append(rng.choice(_CONSONANTS))
+        parts.append(rng.choice(_VOWELS))
+    return "".join(parts)
+
+
+def word_pool(rng: random.Random, size: int, syllables: int = 3, prefix: str = "") -> list[str]:
+    """``size`` distinct pseudo-words (suffixed with a counter on collision)."""
+    if size < 0:
+        raise ValueError("size must be >= 0")
+    words: list[str] = []
+    seen: set[str] = set()
+    counter = itertools.count()
+    while len(words) < size:
+        word = prefix + pseudo_word(rng, syllables)
+        if word in seen:
+            word = f"{word}{next(counter)}"
+            if word in seen:
+                continue
+        seen.add(word)
+        words.append(word)
+    return words
+
+
+class ZipfSampler:
+    """Samples words with probability proportional to 1 / rank^exponent.
+
+    The first word of the pool is the most frequent.  Deterministic given
+    the ``random.Random`` instance passed at each call.
+    """
+
+    def __init__(self, words: list[str], exponent: float = 1.05) -> None:
+        if not words:
+            raise ValueError("word pool must be non-empty")
+        if exponent < 0:
+            raise ValueError("exponent must be >= 0")
+        self.words = list(words)
+        self.exponent = exponent
+        cumulative: list[float] = []
+        total = 0.0
+        for rank in range(1, len(words) + 1):
+            total += 1.0 / rank**exponent
+            cumulative.append(total)
+        self._cumulative = cumulative
+        self._total = total
+
+    def sample(self, rng: random.Random) -> str:
+        """One word drawn from the Zipf distribution."""
+        point = rng.random() * self._total
+        index = bisect.bisect_left(self._cumulative, point)
+        if index >= len(self.words):
+            index = len(self.words) - 1
+        return self.words[index]
+
+    def sample_many(self, rng: random.Random, count: int) -> list[str]:
+        """``count`` independent draws (duplicates possible, as in text)."""
+        return [self.sample(rng) for _ in range(count)]
+
+    def sample_distinct(self, rng: random.Random, count: int) -> list[str]:
+        """``count`` distinct draws (capped at the pool size)."""
+        count = min(count, len(self.words))
+        chosen: list[str] = []
+        seen: set[str] = set()
+        attempts = 0
+        while len(chosen) < count and attempts < 50 * count + 100:
+            attempts += 1
+            word = self.sample(rng)
+            if word not in seen:
+                seen.add(word)
+                chosen.append(word)
+        # Fall back to filling from the pool head if sampling stalled.
+        for word in self.words:
+            if len(chosen) >= count:
+                break
+            if word not in seen:
+                seen.add(word)
+                chosen.append(word)
+        return chosen

@@ -1,0 +1,31 @@
+"""Evaluation: matching metrics, table rendering, experiment runners."""
+
+from .experiment import (
+    METHOD_RUNNERS,
+    MethodRow,
+    run_bsl,
+    run_linda,
+    run_minoaner,
+    run_paris,
+    run_rimom,
+    run_sigma,
+)
+from .metrics import MatchingQuality, evaluate_matching
+from .report import format_number, paper_vs_measured, render_records, render_table
+
+__all__ = [
+    "METHOD_RUNNERS",
+    "MatchingQuality",
+    "MethodRow",
+    "evaluate_matching",
+    "format_number",
+    "paper_vs_measured",
+    "render_records",
+    "render_table",
+    "run_bsl",
+    "run_linda",
+    "run_minoaner",
+    "run_paris",
+    "run_rimom",
+    "run_sigma",
+]

@@ -1,0 +1,94 @@
+"""Matching effectiveness metrics under the paper's protocol.
+
+The paper reports precision, recall and F1 "with respect to the
+descriptions in the first KB appearing in the ground truth": recall counts
+how many ground-truth E1 entities received their correct match, and
+precision is measured over the emitted pairs whose E1 entity belongs to
+the ground truth (the KBs also contain neighbors that have no counterpart
+at all — predictions on those are out of scope for the benchmark).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from ..datasets.ground_truth import GroundTruth
+
+
+@dataclass(frozen=True)
+class MatchingQuality:
+    """Precision / recall / F1 with the underlying counts."""
+
+    true_positives: int
+    emitted: int
+    n_matches: int
+
+    @property
+    def precision(self) -> float:
+        if self.emitted == 0:
+            return 0.0
+        return self.true_positives / self.emitted
+
+    @property
+    def recall(self) -> float:
+        if self.n_matches == 0:
+            return 0.0
+        return self.true_positives / self.n_matches
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        if p + r == 0.0:
+            return 0.0
+        return 2 * p * r / (p + r)
+
+    def as_row(self) -> dict[str, float]:
+        """Percent-scaled metric dict, as the paper's tables print them."""
+        return {
+            "precision": 100.0 * self.precision,
+            "recall": 100.0 * self.recall,
+            "f1": 100.0 * self.f1,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"MatchingQuality(P={100 * self.precision:.2f} "
+            f"R={100 * self.recall:.2f} F1={100 * self.f1:.2f})"
+        )
+
+
+def _as_pairs(
+    predicted: Mapping[str, str] | Iterable[tuple[str, str]],
+) -> set[tuple[str, str]]:
+    if isinstance(predicted, Mapping):
+        return set(predicted.items())
+    return set(predicted)
+
+
+def evaluate_matching(
+    predicted: Mapping[str, str] | Iterable[tuple[str, str]],
+    ground_truth: GroundTruth | Mapping[str, str],
+    restrict_to_gt_entities: bool = True,
+) -> MatchingQuality:
+    """Score predicted pairs against the ground truth.
+
+    With ``restrict_to_gt_entities`` (the paper's protocol), predicted
+    pairs whose E1 entity never appears in the ground truth are ignored:
+    the benchmark KBs deliberately include unmatched context entities
+    (e.g. neighbors), and no method is penalized for linking those.
+    """
+    if not isinstance(ground_truth, GroundTruth):
+        ground_truth = GroundTruth(ground_truth)
+    pairs = _as_pairs(predicted)
+    if restrict_to_gt_entities:
+        gt_entities1 = ground_truth.entities1()
+        pairs = {(u1, u2) for u1, u2 in pairs if u1 in gt_entities1}
+    true_positives = sum(
+        1 for u1, u2 in pairs if ground_truth.contains_pair(u1, u2)
+    )
+    return MatchingQuality(
+        true_positives=true_positives,
+        emitted=len(pairs),
+        n_matches=len(ground_truth),
+    )

@@ -1,0 +1,45 @@
+"""Knowledge-base substrate: entity descriptions, tokenization, I/O, graphs.
+
+This package implements the data model the paper assumes: URI-identified
+entity descriptions with literal- and URI-valued attributes, grouped into
+knowledge bases that form entity graphs.
+"""
+
+from .entity import EntityDescription, Literal, UriRef, local_name
+from .graph import NeighborIndex, inverse
+from .io_json import kb_from_dict, kb_to_dict, read_json, write_json
+from .io_ntriples import NTriplesError, read_ntriples, write_ntriples
+from .knowledge_base import KnowledgeBase, types_of
+from .stats import (
+    DEFAULT_TYPE_ATTRIBUTES,
+    DatasetStatistics,
+    KbStatistics,
+    dataset_statistics,
+    kb_statistics,
+)
+from .tokenizer import Tokenizer, tokenize_text
+
+__all__ = [
+    "DEFAULT_TYPE_ATTRIBUTES",
+    "DatasetStatistics",
+    "EntityDescription",
+    "KbStatistics",
+    "KnowledgeBase",
+    "Literal",
+    "NTriplesError",
+    "NeighborIndex",
+    "Tokenizer",
+    "UriRef",
+    "dataset_statistics",
+    "inverse",
+    "kb_from_dict",
+    "kb_statistics",
+    "kb_to_dict",
+    "local_name",
+    "read_json",
+    "read_ntriples",
+    "tokenize_text",
+    "types_of",
+    "write_json",
+    "write_ntriples",
+]

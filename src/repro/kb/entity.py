@@ -1,0 +1,166 @@
+"""Entity descriptions: the atomic data unit of the Web of Data.
+
+The paper defines an *entity description* as a URI-identifiable set of
+attribute-value pairs, where each value is either a literal (a string) or
+the URI of another description.  The set of descriptions of a Knowledge
+Base therefore forms an *entity graph*: URI-valued attributes are the
+edges (we call those attributes *relations*), literal-valued attributes
+carry the textual content.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+
+@dataclass(frozen=True)
+class Literal:
+    """A literal value of an attribute (always stored as a string)."""
+
+    value: str
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class UriRef:
+    """A reference to another entity description, identified by URI."""
+
+    uri: str
+
+    def __str__(self) -> str:
+        return self.uri
+
+
+Value = Literal | UriRef
+
+
+def local_name(uri: str) -> str:
+    """Return the local name of a URI (the part after the last '/' or '#').
+
+    >>> local_name("http://example.org/resource/Athens")
+    'Athens'
+    >>> local_name("http://example.org/ns#label")
+    'label'
+    """
+    trimmed = uri.rstrip("/#")
+    for separator in ("#", "/", ":"):
+        index = trimmed.rfind(separator)
+        if index >= 0:
+            return trimmed[index + 1 :]
+    return trimmed
+
+
+class EntityDescription:
+    """A URI plus a multiset of attribute-value pairs.
+
+    Pairs are kept in insertion order; duplicate (attribute, value) pairs
+    are allowed, as in RDF data where a property may be repeated.
+    """
+
+    __slots__ = ("uri", "_pairs")
+
+    def __init__(
+        self,
+        uri: str,
+        pairs: Iterable[tuple[str, Value]] = (),
+    ) -> None:
+        if not uri:
+            raise ValueError("an entity description requires a non-empty URI")
+        self.uri = uri
+        self._pairs: list[tuple[str, Value]] = []
+        for attribute, value in pairs:
+            self.add(attribute, value)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    def add(self, attribute: str, value: Value | str) -> None:
+        """Append an attribute-value pair.
+
+        Plain strings are treated as literals; to add an entity reference,
+        pass a :class:`UriRef` explicitly (or use :meth:`add_relation`).
+        """
+        if not attribute:
+            raise ValueError("attribute names must be non-empty")
+        if isinstance(value, str):
+            value = Literal(value)
+        if not isinstance(value, (Literal, UriRef)):
+            raise TypeError(f"unsupported value type: {type(value).__name__}")
+        self._pairs.append((attribute, value))
+
+    def add_literal(self, attribute: str, text: str) -> None:
+        """Append a literal-valued pair."""
+        self.add(attribute, Literal(text))
+
+    def add_relation(self, relation: str, target_uri: str) -> None:
+        """Append a URI-valued pair (an edge of the entity graph)."""
+        self.add(relation, UriRef(target_uri))
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    @property
+    def pairs(self) -> tuple[tuple[str, Value], ...]:
+        """All attribute-value pairs in insertion order."""
+        return tuple(self._pairs)
+
+    def attributes(self) -> set[str]:
+        """The distinct attribute names of literal-valued pairs."""
+        return {a for a, v in self._pairs if isinstance(v, Literal)}
+
+    def relations(self) -> set[str]:
+        """The distinct attribute names of URI-valued pairs."""
+        return {a for a, v in self._pairs if isinstance(v, UriRef)}
+
+    def literal_pairs(self) -> Iterator[tuple[str, str]]:
+        """Yield (attribute, literal text) pairs."""
+        for attribute, value in self._pairs:
+            if isinstance(value, Literal):
+                yield attribute, value.value
+
+    def relation_pairs(self) -> Iterator[tuple[str, str]]:
+        """Yield (relation, target URI) pairs."""
+        for attribute, value in self._pairs:
+            if isinstance(value, UriRef):
+                yield attribute, value.uri
+
+    def values_of(self, attribute: str) -> list[Value]:
+        """All values recorded for ``attribute`` (may be empty)."""
+        return [v for a, v in self._pairs if a == attribute]
+
+    def literals_of(self, attribute: str) -> list[str]:
+        """All literal texts recorded for ``attribute``."""
+        return [
+            v.value for a, v in self._pairs if a == attribute and isinstance(v, Literal)
+        ]
+
+    def neighbor_uris(self) -> list[str]:
+        """Target URIs of all URI-valued pairs, in order, with duplicates."""
+        return [v.uri for _, v in self._pairs if isinstance(v, UriRef)]
+
+    def n_triples(self) -> int:
+        """Number of attribute-value pairs (RDF triples with this subject)."""
+        return len(self._pairs)
+
+    # ------------------------------------------------------------------
+    # Dunder protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._pairs)
+
+    def __iter__(self) -> Iterator[tuple[str, Value]]:
+        return iter(self._pairs)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, EntityDescription):
+            return NotImplemented
+        return self.uri == other.uri and self._pairs == other._pairs
+
+    def __hash__(self) -> int:
+        return hash(self.uri)
+
+    def __repr__(self) -> str:
+        return f"EntityDescription({self.uri!r}, {len(self._pairs)} pairs)"

@@ -1,0 +1,81 @@
+"""Neighbor-graph utilities over a KnowledgeBase.
+
+The entity graph of a KB (URI-valued attributes as edges) drives the
+neighbor-similarity evidence of MinoanER.  :class:`NeighborIndex`
+materializes adjacency once so that repeated neighbor lookups during
+matching are O(1).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable
+
+from .knowledge_base import KnowledgeBase
+
+
+class NeighborIndex:
+    """Pre-computed adjacency of a KB's entity graph.
+
+    Only *internal* edges are indexed: a URI-valued pair whose target is not
+    a description of the same KB is treated as an opaque literal-like value
+    and ignored (the paper's KBs are self-contained after preprocessing).
+
+    Parameters
+    ----------
+    kb:
+        The knowledge base to index.
+    include_incoming:
+        When true, reverse edges are indexed too, so neighbor queries see
+        both directions (`subjects` pointing at an entity are its in-
+        neighbors).  MinoanER's journal version exploits both directions;
+        the default here follows the conference paper (outgoing only).
+    """
+
+    def __init__(self, kb: KnowledgeBase, include_incoming: bool = False) -> None:
+        self.kb = kb
+        self.include_incoming = include_incoming
+        # uri -> list of (relation, neighbor uri); direction-tagged relation
+        # names are used for incoming edges ("relation" vs "~relation").
+        self._adjacency: dict[str, list[tuple[str, str]]] = defaultdict(list)
+        for entity in kb:
+            for relation, target in entity.relation_pairs():
+                if target not in kb:
+                    continue
+                self._adjacency[entity.uri].append((relation, target))
+                if include_incoming:
+                    self._adjacency[target].append((inverse(relation), entity.uri))
+
+    def neighbors(self, uri: str) -> list[tuple[str, str]]:
+        """(relation, neighbor URI) pairs of ``uri`` (possibly empty)."""
+        return self._adjacency.get(uri, [])
+
+    def neighbors_via(self, uri: str, relations: Iterable[str]) -> list[str]:
+        """Neighbor URIs of ``uri`` reachable via any of ``relations``."""
+        wanted = set(relations)
+        return [
+            target
+            for relation, target in self._adjacency.get(uri, [])
+            if relation in wanted
+        ]
+
+    def degree(self, uri: str) -> int:
+        """Number of indexed edges at ``uri``."""
+        return len(self._adjacency.get(uri, []))
+
+    def edge_count(self) -> int:
+        """Total number of indexed (directed) edges."""
+        return sum(len(edges) for edges in self._adjacency.values())
+
+
+def inverse(relation: str) -> str:
+    """The direction-tag of a relation name for incoming edges.
+
+    >>> inverse("directed")
+    '~directed'
+    >>> inverse(inverse("directed"))
+    'directed'
+    """
+    if relation.startswith("~"):
+        return relation[1:]
+    return "~" + relation

@@ -1,0 +1,71 @@
+"""JSON serialization of knowledge bases.
+
+A compact, line-oriented-friendly JSON format for shipping generated
+datasets and intermediate results.  Schema::
+
+    {
+      "name": "BBCmusic",
+      "entities": [
+        {"uri": "...",
+         "pairs": [["attr", {"lit": "text"}], ["rel", {"ref": "uri"}], ...]},
+        ...
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, TextIO
+
+from .entity import EntityDescription, Literal, UriRef
+from .knowledge_base import KnowledgeBase
+
+
+def kb_to_dict(kb: KnowledgeBase) -> dict[str, Any]:
+    """Plain-dict representation of a KB (JSON-serializable)."""
+    entities = []
+    for entity in kb:
+        pairs: list[list[Any]] = []
+        for attribute, value in entity:
+            if isinstance(value, UriRef):
+                pairs.append([attribute, {"ref": value.uri}])
+            else:
+                pairs.append([attribute, {"lit": value.value}])
+        entities.append({"uri": entity.uri, "pairs": pairs})
+    return {"name": kb.name, "entities": entities}
+
+
+def kb_from_dict(data: dict[str, Any]) -> KnowledgeBase:
+    """Rebuild a KB from :func:`kb_to_dict` output."""
+    kb = KnowledgeBase(data.get("name", "KB"))
+    for record in data["entities"]:
+        entity = EntityDescription(record["uri"])
+        for attribute, boxed in record.get("pairs", []):
+            if "ref" in boxed:
+                entity.add(attribute, UriRef(boxed["ref"]))
+            elif "lit" in boxed:
+                entity.add(attribute, Literal(boxed["lit"]))
+            else:
+                raise ValueError(f"malformed value box: {boxed!r}")
+        kb.add(entity)
+    return kb
+
+
+def write_json(kb: KnowledgeBase, target: str | Path | TextIO, indent: int | None = None) -> None:
+    """Serialize ``kb`` to a JSON file or stream."""
+    payload = kb_to_dict(kb)
+    if isinstance(target, (str, Path)):
+        with open(target, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=indent)
+    else:
+        json.dump(payload, target, indent=indent)
+
+
+def read_json(source: str | Path | TextIO) -> KnowledgeBase:
+    """Load a KB written by :func:`write_json`."""
+    if isinstance(source, (str, Path)):
+        with open(source, encoding="utf-8") as handle:
+            return kb_from_dict(json.load(handle))
+    return kb_from_dict(json.load(source))

@@ -1,0 +1,153 @@
+"""Minimal N-Triples reader/writer.
+
+The paper's benchmark KBs ship as RDF dumps; this module provides a small,
+dependency-free N-Triples subset parser sufficient for such data: one triple
+per line, ``<uri>`` terms, ``"literal"`` objects with the usual escapes, and
+optional ``@lang`` / ``^^<datatype>`` suffixes (which are dropped — MinoanER
+is schema-agnostic and treats all literals as plain text).
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Iterable, Iterator, TextIO
+
+from .entity import EntityDescription, Literal, UriRef
+from .knowledge_base import KnowledgeBase
+
+_TRIPLE_PATTERN = re.compile(
+    r"""^\s*
+        <(?P<subject>[^>]+)>\s+
+        <(?P<predicate>[^>]+)>\s+
+        (?:
+            <(?P<object_uri>[^>]+)>
+          | "(?P<object_literal>(?:[^"\\]|\\.)*)"
+            (?:@[A-Za-z0-9-]+|\^\^<[^>]+>)?
+        )
+        \s*\.\s*$
+    """,
+    re.VERBOSE,
+)
+
+_ESCAPES = {
+    "\\n": "\n",
+    "\\r": "\r",
+    "\\t": "\t",
+    '\\"': '"',
+    "\\\\": "\\",
+}
+
+
+class NTriplesError(ValueError):
+    """Raised when a line cannot be parsed as an N-Triples statement."""
+
+    def __init__(self, line_number: int, line: str) -> None:
+        super().__init__(f"line {line_number}: cannot parse {line!r}")
+        self.line_number = line_number
+        self.line = line
+
+
+def _unescape(text: str) -> str:
+    if "\\" not in text:
+        return text
+    out: list[str] = []
+    index = 0
+    while index < len(text):
+        chunk = text[index : index + 2]
+        if chunk in _ESCAPES:
+            out.append(_ESCAPES[chunk])
+            index += 2
+        elif chunk[:1] == "\\" and text[index + 1 : index + 2] == "u":
+            out.append(chr(int(text[index + 2 : index + 6], 16)))
+            index += 6
+        else:
+            out.append(text[index])
+            index += 1
+    return "".join(out)
+
+
+def _escape(text: str) -> str:
+    return (
+        text.replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+        .replace("\r", "\\r")
+        .replace("\t", "\\t")
+    )
+
+
+def parse_lines(
+    lines: Iterable[str], strict: bool = True
+) -> Iterator[tuple[str, str, Literal | UriRef]]:
+    """Yield (subject, predicate, object) triples from N-Triples lines.
+
+    Blank lines and ``#`` comments are skipped.  Under ``strict`` parsing,
+    malformed lines raise :class:`NTriplesError`; otherwise they are
+    silently ignored (useful for noisy Web crawls).
+    """
+    for line_number, raw in enumerate(lines, start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        match = _TRIPLE_PATTERN.match(line)
+        if match is None:
+            if strict:
+                raise NTriplesError(line_number, raw)
+            continue
+        subject = match.group("subject")
+        predicate = match.group("predicate")
+        if match.group("object_uri") is not None:
+            yield subject, predicate, UriRef(match.group("object_uri"))
+        else:
+            yield subject, predicate, Literal(_unescape(match.group("object_literal")))
+
+
+def read_ntriples(
+    source: str | Path | TextIO, name: str = "KB", strict: bool = True
+) -> KnowledgeBase:
+    """Load a KnowledgeBase from an N-Triples file or open text stream.
+
+    Subjects become entity descriptions; triples whose object is a URI that
+    never appears as a subject remain URI-valued pairs (they simply have no
+    description to point at, which the graph index later ignores).
+    """
+    if isinstance(source, (str, Path)):
+        with open(source, encoding="utf-8") as handle:
+            return _read(handle, name, strict)
+    return _read(source, name, strict)
+
+
+def _read(handle: TextIO, name: str, strict: bool) -> KnowledgeBase:
+    kb = KnowledgeBase(name)
+    for subject, predicate, obj in parse_lines(handle, strict=strict):
+        entity = kb.get(subject)
+        if entity is None:
+            entity = kb.new_entity(subject)
+        entity.add(predicate, obj)
+    return kb
+
+
+def write_ntriples(kb: KnowledgeBase, target: str | Path | TextIO) -> None:
+    """Serialize a KnowledgeBase as N-Triples (one pair per line)."""
+    if isinstance(target, (str, Path)):
+        with open(target, "w", encoding="utf-8") as handle:
+            _write(kb, handle)
+    else:
+        _write(kb, target)
+
+
+def _write(kb: KnowledgeBase, handle: TextIO) -> None:
+    for entity in kb:
+        for attribute, value in entity:
+            if isinstance(value, UriRef):
+                obj = f"<{value.uri}>"
+            else:
+                obj = f'"{_escape(value.value)}"'
+            handle.write(f"<{entity.uri}> <{attribute}> {obj} .\n")
+
+
+def roundtrip(kb: KnowledgeBase, path: str | Path, name: str | None = None) -> KnowledgeBase:
+    """Write then re-read a KB; handy for tests and format validation."""
+    write_ntriples(kb, path)
+    return read_ntriples(path, name or kb.name)

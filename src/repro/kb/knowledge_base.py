@@ -1,0 +1,170 @@
+"""The KnowledgeBase container: a keyed collection of entity descriptions.
+
+A :class:`KnowledgeBase` owns the descriptions of one input source (one side
+of the ER task) and provides the aggregate views that the MinoanER statistics
+need: attribute/relation inventories, entity-frequency of tokens, and the
+neighbor graph.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Callable, Iterable, Iterator
+
+from .entity import EntityDescription, Literal, UriRef
+from .tokenizer import Tokenizer
+
+
+class KnowledgeBase:
+    """An ordered, URI-keyed collection of :class:`EntityDescription`.
+
+    Parameters
+    ----------
+    name:
+        A human-readable label used in reports (e.g. ``"DBpedia"``).
+    entities:
+        Initial descriptions; URIs must be unique within the KB.
+    """
+
+    def __init__(
+        self,
+        name: str = "KB",
+        entities: Iterable[EntityDescription] = (),
+    ) -> None:
+        self.name = name
+        self._entities: dict[str, EntityDescription] = {}
+        for entity in entities:
+            self.add(entity)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add(self, entity: EntityDescription) -> None:
+        """Add a description; raises on duplicate URIs."""
+        if entity.uri in self._entities:
+            raise ValueError(f"duplicate entity URI: {entity.uri}")
+        self._entities[entity.uri] = entity
+
+    def new_entity(self, uri: str) -> EntityDescription:
+        """Create, register and return an empty description for ``uri``."""
+        entity = EntityDescription(uri)
+        self.add(entity)
+        return entity
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entities)
+
+    def __iter__(self) -> Iterator[EntityDescription]:
+        return iter(self._entities.values())
+
+    def __contains__(self, uri: str) -> bool:
+        return uri in self._entities
+
+    def __getitem__(self, uri: str) -> EntityDescription:
+        return self._entities[uri]
+
+    def get(self, uri: str) -> EntityDescription | None:
+        """The description for ``uri``, or None when absent."""
+        return self._entities.get(uri)
+
+    def uris(self) -> list[str]:
+        """All entity URIs in insertion order."""
+        return list(self._entities)
+
+    # ------------------------------------------------------------------
+    # Aggregate statistics
+    # ------------------------------------------------------------------
+    def n_triples(self) -> int:
+        """Total number of attribute-value pairs across all descriptions."""
+        return sum(e.n_triples() for e in self._entities.values())
+
+    def attribute_names(self) -> set[str]:
+        """Distinct literal-valued attribute names in the KB."""
+        names: set[str] = set()
+        for entity in self._entities.values():
+            names.update(entity.attributes())
+        return names
+
+    def relation_names(self) -> set[str]:
+        """Distinct URI-valued attribute (relation) names in the KB."""
+        names: set[str] = set()
+        for entity in self._entities.values():
+            names.update(entity.relations())
+        return names
+
+    def attribute_support(self) -> Counter[str]:
+        """#entities containing each literal-valued attribute."""
+        support: Counter[str] = Counter()
+        for entity in self._entities.values():
+            support.update(entity.attributes())
+        return support
+
+    def relation_support(self) -> Counter[str]:
+        """#entities containing each relation."""
+        support: Counter[str] = Counter()
+        for entity in self._entities.values():
+            support.update(entity.relations())
+        return support
+
+    def entity_frequencies(self, tokenizer: Tokenizer) -> Counter[str]:
+        """Entity Frequency EF(t): #entities whose token bag contains t.
+
+        This is the statistic driving the paper's ``valueSim`` weighting —
+        the analogue of document frequency with descriptions as documents.
+        """
+        frequencies: Counter[str] = Counter()
+        for entity in self._entities.values():
+            frequencies.update(tokenizer.token_set(entity))
+        return frequencies
+
+    def average_tokens(self, tokenizer: Tokenizer) -> float:
+        """Average token-bag size per description (Table I statistic)."""
+        if not self._entities:
+            return 0.0
+        total = sum(len(tokenizer.tokens(e)) for e in self._entities.values())
+        return total / len(self._entities)
+
+    # ------------------------------------------------------------------
+    # Graph views
+    # ------------------------------------------------------------------
+    def out_neighbors(self, uri: str) -> list[tuple[str, str]]:
+        """(relation, target URI) pairs leaving ``uri``; internal links only."""
+        entity = self._entities.get(uri)
+        if entity is None:
+            return []
+        return [
+            (relation, target)
+            for relation, target in entity.relation_pairs()
+            if target in self._entities
+        ]
+
+    def filter(
+        self, predicate: Callable[[EntityDescription], bool], name: str | None = None
+    ) -> "KnowledgeBase":
+        """A new KB holding the descriptions satisfying ``predicate``."""
+        selected = (e for e in self._entities.values() if predicate(e))
+        return KnowledgeBase(name or self.name, selected)
+
+    def __repr__(self) -> str:
+        return f"KnowledgeBase({self.name!r}, {len(self)} entities)"
+
+
+def types_of(entity: EntityDescription, type_attributes: Iterable[str]) -> set[str]:
+    """The type values of an entity, looking at the given type attributes.
+
+    RDF data typically stores types under ``rdf:type``; heterogeneous KBs
+    may use several attributes.  Both literal and URI-valued type objects
+    are returned as strings.
+    """
+    found: set[str] = set()
+    names = set(type_attributes)
+    for attribute, value in entity:
+        if attribute in names:
+            if isinstance(value, Literal):
+                found.add(value.value)
+            elif isinstance(value, UriRef):
+                found.add(value.uri)
+    return found

@@ -1,0 +1,96 @@
+"""Dataset statistics in the shape of the paper's Table I.
+
+Given a pair of KBs and a ground truth, :func:`dataset_statistics` computes
+the per-KB counters the paper reports: entities, triples, average tokens per
+description, distinct attributes/relations/types, and the match count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .knowledge_base import KnowledgeBase, types_of
+from .tokenizer import Tokenizer
+
+#: Attribute names commonly carrying type information in Web KBs.
+DEFAULT_TYPE_ATTRIBUTES = (
+    "rdf:type",
+    "http://www.w3.org/1999/02/22-rdf-syntax-ns#type",
+    "type",
+)
+
+
+@dataclass(frozen=True)
+class KbStatistics:
+    """Aggregate counters of one KB (one column-half of Table I)."""
+
+    name: str
+    entities: int
+    triples: int
+    average_tokens: float
+    attributes: int
+    relations: int
+    types: int
+
+    def as_row(self) -> dict[str, object]:
+        """Dict view used by report rendering."""
+        return {
+            "name": self.name,
+            "entities": self.entities,
+            "triples": self.triples,
+            "avg tokens": round(self.average_tokens, 2),
+            "attributes": self.attributes,
+            "relations": self.relations,
+            "types": self.types,
+        }
+
+
+@dataclass(frozen=True)
+class DatasetStatistics:
+    """Both KBs' statistics plus the ground-truth match count."""
+
+    kb1: KbStatistics
+    kb2: KbStatistics
+    matches: int
+
+
+def kb_statistics(
+    kb: KnowledgeBase,
+    tokenizer: Tokenizer | None = None,
+    type_attributes: tuple[str, ...] = DEFAULT_TYPE_ATTRIBUTES,
+) -> KbStatistics:
+    """Compute the Table I counters for one KB."""
+    tokenizer = tokenizer or Tokenizer()
+    type_names = set(type_attributes)
+    type_values: set[str] = set()
+    for entity in kb:
+        type_values.update(types_of(entity, type_names))
+    # Type attributes are bookkeeping, not content: exclude them from the
+    # attribute/relation inventories, as the paper's Table I separates
+    # "types" from "attributes"/"relations".
+    attributes = kb.attribute_names() - type_names
+    relations = kb.relation_names() - type_names
+    return KbStatistics(
+        name=kb.name,
+        entities=len(kb),
+        triples=kb.n_triples(),
+        average_tokens=kb.average_tokens(tokenizer),
+        attributes=len(attributes),
+        relations=len(relations),
+        types=len(type_values),
+    )
+
+
+def dataset_statistics(
+    kb1: KnowledgeBase,
+    kb2: KnowledgeBase,
+    n_matches: int,
+    tokenizer: Tokenizer | None = None,
+) -> DatasetStatistics:
+    """Compute Table I statistics for a KB pair and its ground truth size."""
+    tokenizer = tokenizer or Tokenizer()
+    return DatasetStatistics(
+        kb1=kb_statistics(kb1, tokenizer),
+        kb2=kb_statistics(kb2, tokenizer),
+        matches=n_matches,
+    )

@@ -1,0 +1,135 @@
+"""LINDA-style matcher (simplified reimplementation).
+
+LINDA [4] matches Web-of-data entities without pre-aligned relations, but
+considers neighbor evidence only for neighbors connected through relations
+with *similar names* (label similarity), which — as the paper notes —
+rarely holds across independent KBs.  It then performs an iterative joint
+assignment over a priority queue, similar in spirit to SiGMa.
+
+The simplified version: candidate pairs from purged token blocks scored by
+TF-IDF cosine; neighbor bonus only through relation pairs whose names are
+string-similar (Jaro-Winkler above a cut-off); greedy unique assignment
+with iterative re-scoring.  Its characteristic weakness — high precision,
+low recall when relation vocabularies differ — follows directly from the
+label-similarity gate.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+from ..blocking.purging import purge_blocks
+from ..blocking.token_blocking import token_blocking
+from ..kb.entity import local_name
+from ..kb.graph import NeighborIndex
+from ..kb.knowledge_base import KnowledgeBase
+from ..kb.tokenizer import Tokenizer
+from ..textsim.string_measures import jaro_winkler
+from ..textsim.vector_measures import (
+    cosine,
+    document_frequencies,
+    idf_weights,
+    tfidf_vector,
+)
+
+
+@dataclass
+class LindaResult:
+    """Output mapping plus the number of queue iterations performed."""
+
+    mapping: dict[str, str]
+    iterations: int
+
+
+class LindaMatcher:
+    """Simplified LINDA: label-similar relations gate neighbor evidence."""
+
+    def __init__(
+        self,
+        threshold: float = 0.4,
+        label_similarity_cutoff: float = 0.9,
+        neighbor_weight: float = 0.4,
+        tokenizer: Tokenizer | None = None,
+        max_iterations: int = 1_000_000,
+    ) -> None:
+        if not 0.0 <= neighbor_weight <= 1.0:
+            raise ValueError("neighbor_weight must lie in [0, 1]")
+        self.threshold = threshold
+        self.label_similarity_cutoff = label_similarity_cutoff
+        self.neighbor_weight = neighbor_weight
+        self.tokenizer = tokenizer or Tokenizer()
+        self.max_iterations = max_iterations
+
+    def _relations_compatible(self, relation1: str, relation2: str) -> bool:
+        """LINDA's gate: relation labels must be string-similar."""
+        label1 = local_name(relation1).lower()
+        label2 = local_name(relation2).lower()
+        return jaro_winkler(label1, label2) >= self.label_similarity_cutoff
+
+    def match(self, kb1: KnowledgeBase, kb2: KnowledgeBase) -> LindaResult:
+        """Greedy joint assignment over block-derived candidates."""
+        tokenizer = self.tokenizer
+        counts1 = {e.uri: tokenizer.token_counts(e) for e in kb1}
+        counts2 = {e.uri: tokenizer.token_counts(e) for e in kb2}
+        df = document_frequencies(counts1.values())
+        df.update(document_frequencies(counts2.values()))
+        idf = idf_weights(df, len(kb1) + len(kb2))
+        vectors1 = {u: tfidf_vector(c, idf) for u, c in counts1.items()}
+        vectors2 = {u: tfidf_vector(c, idf) for u, c in counts2.items()}
+
+        graph1 = NeighborIndex(kb1, include_incoming=False)
+        graph2 = NeighborIndex(kb2, include_incoming=False)
+
+        blocks, _ = purge_blocks(token_blocking(kb1, kb2, tokenizer))
+        candidates = sorted(blocks.distinct_pairs())
+
+        mapping: dict[str, str] = {}
+        matched2: set[str] = set()
+
+        def neighbor_bonus(uri1: str, uri2: str) -> float:
+            neighbors1 = graph1.neighbors(uri1)
+            if not neighbors1:
+                return 0.0
+            neighbors2 = graph2.neighbors(uri2)
+            agreeing = 0
+            for relation1, target1 in neighbors1:
+                partner = mapping.get(target1)
+                if partner is None:
+                    continue
+                for relation2, target2 in neighbors2:
+                    if target2 == partner and self._relations_compatible(
+                        relation1, relation2
+                    ):
+                        agreeing += 1
+                        break
+            return agreeing / len(neighbors1)
+
+        def score(uri1: str, uri2: str) -> float:
+            value = cosine(vectors1[uri1], vectors2[uri2])
+            return (
+                1.0 - self.neighbor_weight
+            ) * value + self.neighbor_weight * neighbor_bonus(uri1, uri2)
+
+        queue: list[tuple[float, str, str]] = []
+        for uri1, uri2 in candidates:
+            initial = score(uri1, uri2)
+            if initial >= self.threshold:
+                heapq.heappush(queue, (-initial, uri1, uri2))
+
+        iterations = 0
+        while queue and iterations < self.max_iterations:
+            iterations += 1
+            negative_score, uri1, uri2 = heapq.heappop(queue)
+            if uri1 in mapping or uri2 in matched2:
+                continue
+            current = score(uri1, uri2)
+            if current < self.threshold:
+                continue
+            if current > -negative_score + 1e-12:
+                heapq.heappush(queue, (-current, uri1, uri2))
+                continue
+            mapping[uri1] = uri2
+            matched2.add(uri2)
+
+        return LindaResult(mapping=mapping, iterations=iterations)

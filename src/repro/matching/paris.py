@@ -1,0 +1,335 @@
+"""PARIS-style probabilistic matcher (simplified reimplementation).
+
+PARIS [10] aligns instances probabilistically using the *functionality* of
+relations: a relation is (locally) functional when a subject has few
+distinct objects for it.  Two entities sharing the object of a highly
+functional relation are likely equal; equality estimates then propagate
+through relations whose subjects/objects are equal, over a few fixed-point
+iterations.
+
+This reimplementation keeps the core of that machinery:
+
+- functionality ``fun(p) = #subjects(p) / #(subject, object) pairs(p)``;
+- evidence from shared (predicate, literal-object) pairs, weighted by the
+  functionalities of the two predicates and their learned equivalence;
+- evidence from already-equal neighbor objects through relation pairs;
+- alternating estimation of predicate equivalence and instance equality.
+
+Like the original, it assumes the two KBs describe their entities with
+comparable predicate structure.  Under heavy structural heterogeneity
+(attribute values concatenated differently, predicates split or merged —
+the BBCmusic-DBpedia situation) the shared-(predicate, object) evidence
+collapses, reproducing the failure mode Table III reports for PARIS.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+from ..kb.knowledge_base import KnowledgeBase
+from ..kb.entity import Literal, UriRef
+
+
+def _normalize_literal(text: str) -> str:
+    return " ".join(text.lower().split())
+
+
+@dataclass
+class ParisResult:
+    """Final alignment plus the learned predicate equivalences."""
+
+    mapping: dict[str, str]
+    predicate_equivalence: dict[tuple[str, str], float]
+    iterations: int
+
+
+class ParisMatcher:
+    """Simplified PARIS: functionality-weighted probabilistic alignment.
+
+    Parameters
+    ----------
+    iterations:
+        Number of fixed-point rounds (PARIS converges in a handful).
+    acceptance:
+        Minimum equality probability for the final output mapping.
+    bootstrap_equivalence / equivalence_floor:
+        Predicate-equivalence prior used in the first round, and the
+        residual equivalence afterwards for predicate pairs with no
+        learned support.
+    """
+
+    def __init__(
+        self,
+        iterations: int = 3,
+        acceptance: float = 0.5,
+        bootstrap_equivalence: float = 1.0,
+        equivalence_floor: float = 0.05,
+        relation_prior: float = 0.35,
+    ) -> None:
+        if iterations < 1:
+            raise ValueError("iterations must be >= 1")
+        if not 0.0 < acceptance <= 1.0:
+            raise ValueError("acceptance must lie in (0, 1]")
+        self.iterations = iterations
+        self.acceptance = acceptance
+        #: First-round prior on predicate equivalence.  PARIS bootstraps by
+        #: trusting any shared functional literal; later rounds replace the
+        #: prior with equivalences learned from accepted matches.
+        self.bootstrap_equivalence = bootstrap_equivalence
+        #: Residual equivalence for predicate pairs without learned support
+        #: after the bootstrap round.
+        self.equivalence_floor = equivalence_floor
+        #: Prior on relation equivalence during relational propagation.
+        #: Relation pairs can only earn learned support after their object
+        #: pairs are matched; a moderate optimistic prior lets propagation
+        #: bootstrap through functional edges, as in the original system.
+        self.relation_prior = relation_prior
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def functionality(kb: KnowledgeBase) -> dict[str, float]:
+        """fun(p) per predicate: 1.0 means one object per subject."""
+        subjects: dict[str, set[str]] = defaultdict(set)
+        statements: dict[str, int] = defaultdict(int)
+        for entity in kb:
+            for predicate, value in entity:
+                obj = (
+                    _normalize_literal(value.value)
+                    if isinstance(value, Literal)
+                    else value.uri
+                )
+                subjects[predicate].add(entity.uri)
+                statements[predicate] += 1
+                del obj  # counted below via distinct pairs
+        # distinct (subject, object) pairs for the denominator
+        pair_counts: dict[str, set[tuple[str, str]]] = defaultdict(set)
+        for entity in kb:
+            for predicate, value in entity:
+                obj = (
+                    _normalize_literal(value.value)
+                    if isinstance(value, Literal)
+                    else value.uri
+                )
+                pair_counts[predicate].add((entity.uri, obj))
+        return {
+            predicate: len(subjects[predicate]) / len(pairs)
+            for predicate, pairs in pair_counts.items()
+            if pairs
+        }
+
+    # ------------------------------------------------------------------
+    def match(self, kb1: KnowledgeBase, kb2: KnowledgeBase) -> ParisResult:
+        """Run the alternating fixed-point and return accepted pairs."""
+        fun1 = self.functionality(kb1)
+        fun2 = self.functionality(kb2)
+
+        # Literal inverted indices: (normalized object) -> [(uri, predicate)]
+        literal_index2: dict[str, list[tuple[str, str]]] = defaultdict(list)
+        for entity in kb2:
+            for predicate, value in entity:
+                if isinstance(value, Literal):
+                    literal_index2[_normalize_literal(value.value)].append(
+                        (entity.uri, predicate)
+                    )
+
+        # URI-object adjacency for relational propagation.
+        out1: dict[str, list[tuple[str, str]]] = {
+            e.uri: [
+                (p, v.uri)
+                for p, v in e
+                if isinstance(v, UriRef) and v.uri in kb1
+            ]
+            for e in kb1
+        }
+        out2: dict[str, list[tuple[str, str]]] = {
+            e.uri: [
+                (p, v.uri)
+                for p, v in e
+                if isinstance(v, UriRef) and v.uri in kb2
+            ]
+            for e in kb2
+        }
+
+        equality: dict[tuple[str, str], float] = {}
+        predicate_equivalence: dict[tuple[str, str], float] = {}
+
+        rounds_run = 0
+        for round_index in range(self.iterations):
+            rounds_run += 1
+            # First round: trust any shared functional literal (bootstrap);
+            # later rounds: rely on learned equivalences plus a small floor.
+            prior = (
+                self.bootstrap_equivalence
+                if round_index == 0
+                else self.equivalence_floor
+            )
+            # --- instance equality from literal evidence -----------------
+            new_equality: dict[tuple[str, str], float] = defaultdict(float)
+            disbelief: dict[tuple[str, str], float] = defaultdict(lambda: 1.0)
+            for entity in kb1:
+                for predicate1, value in entity:
+                    if not isinstance(value, Literal):
+                        continue
+                    normalized = _normalize_literal(value.value)
+                    witnesses = literal_index2.get(normalized)
+                    if not witnesses or len(witnesses) > 50:
+                        continue  # frequent literals carry no identity signal
+                    for uri2, predicate2 in witnesses:
+                        strength = (
+                            fun1.get(predicate1, 0.0)
+                            * fun2.get(predicate2, 0.0)
+                            * max(
+                                predicate_equivalence.get(
+                                    (predicate1, predicate2), 0.0
+                                ),
+                                prior,
+                            )
+                        )
+                        if strength <= 0.0:
+                            continue
+                        pair = (entity.uri, uri2)
+                        disbelief[pair] *= 1.0 - min(strength, 0.999)
+            for pair, remaining in disbelief.items():
+                new_equality[pair] = 1.0 - remaining
+
+            # --- relational propagation through equal neighbors ----------
+            # Equality propagates along relations in both directions:
+            # matched objects lend mass to their subjects (o1 ≡ o2 and
+            # s1 -p1-> o1, s2 -p2-> o2 ⇒ evidence for s1 ≡ s2), and matched
+            # subjects lend mass to their objects, each weighted by the
+            # relations' functionalities and learned equivalence.
+            if equality:
+                if not hasattr(self, "_reverse1"):
+                    self._reverse1 = _reverse_index(out1)
+                    self._reverse2 = _reverse_index(out2)
+
+                def add_evidence(pair: tuple[str, str], strength: float) -> None:
+                    if strength <= 0.0:
+                        return
+                    previous = new_equality.get(pair, 0.0)
+                    new_equality[pair] = 1.0 - (1.0 - previous) * (
+                        1.0 - min(strength, 0.999)
+                    )
+
+                def relation_weight(predicate1: str, predicate2: str) -> float:
+                    return (
+                        fun1.get(predicate1, 0.0)
+                        * fun2.get(predicate2, 0.0)
+                        * max(
+                            predicate_equivalence.get(
+                                (predicate1, predicate2), 0.0
+                            ),
+                            self.relation_prior,
+                        )
+                    )
+
+                for (uri1, uri2), probability in equality.items():
+                    if probability < self.acceptance:
+                        continue
+                    # object equality -> subject evidence
+                    for predicate1, subject1 in self._reverse1.get(uri1, []):
+                        for predicate2, subject2 in self._reverse2.get(uri2, []):
+                            add_evidence(
+                                (subject1, subject2),
+                                probability
+                                * relation_weight(predicate1, predicate2),
+                            )
+                    # subject equality -> object evidence
+                    for predicate1, object1 in out1.get(uri1, []):
+                        for predicate2, object2 in out2.get(uri2, []):
+                            add_evidence(
+                                (object1, object2),
+                                probability
+                                * relation_weight(predicate1, predicate2),
+                            )
+
+            equality = dict(new_equality)
+
+            # --- predicate equivalence from equal pairs -------------------
+            # Learn from the greedy 1-1 assignment, not from every pair
+            # above the threshold: ambiguous short literals create bundles
+            # of competing pairs whose mass would otherwise dilute the
+            # equivalence estimates and make the fixed point collapse.
+            assignment = _greedy_assignment(equality, self.acceptance)
+            # URI objects are "equal" when the current assignment links
+            # them; this is how relation equivalence (actedIn ≈ appears_in)
+            # gets learned from instance equality, as in the original
+            # alternating scheme.
+            partner_of: dict[str, str] = {
+                u1: u2 for (u1, u2) in assignment
+            }
+            support: dict[tuple[str, str], float] = defaultdict(float)
+            norm1: dict[str, float] = defaultdict(float)
+            for (uri1, uri2), probability in assignment.items():
+                entity1 = kb1[uri1]
+                entity2 = kb2[uri2]
+                objects2 = defaultdict(set)
+                for predicate2, value2 in entity2:
+                    obj = (
+                        _normalize_literal(value2.value)
+                        if isinstance(value2, Literal)
+                        else value2.uri
+                    )
+                    objects2[obj].add(predicate2)
+                for predicate1, value1 in entity1:
+                    if isinstance(value1, Literal):
+                        obj = _normalize_literal(value1.value)
+                    else:
+                        # look up the assigned partner of the neighbor
+                        obj = partner_of.get(value1.uri, value1.uri)
+                    norm1[predicate1] += probability
+                    for predicate2 in objects2.get(obj, ()):
+                        support[(predicate1, predicate2)] += probability
+            predicate_equivalence = {}
+            for (predicate1, predicate2), mass in support.items():
+                if norm1[predicate1] > 0:
+                    predicate_equivalence[(predicate1, predicate2)] = min(
+                        1.0, mass / norm1[predicate1]
+                    )
+
+        # --- final 1-1 mapping -------------------------------------------
+        mapping = {
+            pair[0]: pair[1]
+            for pair in _greedy_assignment(equality, self.acceptance)
+        }
+        return ParisResult(
+            mapping=mapping,
+            predicate_equivalence=dict(predicate_equivalence),
+            iterations=rounds_run,
+        )
+
+
+def _greedy_assignment(
+    equality: dict[tuple[str, str], float], acceptance: float
+) -> dict[tuple[str, str], float]:
+    """Greedy 1-1 selection of the highest-probability pairs."""
+    ordered = sorted(
+        (
+            (probability, uri1, uri2)
+            for (uri1, uri2), probability in equality.items()
+            if probability >= acceptance
+        ),
+        key=lambda item: (-item[0], item[1], item[2]),
+    )
+    taken1: set[str] = set()
+    taken2: set[str] = set()
+    assignment: dict[tuple[str, str], float] = {}
+    for probability, uri1, uri2 in ordered:
+        if uri1 in taken1 or uri2 in taken2:
+            continue
+        taken1.add(uri1)
+        taken2.add(uri2)
+        assignment[(uri1, uri2)] = probability
+    return assignment
+
+
+def _reverse_index(
+    adjacency: dict[str, list[tuple[str, str]]],
+) -> dict[str, list[tuple[str, str]]]:
+    """object uri -> [(predicate, subject uri)]."""
+    reverse: dict[str, list[tuple[str, str]]] = defaultdict(list)
+    for subject, edges in adjacency.items():
+        for predicate, obj in edges:
+            reverse[obj].append((predicate, subject))
+    return reverse

@@ -1,0 +1,70 @@
+"""Text-similarity library built from scratch for the reproduction.
+
+Token n-grams, set/bag measures, TF / TF-IDF vector measures, character
+string measures, and the frequency-weighted measures the paper relies on
+(ARCS-style ``valueSim`` and SiGMa's weighted overlap).
+"""
+
+from .set_measures import (
+    containment,
+    cosine_sets,
+    dice,
+    generalized_jaccard,
+    jaccard,
+    multiset_jaccard,
+    overlap,
+)
+from .string_measures import (
+    jaro,
+    jaro_winkler,
+    levenshtein_distance,
+    levenshtein_similarity,
+    monge_elkan,
+    symmetric_monge_elkan,
+)
+from .tokens import character_qgrams, token_ngram_counts, token_ngrams
+from .vector_measures import (
+    cosine,
+    document_frequencies,
+    dot,
+    idf_weights,
+    norm,
+    tf_vector,
+    tfidf_vector,
+)
+from .weighted import (
+    arcs_similarity,
+    arcs_token_weight,
+    sigma_similarity,
+    sigma_weights,
+)
+
+__all__ = [
+    "arcs_similarity",
+    "arcs_token_weight",
+    "character_qgrams",
+    "containment",
+    "cosine",
+    "cosine_sets",
+    "dice",
+    "document_frequencies",
+    "dot",
+    "generalized_jaccard",
+    "idf_weights",
+    "jaccard",
+    "jaro",
+    "jaro_winkler",
+    "levenshtein_distance",
+    "levenshtein_similarity",
+    "monge_elkan",
+    "multiset_jaccard",
+    "norm",
+    "overlap",
+    "sigma_similarity",
+    "sigma_weights",
+    "symmetric_monge_elkan",
+    "tf_vector",
+    "tfidf_vector",
+    "token_ngram_counts",
+    "token_ngrams",
+]

@@ -1,0 +1,90 @@
+"""Set- and bag-based similarity measures.
+
+Every function accepts plain ``set``/``Counter`` inputs and returns a float
+in [0, 1] (except where documented).  These are the similarity measures the
+paper's BSL baseline sweeps over, in their unweighted forms; weighted
+variants (TF / TF-IDF) live in :mod:`repro.textsim.vector_measures` and
+:mod:`repro.textsim.weighted`.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Iterable, Mapping
+
+
+def _as_set(items: Iterable[str]) -> set[str]:
+    return items if isinstance(items, set) else set(items)
+
+
+def jaccard(a: Iterable[str], b: Iterable[str]) -> float:
+    """Jaccard coefficient |A∩B| / |A∪B| (1.0 for two empty sets)."""
+    set_a, set_b = _as_set(a), _as_set(b)
+    if not set_a and not set_b:
+        return 1.0
+    union = len(set_a | set_b)
+    return len(set_a & set_b) / union
+
+
+def dice(a: Iterable[str], b: Iterable[str]) -> float:
+    """Dice coefficient 2|A∩B| / (|A| + |B|)."""
+    set_a, set_b = _as_set(a), _as_set(b)
+    if not set_a and not set_b:
+        return 1.0
+    return 2 * len(set_a & set_b) / (len(set_a) + len(set_b))
+
+
+def overlap(a: Iterable[str], b: Iterable[str]) -> float:
+    """Overlap coefficient |A∩B| / min(|A|, |B|)."""
+    set_a, set_b = _as_set(a), _as_set(b)
+    if not set_a and not set_b:
+        return 1.0
+    if not set_a or not set_b:
+        return 0.0
+    return len(set_a & set_b) / min(len(set_a), len(set_b))
+
+
+def cosine_sets(a: Iterable[str], b: Iterable[str]) -> float:
+    """Set cosine (Ochiai) |A∩B| / sqrt(|A|·|B|)."""
+    set_a, set_b = _as_set(a), _as_set(b)
+    if not set_a and not set_b:
+        return 1.0
+    if not set_a or not set_b:
+        return 0.0
+    return len(set_a & set_b) / math.sqrt(len(set_a) * len(set_b))
+
+
+def containment(a: Iterable[str], b: Iterable[str]) -> float:
+    """Directed containment |A∩B| / |A| (how much of A lies in B)."""
+    set_a, set_b = _as_set(a), _as_set(b)
+    if not set_a:
+        return 1.0
+    return len(set_a & set_b) / len(set_a)
+
+
+def generalized_jaccard(
+    weights_a: Mapping[str, float], weights_b: Mapping[str, float]
+) -> float:
+    """Generalized (weighted) Jaccard: Σ min(wa, wb) / Σ max(wa, wb).
+
+    Inputs map items to non-negative weights (term frequencies or TF-IDF
+    weights); missing items have weight zero.
+    """
+    if not weights_a and not weights_b:
+        return 1.0
+    numerator = 0.0
+    denominator = 0.0
+    for item in set(weights_a) | set(weights_b):
+        wa = weights_a.get(item, 0.0)
+        wb = weights_b.get(item, 0.0)
+        numerator += min(wa, wb)
+        denominator += max(wa, wb)
+    if denominator == 0.0:
+        return 0.0
+    return numerator / denominator
+
+
+def multiset_jaccard(a: Counter[str], b: Counter[str]) -> float:
+    """Jaccard over multisets (min/max of multiplicities)."""
+    return generalized_jaccard(a, b)

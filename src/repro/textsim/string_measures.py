@@ -1,0 +1,121 @@
+"""Character-level string similarity measures.
+
+Implemented from their textbook definitions: Levenshtein (edit distance),
+Jaro, Jaro-Winkler, and the hybrid Monge-Elkan combinator.  All similarity
+functions return values in [0, 1].
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+
+def levenshtein_distance(a: str, b: str) -> int:
+    """Minimum number of single-character edits turning ``a`` into ``b``."""
+    if a == b:
+        return 0
+    if not a:
+        return len(b)
+    if not b:
+        return len(a)
+    if len(a) < len(b):
+        a, b = b, a
+    previous = list(range(len(b) + 1))
+    for i, char_a in enumerate(a, start=1):
+        current = [i]
+        for j, char_b in enumerate(b, start=1):
+            insert_cost = current[j - 1] + 1
+            delete_cost = previous[j] + 1
+            substitute_cost = previous[j - 1] + (char_a != char_b)
+            current.append(min(insert_cost, delete_cost, substitute_cost))
+        previous = current
+    return previous[-1]
+
+
+def levenshtein_similarity(a: str, b: str) -> float:
+    """1 − distance / max length (1.0 for two empty strings)."""
+    longest = max(len(a), len(b))
+    if longest == 0:
+        return 1.0
+    return 1.0 - levenshtein_distance(a, b) / longest
+
+
+def jaro(a: str, b: str) -> float:
+    """Jaro similarity: transposition-aware common-character agreement."""
+    if a == b:
+        return 1.0
+    if not a or not b:
+        return 0.0
+    window = max(len(a), len(b)) // 2 - 1
+    window = max(window, 0)
+    matched_a = [False] * len(a)
+    matched_b = [False] * len(b)
+    matches = 0
+    for i, char_a in enumerate(a):
+        start = max(0, i - window)
+        end = min(len(b), i + window + 1)
+        for j in range(start, end):
+            if matched_b[j] or b[j] != char_a:
+                continue
+            matched_a[i] = True
+            matched_b[j] = True
+            matches += 1
+            break
+    if matches == 0:
+        return 0.0
+    transpositions = 0
+    j = 0
+    for i, was_matched in enumerate(matched_a):
+        if not was_matched:
+            continue
+        while not matched_b[j]:
+            j += 1
+        if a[i] != b[j]:
+            transpositions += 1
+        j += 1
+    transpositions //= 2
+    return (
+        matches / len(a) + matches / len(b) + (matches - transpositions) / matches
+    ) / 3.0
+
+
+def jaro_winkler(a: str, b: str, prefix_scale: float = 0.1, max_prefix: int = 4) -> float:
+    """Jaro similarity boosted for a shared prefix (Winkler's variant)."""
+    if not 0.0 <= prefix_scale <= 0.25:
+        raise ValueError("prefix_scale must lie in [0, 0.25]")
+    base = jaro(a, b)
+    prefix = 0
+    for char_a, char_b in zip(a, b):
+        if char_a != char_b or prefix >= max_prefix:
+            break
+        prefix += 1
+    return base + prefix * prefix_scale * (1.0 - base)
+
+
+def monge_elkan(
+    tokens_a: Sequence[str],
+    tokens_b: Sequence[str],
+    inner: Callable[[str, str], float] = jaro_winkler,
+) -> float:
+    """Monge-Elkan: average best inner similarity of each token of A in B.
+
+    Asymmetric by definition; callers wanting symmetry can average the two
+    directions (see :func:`symmetric_monge_elkan`).
+    """
+    if not tokens_a:
+        return 1.0 if not tokens_b else 0.0
+    if not tokens_b:
+        return 0.0
+    total = 0.0
+    for token_a in tokens_a:
+        total += max(inner(token_a, token_b) for token_b in tokens_b)
+    return total / len(tokens_a)
+
+
+def symmetric_monge_elkan(
+    tokens_a: Sequence[str],
+    tokens_b: Sequence[str],
+    inner: Callable[[str, str], float] = jaro_winkler,
+) -> float:
+    """Mean of the two Monge-Elkan directions."""
+    return (monge_elkan(tokens_a, tokens_b, inner) + monge_elkan(tokens_b, tokens_a, inner)) / 2.0

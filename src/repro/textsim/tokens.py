@@ -1,0 +1,53 @@
+"""Token n-gram construction for the BSL baseline's representations.
+
+The paper's BSL baseline represents every resource by the token uni-, bi-
+and tri-grams of its values.  This module builds those n-gram multisets
+from a token sequence, plus character q-grams used by the string measures.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Sequence
+
+
+def token_ngrams(tokens: Sequence[str], n: int) -> list[str]:
+    """Contiguous token n-grams joined with a space.
+
+    >>> token_ngrams(["new", "york", "city"], 2)
+    ['new york', 'york city']
+
+    For ``n == 1`` this is the token list itself; sequences shorter than
+    ``n`` yield no n-grams.
+    """
+    if n < 1:
+        raise ValueError("n must be positive")
+    if n == 1:
+        return list(tokens)
+    return [" ".join(tokens[i : i + n]) for i in range(len(tokens) - n + 1)]
+
+
+def token_ngram_counts(tokens: Sequence[str], n: int) -> Counter[str]:
+    """Multiplicities of the token n-grams (term frequencies)."""
+    return Counter(token_ngrams(tokens, n))
+
+
+def character_qgrams(text: str, q: int, pad: bool = False) -> list[str]:
+    """Character q-grams of ``text``.
+
+    With ``pad`` enabled the string is wrapped with ``q - 1`` sentinel
+    characters on each side, so boundary characters appear in ``q`` grams
+    (the usual convention for q-gram string distance).
+
+    >>> character_qgrams("abc", 2)
+    ['ab', 'bc']
+    >>> character_qgrams("ab", 3, pad=True)
+    ['##a', '#ab', 'ab$', 'b$$']
+    """
+    if q < 1:
+        raise ValueError("q must be positive")
+    if pad and q > 1:
+        text = "#" * (q - 1) + text + "$" * (q - 1)
+    if len(text) < q:
+        return []
+    return [text[i : i + q] for i in range(len(text) - q + 1)]

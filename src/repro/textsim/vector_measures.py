@@ -1,0 +1,78 @@
+"""Term-weighting schemes and vector-space similarity.
+
+The BSL baseline weighs tokens by TF or TF-IDF and compares descriptions
+with cosine similarity; this module provides those pieces over plain dicts
+(sparse vectors keyed by term).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Iterable, Mapping
+
+SparseVector = Mapping[str, float]
+
+
+def tf_vector(counts: Mapping[str, int]) -> dict[str, float]:
+    """Normalized term-frequency vector: count / total count."""
+    total = sum(counts.values())
+    if total == 0:
+        return {}
+    return {term: count / total for term, count in counts.items()}
+
+
+def idf_weights(
+    document_frequencies: Mapping[str, int], n_documents: int
+) -> dict[str, float]:
+    """Smoothed inverse document frequency: log(1 + N/df).
+
+    Smoothing keeps every weight positive, so terms occurring in all
+    documents still contribute (the classic log(N/df) would zero them and
+    break small synthetic corpora where some term is universal).
+    """
+    if n_documents <= 0:
+        raise ValueError("n_documents must be positive")
+    return {
+        term: math.log(1.0 + n_documents / df)
+        for term, df in document_frequencies.items()
+        if df > 0
+    }
+
+
+def tfidf_vector(
+    counts: Mapping[str, int], idf: Mapping[str, float]
+) -> dict[str, float]:
+    """TF-IDF vector; terms missing from ``idf`` get a unit IDF weight."""
+    tf = tf_vector(counts)
+    return {term: weight * idf.get(term, 1.0) for term, weight in tf.items()}
+
+
+def norm(vector: SparseVector) -> float:
+    """Euclidean norm of a sparse vector."""
+    return math.sqrt(sum(w * w for w in vector.values()))
+
+
+def dot(a: SparseVector, b: SparseVector) -> float:
+    """Dot product of two sparse vectors."""
+    if len(b) < len(a):
+        a, b = b, a
+    return sum(weight * b.get(term, 0.0) for term, weight in a.items())
+
+
+def cosine(a: SparseVector, b: SparseVector) -> float:
+    """Cosine similarity of two sparse vectors (0.0 when either is empty)."""
+    if not a or not b:
+        return 1.0 if not a and not b else 0.0
+    denominator = norm(a) * norm(b)
+    if denominator == 0.0:
+        return 0.0
+    return min(1.0, dot(a, b) / denominator)
+
+
+def document_frequencies(documents: Iterable[Iterable[str]]) -> Counter[str]:
+    """df(t): in how many documents does term t appear."""
+    frequencies: Counter[str] = Counter()
+    for document in documents:
+        frequencies.update(set(document))
+    return frequencies

@@ -1,0 +1,93 @@
+"""Unit tests for Block and BlockCollection."""
+
+import pytest
+
+from repro.blocking import Block, BlockCollection
+
+
+def make_collection():
+    blocks = BlockCollection("t")
+    blocks.add(Block("k1", {"a1", "a2"}, {"b1"}))
+    blocks.add(Block("k2", {"a1"}, {"b1", "b2"}))
+    blocks.add(Block("k3", {"a3"}, set()))
+    return blocks
+
+
+class TestBlock:
+    def test_cardinality(self):
+        assert Block("k", {"a", "b"}, {"x", "y", "z"}).cardinality() == 6
+
+    def test_assignments(self):
+        assert Block("k", {"a", "b"}, {"x"}).assignments() == 3
+
+    def test_is_empty_one_sided(self):
+        assert Block("k", {"a"}, set()).is_empty()
+        assert not Block("k", {"a"}, {"b"}).is_empty()
+
+    def test_pairs(self):
+        pairs = set(Block("k", {"a"}, {"x", "y"}).pairs())
+        assert pairs == {("a", "x"), ("a", "y")}
+
+    def test_repr(self):
+        assert "1x2" in repr(Block("k", {"a"}, {"x", "y"}))
+
+
+class TestBlockCollection:
+    def test_len(self):
+        assert len(make_collection()) == 3
+
+    def test_duplicate_key_rejected(self):
+        blocks = make_collection()
+        with pytest.raises(ValueError):
+            blocks.add(Block("k1"))
+
+    def test_place_creates_block(self):
+        blocks = BlockCollection()
+        blocks.place("tok", "a1", side=1)
+        blocks.place("tok", "b1", side=2)
+        assert blocks["tok"].cardinality() == 1
+
+    def test_place_invalid_side(self):
+        with pytest.raises(ValueError):
+            BlockCollection().place("k", "u", side=3)
+
+    def test_drop_empty(self):
+        kept = make_collection().drop_empty()
+        assert set(kept.keys()) == {"k1", "k2"}
+
+    def test_total_comparisons(self):
+        assert make_collection().total_comparisons() == 2 + 2 + 0
+
+    def test_total_assignments(self):
+        assert make_collection().total_assignments() == 3 + 3 + 1
+
+    def test_entity_index_side1(self):
+        index = make_collection().entity_index(1)
+        assert sorted(index["a1"]) == ["k1", "k2"]
+
+    def test_entity_index_side2(self):
+        index = make_collection().entity_index(2)
+        assert sorted(index["b1"]) == ["k1", "k2"]
+
+    def test_distinct_pairs_deduplicated(self):
+        pairs = make_collection().distinct_pairs()
+        assert ("a1", "b1") in pairs
+        assert len(pairs) == 3  # a1-b1, a2-b1, a1-b2
+
+    def test_co_occurring(self):
+        blocks = make_collection()
+        assert blocks.co_occurring("a1", side=1) == {"b1", "b2"}
+        assert blocks.co_occurring("b1", side=2) == {"a1", "a2"}
+
+    def test_union_namespaces_keys(self):
+        left = BlockCollection("L", [Block("k", {"a"}, {"b"})])
+        right = BlockCollection("R", [Block("k", {"a2"}, {"b2"})])
+        merged = left.union(right)
+        assert len(merged) == 2
+        assert merged.total_comparisons() == 2
+
+    def test_get_missing(self):
+        assert make_collection().get("zzz") is None
+
+    def test_contains(self):
+        assert "k1" in make_collection()

@@ -1,0 +1,72 @@
+"""Unit tests for blocking quality metrics (Table II)."""
+
+import pytest
+
+from repro.blocking import (
+    Block,
+    BlockCollection,
+    blocking_quality,
+    union_quality,
+)
+
+
+def make_blocks():
+    blocks = BlockCollection("m")
+    blocks.add(Block("k1", {"a1"}, {"b1"}))          # true match
+    blocks.add(Block("k2", {"a2"}, {"b9"}))          # false pair
+    blocks.add(Block("k3", {"a1", "a2"}, {"b1"}))    # duplicates a1-b1
+    return blocks
+
+
+GT = {"a1": "b1", "a2": "b2"}
+
+
+class TestBlockingQuality:
+    def test_counts(self):
+        quality = blocking_quality(make_blocks(), GT, 10, 20)
+        assert quality.n_blocks == 3
+        assert quality.n_comparisons == 4
+        assert quality.n_distinct_pairs == 3
+        assert quality.cartesian == 200
+
+    def test_recall_is_pair_completeness(self):
+        quality = blocking_quality(make_blocks(), GT, 10, 20)
+        assert quality.true_positives == 1
+        assert quality.recall == pytest.approx(0.5)
+
+    def test_precision_over_distinct_pairs(self):
+        quality = blocking_quality(make_blocks(), GT, 10, 20)
+        assert quality.precision == pytest.approx(1 / 3)
+
+    def test_f1(self):
+        quality = blocking_quality(make_blocks(), GT, 10, 20)
+        p, r = 1 / 3, 0.5
+        assert quality.f1 == pytest.approx(2 * p * r / (p + r))
+
+    def test_accepts_pair_iterable(self):
+        quality = blocking_quality(make_blocks(), [("a1", "b1")], 10, 20)
+        assert quality.recall == 1.0
+
+    def test_empty_ground_truth(self):
+        quality = blocking_quality(make_blocks(), {}, 10, 20)
+        assert quality.recall == 0.0
+        assert quality.f1 == 0.0
+
+    def test_empty_blocks(self):
+        quality = blocking_quality(BlockCollection(), GT, 10, 20)
+        assert quality.precision == 0.0
+
+    def test_as_row_percent_scaled(self):
+        row = blocking_quality(make_blocks(), GT, 10, 20).as_row()
+        assert row["recall %"] == pytest.approx(50.0)
+
+
+class TestUnionQuality:
+    def test_union_deduplicates_pairs(self):
+        other = BlockCollection("n")
+        other.add(Block("x", {"a2"}, {"b2"}))  # second true match
+        quality = union_quality([make_blocks(), other], GT, 10, 20)
+        assert quality.recall == 1.0
+        assert quality.n_blocks == 4
+        # comparisons add up even when pairs repeat across collections
+        assert quality.n_comparisons == 5

@@ -1,0 +1,106 @@
+"""Unit tests for the BSL grid-search baseline."""
+
+import pytest
+
+from repro.blocking import token_blocking
+from repro.kb import KnowledgeBase
+from repro.matching import BslBaseline, BslConfiguration
+
+
+def kb_from_texts(name, texts, prefix):
+    kb = KnowledgeBase(name)
+    for index, text in enumerate(texts):
+        kb.new_entity(f"{prefix}{index}").add_literal("v", text)
+    return kb
+
+
+def small_task():
+    kb1 = kb_from_texts("A", ["alpha beta gamma", "delta epsilon"], "a")
+    kb2 = kb_from_texts(
+        "B", ["alpha beta gamma", "delta epsilon zeta", "unrelated words"], "b"
+    )
+    truth = {"a0": "b0", "a1": "b1"}
+    blocks = token_blocking(kb1, kb2)
+    return kb1, kb2, blocks, truth
+
+
+class TestConfiguration:
+    def test_label(self):
+        config = BslConfiguration(2, "tfidf", "cosine", 0.25)
+        assert config.label() == "2-gram/tfidf/cosine@0.25"
+
+    def test_unknown_weighting_rejected(self):
+        with pytest.raises(ValueError):
+            BslBaseline(weightings=["bogus"])
+
+    def test_unknown_similarity_rejected(self):
+        with pytest.raises(ValueError):
+            BslBaseline(similarities=["bogus"])
+
+
+class TestScorePairs:
+    @pytest.mark.parametrize(
+        "similarity", ["cosine", "jaccard", "generalized_jaccard", "sigma"]
+    )
+    def test_identical_entities_score_high(self, similarity):
+        kb1, kb2, blocks, _ = small_task()
+        baseline = BslBaseline()
+        scored = baseline.score_pairs(
+            kb1, kb2, [("a0", "b0")], 1, "tf", similarity
+        )
+        assert scored[0][2] > 0.9
+
+    def test_disjoint_entities_score_zero(self):
+        kb1, kb2, blocks, _ = small_task()
+        baseline = BslBaseline()
+        scored = baseline.score_pairs(
+            kb1, kb2, [("a0", "b2")], 1, "tf", "jaccard"
+        )
+        assert scored[0][2] == 0.0
+
+    def test_bigram_representation(self):
+        kb1, kb2, _, _ = small_task()
+        baseline = BslBaseline()
+        scored = baseline.score_pairs(
+            kb1, kb2, [("a1", "b1")], 2, "tf", "jaccard"
+        )
+        # bigrams: {delta epsilon} vs {delta epsilon, epsilon zeta}
+        assert scored[0][2] == pytest.approx(0.5)
+
+
+class TestGridSearch:
+    def test_finds_perfect_mapping(self):
+        kb1, kb2, blocks, truth = small_task()
+        baseline = BslBaseline(
+            ngram_sizes=(1,), thresholds=(0.0, 0.25, 0.5)
+        )
+        result = baseline.run(kb1, kb2, blocks, truth)
+        assert result.f1 == pytest.approx(1.0)
+        assert result.mapping == truth
+
+    def test_counts_configurations(self):
+        kb1, kb2, blocks, truth = small_task()
+        baseline = BslBaseline(ngram_sizes=(1,), thresholds=(0.0, 0.5))
+        result = baseline.run(kb1, kb2, blocks, truth)
+        # representations: cosine(tf, tfidf) + genjacc(tf, tfidf)
+        #                  + jaccard(tf) + sigma(tf) = 6; x2 thresholds
+        assert result.configurations_tried == 12
+
+    def test_default_grid_size_matches_paper_scale(self):
+        baseline = BslBaseline()
+        representations = 0
+        for _ in baseline.ngram_sizes:
+            representations += 2 + 2 + 1 + 1  # cosine/gj weighted, j/sigma once
+        assert representations * len(baseline.thresholds) == 360
+
+    def test_accepts_multiple_collections(self):
+        kb1, kb2, blocks, truth = small_task()
+        baseline = BslBaseline(ngram_sizes=(1,), thresholds=(0.0,))
+        result = baseline.run(kb1, kb2, [blocks, blocks], truth)
+        assert result.f1 > 0.0
+
+    def test_empty_grid_rejected(self):
+        kb1, kb2, blocks, truth = small_task()
+        baseline = BslBaseline(ngram_sizes=(), thresholds=(0.0,))
+        with pytest.raises(ValueError):
+            baseline.run(kb1, kb2, blocks, truth)

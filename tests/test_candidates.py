@@ -1,0 +1,91 @@
+"""Unit tests for the per-entity candidate lists (H3/H4 input)."""
+
+import pytest
+
+from repro.blocking import token_blocking
+from repro.core import (
+    CandidateIndex,
+    CandidateLists,
+    NeighborSimilarityIndex,
+    ValueSimilarityIndex,
+)
+from repro.kb import KnowledgeBase
+
+
+def kb_from_texts(name, texts, prefix):
+    kb = KnowledgeBase(name)
+    for index, text in enumerate(texts):
+        kb.new_entity(f"{prefix}{index}").add_literal("v", text)
+    return kb
+
+
+def build(texts1, texts2, k=3, restrict=True, neighbor_pairs=()):
+    kb1 = kb_from_texts("A", texts1, "a")
+    kb2 = kb_from_texts("B", texts2, "b")
+    value_index = ValueSimilarityIndex(token_blocking(kb1, kb2))
+    # synthetic neighbor sims: dict-driven top-neighbor structure
+    tn1 = {}
+    tn2 = {}
+    for uri1, uri2 in neighbor_pairs:
+        tn1.setdefault(uri1, set()).add("shared1")
+        tn2.setdefault(uri2, set()).add("shared2")
+    neighbor_index = NeighborSimilarityIndex(
+        ValueSimilarityIndex(token_blocking(
+            kb_from_texts("NA", ["zz common"], "shared"),
+            kb_from_texts("NB", ["zz common"], "shared"),
+        )),
+        {},
+        {},
+    )
+    return CandidateIndex(value_index, neighbor_index, k=k, restrict_neighbors_to_cooccurring=restrict)
+
+
+class TestCandidateLists:
+    def test_contains_checks_both_lists(self):
+        lists = CandidateLists(value=("a",), neighbor=("b",))
+        assert lists.contains("a")
+        assert lists.contains("b")
+        assert not lists.contains("c")
+
+    def test_is_empty(self):
+        assert CandidateLists().is_empty()
+        assert not CandidateLists(value=("x",)).is_empty()
+
+
+class TestCandidateIndex:
+    def test_value_candidates_top_k(self):
+        index = build(["red zebra"], ["red a", "red b", "red c", "red d"], k=2)
+        lists = index.of_entity1("a0")
+        assert len(lists.value) == 2
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            build(["x"], ["x"], k=0)
+
+    def test_entity_without_candidates(self):
+        index = build(["unique1"], ["unique2"])
+        assert index.of_entity1("a0").is_empty()
+
+    def test_of_entity2_direction(self):
+        index = build(["red zebra"], ["red dot"])
+        assert "a0" in index.of_entity2("b0").value
+
+    def test_mutually_listed_symmetric_requirement(self):
+        index = build(["red zebra"], ["red dot"])
+        assert index.mutually_listed("a0", "b0")
+
+    def test_not_mutually_listed_when_out_of_top_k(self):
+        # a0 shares only the frequent token with b5, but b5's list is
+        # dominated by better candidates... simulate via k=1
+        index = build(
+            ["red zebra", "red zebra stripes"],
+            ["red zebra stripes extra"],
+            k=1,
+        )
+        # b0's single slot goes to a1 (more shared tokens)
+        assert not index.mutually_listed("a0", "b0")
+        assert index.mutually_listed("a1", "b0")
+
+    def test_caching_returns_same_object(self):
+        index = build(["red"], ["red"])
+        assert index.of_entity1("a0") is index.of_entity1("a0")

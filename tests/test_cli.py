@@ -1,0 +1,109 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture(scope="module")
+def bundle(tmp_path_factory):
+    directory = tmp_path_factory.mktemp("cli_bundle")
+    code = main(
+        ["generate", "restaurant", str(directory), "--scale", "0.1", "--seed", "7"]
+    )
+    assert code == 0
+    return directory
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_args(self):
+        args = build_parser().parse_args(
+            ["generate", "restaurant", "out", "--scale", "0.5"]
+        )
+        assert args.profile == "restaurant"
+        assert args.scale == 0.5
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["generate", "bogus", "out"])
+
+
+class TestGenerate:
+    def test_bundle_files(self, bundle):
+        assert (bundle / "kb1.nt").exists()
+        assert (bundle / "ground_truth.csv").exists()
+
+    def test_stats_on_generated_kb(self, bundle, capsys):
+        code = main(["stats", str(bundle / "kb1.nt")])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "entities" in output
+
+
+class TestMatchAndEvaluate:
+    def test_match_writes_links(self, bundle, tmp_path, capsys):
+        links = tmp_path / "links.nt"
+        code = main(
+            [
+                "match",
+                str(bundle / "kb1.nt"),
+                str(bundle / "kb2.nt"),
+                "--output",
+                str(links),
+            ]
+        )
+        assert code == 0
+        assert links.exists()
+        assert "sameAs" in links.read_text()
+
+    def test_match_stdout_mode(self, bundle, capsys):
+        code = main(["match", str(bundle / "kb1.nt"), str(bundle / "kb2.nt")])
+        assert code == 0
+        assert "matched" in capsys.readouterr().out
+
+    def test_match_with_flags(self, bundle, capsys):
+        code = main(
+            [
+                "match",
+                str(bundle / "kb1.nt"),
+                str(bundle / "kb2.nt"),
+                "--theta",
+                "0.5",
+                "--top-k",
+                "5",
+                "--no-purging",
+                "--no-reciprocity",
+            ]
+        )
+        assert code == 0
+
+    def test_evaluate_links_against_truth(self, bundle, tmp_path, capsys):
+        links = tmp_path / "links2.nt"
+        main(
+            [
+                "match",
+                str(bundle / "kb1.nt"),
+                str(bundle / "kb2.nt"),
+                "--output",
+                str(links),
+            ]
+        )
+        capsys.readouterr()
+        code = main(["evaluate", str(links), str(bundle / "ground_truth.csv")])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "precision" in output
+        assert "f1" in output
+
+    def test_evaluate_csv_predictions(self, bundle, tmp_path, capsys):
+        predictions = tmp_path / "pred.csv"
+        predictions.write_text("uri1,uri2\nx,y\n")
+        code = main(
+            ["evaluate", str(predictions), str(bundle / "ground_truth.csv")]
+        )
+        assert code == 0
+        assert "recall 0.00" in capsys.readouterr().out

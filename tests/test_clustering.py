@@ -1,0 +1,86 @@
+"""Unit and property tests for Unique Mapping Clustering."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.matching import sweep_thresholds, unique_mapping_clustering
+
+scored_pairs = st.lists(
+    st.tuples(
+        st.sampled_from(["a1", "a2", "a3", "a4"]),
+        st.sampled_from(["b1", "b2", "b3", "b4"]),
+        st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    ),
+    max_size=20,
+)
+
+
+class TestUniqueMappingClustering:
+    def test_best_pair_wins(self):
+        mapping = unique_mapping_clustering(
+            [("a1", "b1", 0.9), ("a1", "b2", 0.5), ("a2", "b1", 0.8)]
+        )
+        assert mapping["a1"] == "b1"
+        assert "a2" not in mapping  # b1 already taken, no other pair for a2
+
+    def test_threshold_filters(self):
+        mapping = unique_mapping_clustering([("a1", "b1", 0.3)], threshold=0.5)
+        assert mapping == {}
+
+    def test_threshold_inclusive(self):
+        mapping = unique_mapping_clustering([("a1", "b1", 0.5)], threshold=0.5)
+        assert mapping == {"a1": "b1"}
+
+    def test_deterministic_tie_break(self):
+        mapping = unique_mapping_clustering(
+            [("a2", "b2", 0.5), ("a1", "b1", 0.5)]
+        )
+        assert mapping == {"a1": "b1", "a2": "b2"}
+
+    def test_empty_input(self):
+        assert unique_mapping_clustering([]) == {}
+
+    @given(scored_pairs)
+    @settings(max_examples=60, deadline=None)
+    def test_one_to_one_property(self, pairs):
+        mapping = unique_mapping_clustering(pairs)
+        assert len(set(mapping.values())) == len(mapping)
+
+    @given(scored_pairs, st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=60, deadline=None)
+    def test_respects_threshold(self, pairs, threshold):
+        mapping = unique_mapping_clustering(pairs, threshold)
+        best = {}
+        for u1, u2, score in pairs:
+            if score >= threshold:
+                best[(u1, u2)] = max(best.get((u1, u2), 0.0), score)
+        for u1, u2 in mapping.items():
+            assert (u1, u2) in best
+
+    @given(scored_pairs)
+    @settings(max_examples=40, deadline=None)
+    def test_greedy_optimality_of_top_pair(self, pairs):
+        """The globally best-scoring pair is always in the mapping."""
+        mapping = unique_mapping_clustering(pairs)
+        if pairs:
+            top = max(pairs, key=lambda p: (p[2], p[0], p[1]))
+            if top[2] >= 0.0 and mapping:
+                # the top pair's entities must be matched (to each other,
+                # unless an equal-scored pair beat it lexicographically)
+                assert top[0] in mapping or top[1] in mapping.values()
+
+
+class TestSweepThresholds:
+    def test_reports_f1_per_threshold(self):
+        pairs = [("a1", "b1", 0.9), ("a2", "b9", 0.8)]
+        truth = {"a1": "b1", "a2": "b2"}
+        results = sweep_thresholds(pairs, [0.0, 0.85], truth)
+        f1_at_0 = results[0][2]
+        f1_at_085 = results[1][2]
+        # at 0.85 only the correct pair survives -> better precision
+        assert f1_at_085 >= f1_at_0
+
+    def test_empty_truth(self):
+        results = sweep_thresholds([("a", "b", 1.0)], [0.0], {})
+        assert results[0][2] == 0.0

@@ -1,0 +1,68 @@
+"""Unit tests for MinoanERConfig validation and toggles."""
+
+import pytest
+
+from repro.core import PAPER_DEFAULTS, MinoanERConfig
+
+
+class TestDefaults:
+    def test_paper_values(self):
+        assert PAPER_DEFAULTS.top_k_candidates == 15
+        assert PAPER_DEFAULTS.top_n_relations == 3
+        assert PAPER_DEFAULTS.name_attributes == 2
+        assert PAPER_DEFAULTS.theta == pytest.approx(0.6)
+
+    def test_all_heuristics_enabled(self):
+        assert PAPER_DEFAULTS.enable_h1_names
+        assert PAPER_DEFAULTS.enable_h2_values
+        assert PAPER_DEFAULTS.enable_h3_rank_aggregation
+        assert PAPER_DEFAULTS.enable_h4_reciprocity
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            PAPER_DEFAULTS.theta = 0.5
+
+
+class TestValidation:
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            MinoanERConfig(top_k_candidates=0)
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            MinoanERConfig(top_n_relations=-1)
+
+    def test_invalid_name_attributes(self):
+        with pytest.raises(ValueError):
+            MinoanERConfig(name_attributes=-1)
+
+    @pytest.mark.parametrize("theta", [0.0, 1.0, -0.5, 1.5])
+    def test_invalid_theta(self, theta):
+        with pytest.raises(ValueError):
+            MinoanERConfig(theta=theta)
+
+    def test_invalid_min_token_length(self):
+        with pytest.raises(ValueError):
+            MinoanERConfig(min_token_length=0)
+
+    def test_invalid_gain_factor(self):
+        with pytest.raises(ValueError):
+            MinoanERConfig(purging_gain_factor=0.9)
+
+
+class TestWithHeuristics:
+    def test_disable_single(self):
+        config = PAPER_DEFAULTS.with_heuristics(h4=False)
+        assert not config.enable_h4_reciprocity
+        assert config.enable_h1_names
+
+    def test_unspecified_preserved(self):
+        base = MinoanERConfig(enable_h2_values=False)
+        config = base.with_heuristics(h3=False)
+        assert not config.enable_h2_values
+        assert not config.enable_h3_rank_aggregation
+
+    def test_original_unchanged(self):
+        config = PAPER_DEFAULTS.with_heuristics(h1=False)
+        assert PAPER_DEFAULTS.enable_h1_names
+        assert not config.enable_h1_names

@@ -1,0 +1,70 @@
+"""Unit tests for dataset bundle persistence."""
+
+import pytest
+
+from repro.datasets import (
+    generate_benchmark,
+    load_dataset,
+    read_ground_truth_csv,
+    save_dataset,
+)
+
+
+@pytest.fixture(scope="module")
+def bundle_dir(tmp_path_factory):
+    dataset = generate_benchmark("restaurant", scale=0.1)
+    directory = tmp_path_factory.mktemp("bundle")
+    save_dataset(dataset, directory)
+    return dataset, directory
+
+
+class TestSaveLoad:
+    def test_files_written(self, bundle_dir):
+        _, directory = bundle_dir
+        for name in ("kb1.nt", "kb2.nt", "ground_truth.csv", "alignment.csv", "meta.json"):
+            assert (directory / name).exists()
+
+    def test_round_trip_entities(self, bundle_dir):
+        original, directory = bundle_dir
+        loaded = load_dataset(directory)
+        assert len(loaded.kb1) == len(original.kb1)
+        assert len(loaded.kb2) == len(original.kb2)
+        uri = original.kb1.uris()[0]
+        assert loaded.kb1[uri].pairs == original.kb1[uri].pairs
+
+    def test_round_trip_ground_truth(self, bundle_dir):
+        original, directory = bundle_dir
+        loaded = load_dataset(directory)
+        assert loaded.ground_truth.pairs() == original.ground_truth.pairs()
+
+    def test_round_trip_alignment(self, bundle_dir):
+        original, directory = bundle_dir
+        loaded = load_dataset(directory)
+        assert loaded.relation_alignment == original.relation_alignment
+
+    def test_profile_stub_carries_name(self, bundle_dir):
+        _, directory = bundle_dir
+        loaded = load_dataset(directory)
+        assert loaded.profile.name == "restaurant"
+
+    def test_matching_on_loaded_bundle(self, bundle_dir):
+        from repro import MinoanER, evaluate_matching
+
+        _, directory = bundle_dir
+        loaded = load_dataset(directory)
+        result = MinoanER().match(loaded.kb1, loaded.kb2)
+        quality = evaluate_matching(result.pairs(), loaded.ground_truth)
+        assert quality.f1 > 0.9
+
+
+class TestGroundTruthCsv:
+    def test_reads_plain_pairs(self, tmp_path):
+        path = tmp_path / "gt.csv"
+        path.write_text("a1,b1\na2,b2\n")
+        truth = read_ground_truth_csv(path)
+        assert truth.as_mapping() == {"a1": "b1", "a2": "b2"}
+
+    def test_skips_header(self, tmp_path):
+        path = tmp_path / "gt.csv"
+        path.write_text("uri1,uri2\na1,b1\n")
+        assert len(read_ground_truth_csv(path)) == 1

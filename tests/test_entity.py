@@ -1,0 +1,133 @@
+"""Unit tests for the entity description data model."""
+
+import pytest
+
+from repro.kb import EntityDescription, Literal, UriRef, local_name
+
+
+def make_entity():
+    entity = EntityDescription("http://e.org/1")
+    entity.add_literal("name", "Alan Turing")
+    entity.add_literal("born", "1912")
+    entity.add_relation("workplace", "http://e.org/2")
+    return entity
+
+
+class TestValues:
+    def test_literal_str(self):
+        assert str(Literal("abc")) == "abc"
+
+    def test_uriref_str(self):
+        assert str(UriRef("http://e.org/x")) == "http://e.org/x"
+
+    def test_literal_equality(self):
+        assert Literal("a") == Literal("a")
+        assert Literal("a") != Literal("b")
+
+    def test_uriref_equality(self):
+        assert UriRef("u") == UriRef("u")
+        assert UriRef("u") != Literal("u")
+
+
+class TestLocalName:
+    def test_hash_fragment(self):
+        assert local_name("http://e.org/ns#label") == "label"
+
+    def test_path_segment(self):
+        assert local_name("http://e.org/resource/Athens") == "Athens"
+
+    def test_trailing_slash(self):
+        assert local_name("http://e.org/resource/Athens/") == "Athens"
+
+    def test_plain_string(self):
+        assert local_name("label") == "label"
+
+    def test_curie_style(self):
+        assert local_name("rdfs:label") == "label"
+
+
+class TestEntityDescription:
+    def test_requires_uri(self):
+        with pytest.raises(ValueError):
+            EntityDescription("")
+
+    def test_add_plain_string_becomes_literal(self):
+        entity = EntityDescription("u")
+        entity.add("name", "abc")
+        assert entity.values_of("name") == [Literal("abc")]
+
+    def test_add_rejects_empty_attribute(self):
+        entity = EntityDescription("u")
+        with pytest.raises(ValueError):
+            entity.add("", "x")
+
+    def test_add_rejects_bad_type(self):
+        entity = EntityDescription("u")
+        with pytest.raises(TypeError):
+            entity.add("name", 42)
+
+    def test_len_counts_pairs(self):
+        assert len(make_entity()) == 3
+
+    def test_n_triples(self):
+        assert make_entity().n_triples() == 3
+
+    def test_duplicate_pairs_allowed(self):
+        entity = EntityDescription("u")
+        entity.add_literal("tag", "x")
+        entity.add_literal("tag", "x")
+        assert len(entity) == 2
+
+    def test_attributes_only_literals(self):
+        assert make_entity().attributes() == {"name", "born"}
+
+    def test_relations_only_urirefs(self):
+        assert make_entity().relations() == {"workplace"}
+
+    def test_literal_pairs(self):
+        pairs = list(make_entity().literal_pairs())
+        assert ("name", "Alan Turing") in pairs
+        assert len(pairs) == 2
+
+    def test_relation_pairs(self):
+        assert list(make_entity().relation_pairs()) == [
+            ("workplace", "http://e.org/2")
+        ]
+
+    def test_values_of_missing_attribute(self):
+        assert make_entity().values_of("nope") == []
+
+    def test_literals_of(self):
+        assert make_entity().literals_of("born") == ["1912"]
+
+    def test_literals_of_skips_urirefs(self):
+        assert make_entity().literals_of("workplace") == []
+
+    def test_neighbor_uris(self):
+        assert make_entity().neighbor_uris() == ["http://e.org/2"]
+
+    def test_iteration_preserves_order(self):
+        entity = make_entity()
+        attributes = [a for a, _ in entity]
+        assert attributes == ["name", "born", "workplace"]
+
+    def test_equality_same_content(self):
+        assert make_entity() == make_entity()
+
+    def test_equality_differs_on_pairs(self):
+        other = make_entity()
+        other.add_literal("extra", "x")
+        assert make_entity() != other
+
+    def test_hash_by_uri(self):
+        assert hash(make_entity()) == hash(EntityDescription("http://e.org/1"))
+
+    def test_repr_mentions_uri(self):
+        assert "http://e.org/1" in repr(make_entity())
+
+    def test_constructor_pairs(self):
+        entity = EntityDescription(
+            "u", [("a", Literal("x")), ("r", UriRef("v"))]
+        )
+        assert entity.attributes() == {"a"}
+        assert entity.relations() == {"r"}

@@ -1,0 +1,61 @@
+"""Unit tests for the matching evaluation protocol."""
+
+import pytest
+
+from repro.datasets import GroundTruth
+from repro.evaluation import MatchingQuality, evaluate_matching
+
+TRUTH = GroundTruth({"a1": "b1", "a2": "b2", "a3": "b3"})
+
+
+class TestEvaluateMatching:
+    def test_perfect(self):
+        quality = evaluate_matching(TRUTH.as_mapping(), TRUTH)
+        assert quality.precision == 1.0
+        assert quality.recall == 1.0
+        assert quality.f1 == 1.0
+
+    def test_partial_recall(self):
+        quality = evaluate_matching({"a1": "b1"}, TRUTH)
+        assert quality.recall == pytest.approx(1 / 3)
+        assert quality.precision == 1.0
+
+    def test_wrong_pair_costs_precision(self):
+        quality = evaluate_matching({"a1": "b1", "a2": "b9"}, TRUTH)
+        assert quality.precision == pytest.approx(0.5)
+        assert quality.recall == pytest.approx(1 / 3)
+
+    def test_restriction_ignores_non_gt_entities(self):
+        predicted = {"a1": "b1", "extra": "b9"}
+        quality = evaluate_matching(predicted, TRUTH)
+        assert quality.precision == 1.0
+
+    def test_unrestricted_counts_all_pairs(self):
+        predicted = {"a1": "b1", "extra": "b9"}
+        quality = evaluate_matching(
+            predicted, TRUTH, restrict_to_gt_entities=False
+        )
+        assert quality.precision == pytest.approx(0.5)
+
+    def test_accepts_pair_iterable_and_plain_dict_truth(self):
+        quality = evaluate_matching([("a1", "b1")], {"a1": "b1"})
+        assert quality.f1 == 1.0
+
+    def test_empty_prediction(self):
+        quality = evaluate_matching({}, TRUTH)
+        assert quality.precision == 0.0
+        assert quality.recall == 0.0
+        assert quality.f1 == 0.0
+
+    def test_empty_truth(self):
+        quality = evaluate_matching({"a": "b"}, GroundTruth())
+        assert quality.recall == 0.0
+
+    def test_as_row_percent(self):
+        quality = evaluate_matching({"a1": "b1"}, TRUTH)
+        row = quality.as_row()
+        assert row["recall"] == pytest.approx(100 / 3)
+
+    def test_repr(self):
+        quality = MatchingQuality(1, 2, 4)
+        assert "P=50.00" in repr(quality)

@@ -1,0 +1,69 @@
+"""Unit tests for the experiment runner wrappers."""
+
+import pytest
+
+from repro.datasets import generate_benchmark
+from repro.evaluation import (
+    METHOD_RUNNERS,
+    run_bsl,
+    run_linda,
+    run_minoaner,
+    run_paris,
+    run_rimom,
+    run_sigma,
+)
+
+
+@pytest.fixture(scope="module")
+def restaurant():
+    return generate_benchmark("restaurant", scale=0.15)
+
+
+class TestRunners:
+    def test_minoaner_row(self, restaurant):
+        row = run_minoaner(restaurant)
+        assert row.method == "MinoanER"
+        assert row.dataset == "restaurant"
+        assert row.f1 > 80.0
+        assert "H1=" in row.detail
+
+    def test_bsl_row_reports_configuration(self, restaurant):
+        row = run_bsl(restaurant, ngram_sizes=(1,), thresholds=(0.0, 0.5))
+        assert row.method == "BSL"
+        assert "gram" in row.detail
+        assert row.f1 > 80.0
+
+    def test_sigma_row(self, restaurant):
+        row = run_sigma(restaurant)
+        assert row.method == "SiGMa"
+        assert row.f1 > 70.0
+
+    def test_paris_row(self, restaurant):
+        assert run_paris(restaurant).f1 > 70.0
+
+    def test_rimom_row(self, restaurant):
+        assert run_rimom(restaurant).f1 > 70.0
+
+    def test_linda_row(self, restaurant):
+        assert run_linda(restaurant).f1 > 50.0
+
+    def test_as_record_keys(self, restaurant):
+        record = run_minoaner(restaurant).as_record()
+        assert set(record) == {
+            "dataset",
+            "method",
+            "precision",
+            "recall",
+            "f1",
+            "detail",
+        }
+
+    def test_registry_has_all_methods(self):
+        assert set(METHOD_RUNNERS) == {
+            "SiGMa",
+            "LINDA",
+            "RiMOM",
+            "PARIS",
+            "BSL",
+            "MinoanER",
+        }

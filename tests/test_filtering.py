@@ -1,0 +1,52 @@
+"""Unit tests for Block Filtering (journal-version extension)."""
+
+import pytest
+
+from repro.blocking import Block, BlockCollection, filter_blocks
+
+
+def make_collection():
+    blocks = BlockCollection("f")
+    # a1 appears in 3 blocks of increasing size
+    blocks.add(Block("small", {"a1"}, {"b1"}))
+    blocks.add(Block("medium", {"a1", "a2"}, {"b1", "b2"}))
+    blocks.add(Block("large", {"a1", "a2", "a3"}, {"b1", "b2", "b3"}))
+    return blocks
+
+
+class TestFilterBlocks:
+    def test_ratio_one_keeps_everything(self):
+        filtered = filter_blocks(make_collection(), ratio=1.0)
+        assert len(filtered) == 3
+        assert filtered.total_comparisons() == make_collection().total_comparisons()
+
+    def test_each_entity_loses_largest_blocks(self):
+        filtered = filter_blocks(make_collection(), ratio=2 / 3)
+        # a1 keeps its 2 smallest blocks; "large" loses a1
+        assert "a1" not in filtered.get("large").entities1 if filtered.get("large") else True
+
+    def test_one_sided_blocks_dropped_after_filtering(self):
+        blocks = BlockCollection("f")
+        blocks.add(Block("x", {"a1"}, {"b1"}))
+        blocks.add(Block("y", {"a1"}, {"b1", "b2"}))
+        blocks.add(Block("z", {"a1"}, {"b1", "b2", "b3"}))
+        filtered = filter_blocks(blocks, ratio=0.2)
+        # ceil(0.2 * 3) = 1: a1 keeps only "x"; b1 keeps "x" too
+        assert set(filtered.keys()) == {"x"}
+
+    def test_invalid_ratio(self):
+        with pytest.raises(ValueError):
+            filter_blocks(make_collection(), ratio=0.0)
+        with pytest.raises(ValueError):
+            filter_blocks(make_collection(), ratio=1.5)
+
+    def test_never_increases_comparisons(self):
+        original = make_collection()
+        for ratio in (0.3, 0.5, 0.8, 1.0):
+            filtered = filter_blocks(original, ratio=ratio)
+            assert filtered.total_comparisons() <= original.total_comparisons()
+
+    def test_small_block_membership_survives(self):
+        filtered = filter_blocks(make_collection(), ratio=0.4)
+        # everyone keeps at least their smallest block
+        assert filtered.get("small") is not None

@@ -1,0 +1,279 @@
+"""Unit and property tests for the synthetic KB-pair generator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.blocking import normalize_name
+from repro.datasets import (
+    KbPairGenerator,
+    PairProfile,
+    RelationSpec,
+    SideSpec,
+    TypeSpec,
+    generate,
+)
+
+
+def tiny_profile(seed=1, **overrides):
+    base = dict(
+        name="tiny",
+        seed=seed,
+        n_matches=12,
+        n_extra1=3,
+        n_extra2=5,
+        types=(
+            TypeSpec(
+                name="thing",
+                proportion=0.7,
+                name_tokens=(2, 2),
+                name_pool_size=60,
+                fact_tokens=(3, 6),
+                relations=(RelationSpec("rel", "other", 1, 2),),
+            ),
+            TypeSpec(
+                name="other",
+                proportion=0.3,
+                name_tokens=(1, 2),
+                name_pool_size=40,
+                fact_tokens=(2, 4),
+            ),
+        ),
+        side1=SideSpec(label="L", uri_prefix="http://l.org/a"),
+        side2=SideSpec(
+            label="R",
+            uri_prefix="http://r.org/b",
+            relation_rename=(("rel", "renamed_rel"),),
+        ),
+        fact_vocab_size=300,
+        ambient_pool_size=10,
+        stop_pool_size=3,
+    )
+    base.update(overrides)
+    return PairProfile(**base)
+
+
+class TestStructure:
+    def test_sizes(self):
+        data = generate(tiny_profile())
+        assert len(data.kb1) == 15
+        assert len(data.kb2) == 17
+        assert len(data.ground_truth) == 12
+
+    def test_ground_truth_entities_exist(self):
+        data = generate(tiny_profile())
+        for u1, u2 in data.ground_truth:
+            assert u1 in data.kb1
+            assert u2 in data.kb2
+
+    def test_extras_not_in_ground_truth(self):
+        data = generate(tiny_profile())
+        gt1 = data.ground_truth.entities1()
+        extras = [u for u in data.kb1.uris() if u not in gt1]
+        assert len(extras) == 3
+
+    def test_relation_alignment_reflects_renames(self):
+        data = generate(tiny_profile())
+        assert data.relation_alignment == {"rel": "renamed_rel"}
+
+    def test_relations_point_inside_kb(self):
+        data = generate(tiny_profile())
+        for kb in (data.kb1, data.kb2):
+            for entity in kb:
+                for _, target in entity.relation_pairs():
+                    assert target in kb
+
+    def test_deterministic(self):
+        first = generate(tiny_profile(seed=9))
+        second = generate(tiny_profile(seed=9))
+        assert first.kb1.uris() == second.kb1.uris()
+        for uri in first.kb1.uris():
+            assert first.kb1[uri].pairs == second.kb1[uri].pairs
+
+    def test_different_seeds_differ(self):
+        first = generate(tiny_profile(seed=1))
+        second = generate(tiny_profile(seed=2))
+        contents1 = [e.pairs for e in first.kb1]
+        contents2 = [e.pairs for e in second.kb1]
+        assert contents1 != contents2
+
+
+class TestNameClasses:
+    def test_exact_pairs_share_normalized_name(self):
+        data = generate(tiny_profile())
+        for latent in data.latents:
+            if latent.kind != "match":
+                continue
+            if latent.name_class1 == "exact" and latent.name_class2 == "exact":
+                e1 = data.kb1[f"http://l.org/a{latent.identifier}"]
+                e2 = data.kb2[f"http://r.org/b{latent.identifier}"]
+                n1 = normalize_name(e1.literals_of("name")[0])
+                n2 = normalize_name(e2.literals_of("name")[0])
+                assert n1 == n2
+
+    def test_hidden_side_has_no_name_tokens(self):
+        profile = tiny_profile(
+            side2=SideSpec(
+                label="R",
+                uri_prefix="http://r.org/b",
+                name_class_weights=(0.0, 0.0, 1.0),
+            )
+        )
+        data = generate(profile)
+        for latent in data.latents:
+            if latent.kind != "match":
+                continue
+            e2 = data.kb2[f"http://r.org/b{latent.identifier}"]
+            name_value = e2.literals_of("name")[0]
+            for token in latent.name_tokens:
+                assert token not in name_value
+
+    def test_decoration_preserves_normalization(self):
+        profile = tiny_profile(
+            side2=SideSpec(
+                label="R",
+                uri_prefix="http://r.org/b",
+                name_decoration_probability=1.0,
+            )
+        )
+        data = generate(profile)
+        for latent in data.latents:
+            if latent.kind != "match" or latent.name_class2 != "exact":
+                continue
+            e2 = data.kb2[f"http://r.org/b{latent.identifier}"]
+            rendered = e2.literals_of("name")[0]
+            assert normalize_name(rendered) == normalize_name(
+                " ".join(latent.name_tokens)
+            )
+
+
+class TestNameAmbiguity:
+    def test_namesakes_created(self):
+        profile = tiny_profile(
+            n_matches=40,
+            types=(
+                TypeSpec(
+                    name="thing",
+                    proportion=1.0,
+                    name_tokens=(2, 2),
+                    name_pool_size=50,
+                    name_duplicate_probability=0.8,
+                ),
+            ),
+        )
+        data = generate(profile)
+        names = [tuple(l.name_tokens) for l in data.latents]
+        assert len(set(names)) < len(names)
+
+    def test_family_cap_respected(self):
+        profile = tiny_profile(
+            n_matches=60,
+            types=(
+                TypeSpec(
+                    name="thing",
+                    proportion=1.0,
+                    name_tokens=(2, 2),
+                    name_pool_size=30,
+                    name_duplicate_probability=0.95,
+                    name_family_cap=3,
+                ),
+            ),
+        )
+        data = generate(profile)
+        counts = {}
+        for latent in data.latents:
+            key = tuple(latent.name_tokens)
+            counts[key] = counts.get(key, 0) + 1
+        assert max(counts.values()) <= 4  # originator + cap
+
+    def test_extension_families_unique_full_names(self):
+        profile = tiny_profile(
+            n_matches=40,
+            types=(
+                TypeSpec(
+                    name="thing",
+                    proportion=1.0,
+                    name_tokens=(2, 2),
+                    name_pool_size=50,
+                    name_reuse_probability=0.7,
+                ),
+            ),
+        )
+        data = generate(profile)
+        names = [tuple(l.name_tokens) for l in data.latents]
+        assert len(set(names)) == len(names)
+
+
+class TestFactWindows:
+    def test_disjoint_windows_share_no_fact_tokens(self):
+        profile = tiny_profile(
+            side1=SideSpec(
+                label="L",
+                uri_prefix="http://l.org/a",
+                fact_window=(0.0, 0.5),
+                noise_tokens=(0, 0),
+                ambient_tokens=(0, 0),
+                stop_tokens=(0, 0),
+            ),
+            side2=SideSpec(
+                label="R",
+                uri_prefix="http://r.org/b",
+                fact_window=(0.5, 1.0),
+                noise_tokens=(0, 0),
+                ambient_tokens=(0, 0),
+                stop_tokens=(0, 0),
+            ),
+        )
+        data = generate(profile)
+        from collections import Counter
+
+        from repro.kb import Tokenizer
+
+        tokenizer = Tokenizer()
+        for latent in data.latents:
+            if latent.kind != "match":
+                continue
+            e1 = data.kb1[f"http://l.org/a{latent.identifier}"]
+            e2 = data.kb2[f"http://r.org/b{latent.identifier}"]
+            facts1 = set(latent.fact_tokens) & tokenizer.token_set(e1)
+            facts2 = set(latent.fact_tokens) & tokenizer.token_set(e2)
+            # disjoint windows may still share a WORD when the Zipf draw
+            # placed it at positions in both windows; position ranges
+            # themselves never overlap
+            duplicated = {
+                token
+                for token, count in Counter(latent.fact_tokens).items()
+                if count > 1
+            }
+            assert (facts1 & facts2) <= duplicated
+
+
+class TestValidation:
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError):
+            tiny_profile(n_matches=-1)
+
+    def test_empty_types_rejected(self):
+        with pytest.raises(ValueError):
+            tiny_profile(types=())
+
+    def test_bad_fidelity_rejected(self):
+        with pytest.raises(ValueError):
+            tiny_profile(edge_fidelity=1.5)
+
+    def test_bad_relation_spec(self):
+        with pytest.raises(ValueError):
+            RelationSpec("r", "t", 3, 1)
+
+    def test_bad_type_proportion(self):
+        with pytest.raises(ValueError):
+            TypeSpec(name="x", proportion=0.0)
+
+
+@given(st.integers(min_value=0, max_value=10**6))
+@settings(max_examples=15, deadline=None)
+def test_any_seed_generates_valid_dataset(seed):
+    data = KbPairGenerator(tiny_profile(seed=seed)).generate()
+    assert len(data.ground_truth) == 12
+    assert len(set(data.kb1.uris())) == len(data.kb1)
+    assert len(set(data.kb2.uris())) == len(data.kb2)

@@ -1,0 +1,68 @@
+"""Unit tests for the neighbor graph index."""
+
+from repro.kb import EntityDescription, KnowledgeBase, NeighborIndex, inverse
+
+
+def make_kb():
+    kb = KnowledgeBase()
+    a = kb.new_entity("a")
+    a.add_relation("likes", "b")
+    a.add_relation("likes", "c")
+    a.add_relation("knows", "b")
+    a.add_relation("knows", "zz")  # dangling
+    kb.new_entity("b")
+    kb.new_entity("c")
+    return kb
+
+
+class TestInverse:
+    def test_tags_with_tilde(self):
+        assert inverse("likes") == "~likes"
+
+    def test_involution(self):
+        assert inverse(inverse("likes")) == "likes"
+
+
+class TestNeighborIndex:
+    def test_outgoing_only(self):
+        index = NeighborIndex(make_kb())
+        assert sorted(index.neighbors("a")) == [
+            ("knows", "b"),
+            ("likes", "b"),
+            ("likes", "c"),
+        ]
+
+    def test_dangling_targets_ignored(self):
+        index = NeighborIndex(make_kb())
+        assert all(t != "zz" for _, t in index.neighbors("a"))
+
+    def test_targets_have_no_out_neighbors(self):
+        index = NeighborIndex(make_kb())
+        assert index.neighbors("b") == []
+
+    def test_incoming_edges(self):
+        index = NeighborIndex(make_kb(), include_incoming=True)
+        assert ("~likes", "a") in index.neighbors("b")
+        assert ("~knows", "a") in index.neighbors("b")
+
+    def test_neighbors_via(self):
+        index = NeighborIndex(make_kb())
+        assert sorted(index.neighbors_via("a", ["likes"])) == ["b", "c"]
+
+    def test_neighbors_via_empty_selection(self):
+        index = NeighborIndex(make_kb())
+        assert index.neighbors_via("a", ["nope"]) == []
+
+    def test_degree(self):
+        index = NeighborIndex(make_kb())
+        assert index.degree("a") == 3
+        assert index.degree("b") == 0
+
+    def test_edge_count_outgoing(self):
+        assert NeighborIndex(make_kb()).edge_count() == 3
+
+    def test_edge_count_with_incoming_doubles(self):
+        assert NeighborIndex(make_kb(), include_incoming=True).edge_count() == 6
+
+    def test_unknown_entity(self):
+        assert NeighborIndex(make_kb()).neighbors("zzz") == []

@@ -1,0 +1,57 @@
+"""Unit tests for the GroundTruth mapping."""
+
+import pytest
+
+from repro.datasets import GroundTruth
+
+
+class TestGroundTruth:
+    def test_construct_from_mapping(self):
+        truth = GroundTruth({"a1": "b1", "a2": "b2"})
+        assert len(truth) == 2
+
+    def test_construct_from_pairs(self):
+        truth = GroundTruth([("a1", "b1")])
+        assert truth.match_of_entity1("a1") == "b1"
+
+    def test_backward_lookup(self):
+        truth = GroundTruth({"a1": "b1"})
+        assert truth.match_of_entity2("b1") == "a1"
+        assert truth.match_of_entity2("zz") is None
+
+    def test_contains_pair(self):
+        truth = GroundTruth({"a1": "b1"})
+        assert truth.contains_pair("a1", "b1")
+        assert not truth.contains_pair("a1", "b2")
+
+    def test_in_operator(self):
+        truth = GroundTruth({"a1": "b1"})
+        assert ("a1", "b1") in truth
+        assert ("a1", "b9") not in truth
+
+    def test_clean_clean_enforced_forward(self):
+        truth = GroundTruth({"a1": "b1"})
+        with pytest.raises(ValueError):
+            truth.add("a1", "b2")
+
+    def test_clean_clean_enforced_backward(self):
+        truth = GroundTruth({"a1": "b1"})
+        with pytest.raises(ValueError):
+            truth.add("a2", "b1")
+
+    def test_entities(self):
+        truth = GroundTruth({"a1": "b1", "a2": "b2"})
+        assert truth.entities1() == {"a1", "a2"}
+        assert truth.entities2() == {"b1", "b2"}
+
+    def test_as_mapping_copy(self):
+        truth = GroundTruth({"a1": "b1"})
+        mapping = truth.as_mapping()
+        mapping["a9"] = "b9"
+        assert len(truth) == 1
+
+    def test_pairs(self):
+        assert GroundTruth({"a1": "b1"}).pairs() == {("a1", "b1")}
+
+    def test_iteration(self):
+        assert list(GroundTruth({"a1": "b1"})) == [("a1", "b1")]

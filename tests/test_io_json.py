@@ -1,0 +1,65 @@
+"""Unit tests for the JSON KB serialization."""
+
+import io
+
+import pytest
+
+from repro.kb import (
+    EntityDescription,
+    KnowledgeBase,
+    UriRef,
+    kb_from_dict,
+    kb_to_dict,
+    read_json,
+    write_json,
+)
+
+
+def make_kb():
+    kb = KnowledgeBase("J")
+    entity = EntityDescription("u1")
+    entity.add_literal("name", "alpha")
+    entity.add_relation("near", "u2")
+    kb.add(entity)
+    kb.add(EntityDescription("u2", [("name", "beta")]))
+    return kb
+
+
+class TestDictConversion:
+    def test_round_trip(self):
+        kb = make_kb()
+        back = kb_from_dict(kb_to_dict(kb))
+        assert back.name == kb.name
+        assert len(back) == len(kb)
+        assert back["u1"].pairs == kb["u1"].pairs
+
+    def test_literal_boxing(self):
+        data = kb_to_dict(make_kb())
+        assert data["entities"][0]["pairs"][0] == ["name", {"lit": "alpha"}]
+
+    def test_ref_boxing(self):
+        data = kb_to_dict(make_kb())
+        assert data["entities"][0]["pairs"][1] == ["near", {"ref": "u2"}]
+
+    def test_malformed_box_raises(self):
+        data = {"name": "X", "entities": [{"uri": "u", "pairs": [["p", {"zzz": 1}]]}]}
+        with pytest.raises(ValueError):
+            kb_from_dict(data)
+
+    def test_missing_name_defaults(self):
+        assert kb_from_dict({"entities": []}).name == "KB"
+
+
+class TestFileIo:
+    def test_path_round_trip(self, tmp_path):
+        path = tmp_path / "kb.json"
+        write_json(make_kb(), path, indent=2)
+        back = read_json(path)
+        assert back["u2"].literals_of("name") == ["beta"]
+
+    def test_stream_round_trip(self):
+        buffer = io.StringIO()
+        write_json(make_kb(), buffer)
+        buffer.seek(0)
+        back = read_json(buffer)
+        assert isinstance(back["u1"].values_of("near")[0], UriRef)

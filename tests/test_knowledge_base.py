@@ -1,0 +1,114 @@
+"""Unit tests for the KnowledgeBase container."""
+
+import pytest
+
+from repro.kb import EntityDescription, KnowledgeBase, Tokenizer, types_of
+
+
+def make_kb():
+    kb = KnowledgeBase("Test")
+    e1 = kb.new_entity("u1")
+    e1.add_literal("name", "alpha beta")
+    e1.add_literal("rdf:type", "Place")
+    e1.add_relation("near", "u2")
+    e2 = kb.new_entity("u2")
+    e2.add_literal("name", "beta gamma")
+    e2.add_relation("near", "u3")  # dangling target
+    return kb
+
+
+class TestContainer:
+    def test_len(self):
+        assert len(make_kb()) == 2
+
+    def test_contains(self):
+        kb = make_kb()
+        assert "u1" in kb
+        assert "u3" not in kb
+
+    def test_getitem(self):
+        assert make_kb()["u1"].uri == "u1"
+
+    def test_get_missing(self):
+        assert make_kb().get("zzz") is None
+
+    def test_duplicate_uri_rejected(self):
+        kb = make_kb()
+        with pytest.raises(ValueError):
+            kb.add(EntityDescription("u1"))
+
+    def test_uris_order(self):
+        assert make_kb().uris() == ["u1", "u2"]
+
+    def test_iteration_yields_entities(self):
+        assert [e.uri for e in make_kb()] == ["u1", "u2"]
+
+    def test_repr(self):
+        assert "Test" in repr(make_kb())
+
+
+class TestAggregates:
+    def test_n_triples(self):
+        assert make_kb().n_triples() == 5
+
+    def test_attribute_names(self):
+        assert make_kb().attribute_names() == {"name", "rdf:type"}
+
+    def test_relation_names(self):
+        assert make_kb().relation_names() == {"near"}
+
+    def test_attribute_support(self):
+        support = make_kb().attribute_support()
+        assert support["name"] == 2
+        assert support["rdf:type"] == 1
+
+    def test_relation_support(self):
+        assert make_kb().relation_support()["near"] == 2
+
+    def test_entity_frequencies(self):
+        ef = make_kb().entity_frequencies(Tokenizer())
+        assert ef["beta"] == 2
+        assert ef["alpha"] == 1
+        assert ef["gamma"] == 1
+
+    def test_average_tokens(self):
+        # u1: alpha beta place (3), u2: beta gamma (2)
+        assert make_kb().average_tokens(Tokenizer()) == pytest.approx(2.5)
+
+    def test_average_tokens_empty_kb(self):
+        assert KnowledgeBase().average_tokens(Tokenizer()) == 0.0
+
+
+class TestGraphView:
+    def test_out_neighbors_internal_only(self):
+        kb = make_kb()
+        assert kb.out_neighbors("u1") == [("near", "u2")]
+        assert kb.out_neighbors("u2") == []  # u3 is dangling
+
+    def test_out_neighbors_missing_entity(self):
+        assert make_kb().out_neighbors("zzz") == []
+
+
+class TestFilter:
+    def test_filter_by_predicate(self):
+        kb = make_kb()
+        filtered = kb.filter(lambda e: "rdf:type" in e.attributes())
+        assert len(filtered) == 1
+        assert "u1" in filtered
+
+    def test_filter_keeps_name_by_default(self):
+        assert make_kb().filter(lambda e: True).name == "Test"
+
+
+class TestTypesOf:
+    def test_literal_types(self):
+        kb = make_kb()
+        assert types_of(kb["u1"], ["rdf:type"]) == {"Place"}
+
+    def test_uri_types(self):
+        entity = EntityDescription("u")
+        entity.add_relation("rdf:type", "http://e.org/Class")
+        assert types_of(entity, ["rdf:type"]) == {"http://e.org/Class"}
+
+    def test_no_type_attribute(self):
+        assert types_of(make_kb()["u2"], ["rdf:type"]) == set()

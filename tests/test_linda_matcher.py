@@ -1,0 +1,63 @@
+"""Unit tests for the LINDA-style matcher (label-similar relation gate)."""
+
+import pytest
+
+from repro.kb import KnowledgeBase
+from repro.matching import LindaMatcher
+
+
+def make_pair(relation2="linkedTo"):
+    kb1 = KnowledgeBase("A")
+    e0 = kb1.new_entity("a0")
+    e0.add_literal("name", "strong textual anchor words")
+    e0.add_relation("linkedTo", "a1")
+    e1 = kb1.new_entity("a1")
+    e1.add_literal("name", "shared partial words")
+
+    kb2 = KnowledgeBase("B")
+    f0 = kb2.new_entity("b0")
+    f0.add_literal("name", "strong textual anchor words")
+    f0.add_relation(relation2, "b1")
+    f1 = kb2.new_entity("b1")
+    f1.add_literal("name", "shared partial words")
+    return kb1, kb2
+
+
+class TestGate:
+    def test_similar_labels_compatible(self):
+        matcher = LindaMatcher()
+        assert matcher._relations_compatible("linkedTo", "linkedTo")
+        assert matcher._relations_compatible(
+            "http://a.org/ns#linkedTo", "http://b.org/prop/linkedto"
+        )
+
+    def test_dissimilar_labels_incompatible(self):
+        matcher = LindaMatcher()
+        assert not matcher._relations_compatible("birthplace", "dbp_hometown")
+
+
+class TestMatching:
+    def test_value_similar_pairs_matched(self):
+        result = LindaMatcher(threshold=0.3).match(*make_pair())
+        assert result.mapping.get("a0") == "b0"
+        assert result.mapping.get("a1") == "b1"
+
+    def test_neighbor_bonus_requires_similar_relation_names(self):
+        # same structure, renamed relation: only the value part scores
+        matcher = LindaMatcher(threshold=0.62, neighbor_weight=0.4)
+        with_similar = matcher.match(*make_pair("linkedTo"))
+        with_renamed = matcher.match(*make_pair("connectedVia"))
+        assert len(with_similar.mapping) >= len(with_renamed.mapping)
+
+    def test_one_to_one(self):
+        result = LindaMatcher(threshold=0.0).match(*make_pair())
+        assert len(set(result.mapping.values())) == len(result.mapping)
+
+    def test_invalid_neighbor_weight(self):
+        with pytest.raises(ValueError):
+            LindaMatcher(neighbor_weight=2.0)
+
+    def test_threshold_prunes(self):
+        result = LindaMatcher(threshold=0.99).match(*make_pair())
+        # only the perfect-overlap anchor pair survives a 0.99 threshold
+        assert set(result.mapping) <= {"a0"}

@@ -1,0 +1,82 @@
+"""Unit tests for the meta-blocking extension."""
+
+import pytest
+
+from repro.blocking import (
+    Block,
+    BlockCollection,
+    BlockingGraph,
+    meta_blocking_pairs,
+    prune_edges,
+)
+
+
+def make_blocks():
+    """a1-b1 share two blocks; a2-b2 and a1-b2 share one each."""
+    blocks = BlockCollection("mb")
+    blocks.add(Block("k1", {"a1"}, {"b1"}))
+    blocks.add(Block("k2", {"a1"}, {"b1", "b2"}))
+    blocks.add(Block("k3", {"a2"}, {"b2"}))
+    return blocks
+
+
+class TestBlockingGraph:
+    def test_cbs_counts_common_blocks(self):
+        graph = BlockingGraph(make_blocks(), "cbs")
+        assert graph.weight("a1", "b1") == 2.0
+        assert graph.weight("a1", "b2") == 1.0
+        assert graph.weight("a2", "b1") == 0.0
+
+    def test_js_normalizes_by_union(self):
+        graph = BlockingGraph(make_blocks(), "js")
+        # a1 in {k1,k2}, b1 in {k1,k2}: common 2, union 2
+        assert graph.weight("a1", "b1") == pytest.approx(1.0)
+        # a2 in {k3}, b2 in {k2,k3}: common 1, union 2
+        assert graph.weight("a2", "b2") == pytest.approx(0.5)
+
+    def test_ecbs_rewards_rare_entities(self):
+        graph = BlockingGraph(make_blocks(), "ecbs")
+        # both pairs share one block, but a2/b2 sit in fewer blocks
+        assert graph.weight("a2", "b2") > graph.weight("a1", "b2")
+
+    def test_unknown_weighting(self):
+        with pytest.raises(ValueError):
+            BlockingGraph(make_blocks(), "bogus")
+
+    def test_edge_count(self):
+        assert len(BlockingGraph(make_blocks())) == 3
+
+    def test_edges_iterates_all(self):
+        edges = list(BlockingGraph(make_blocks()).edges())
+        assert len(edges) == 3
+        assert all(weight > 0 for _, _, weight in edges)
+
+
+class TestPruning:
+    def test_wep_drops_below_mean(self):
+        kept = prune_edges(BlockingGraph(make_blocks(), "cbs"), "wep")
+        # weights 2, 1, 1 -> mean 4/3: only the weight-2 edge survives
+        assert kept == {("a1", "b1")}
+
+    def test_cep_keeps_half(self):
+        kept = prune_edges(BlockingGraph(make_blocks(), "cbs"), "cep")
+        assert len(kept) == 1
+        assert ("a1", "b1") in kept
+
+    def test_unknown_scheme(self):
+        with pytest.raises(ValueError):
+            prune_edges(BlockingGraph(make_blocks()), "bogus")
+
+    def test_empty_graph(self):
+        assert prune_edges(BlockingGraph(BlockCollection()), "wep") == set()
+
+    def test_end_to_end_helper(self):
+        pairs = meta_blocking_pairs(make_blocks(), "js", "wep")
+        assert ("a1", "b1") in pairs
+
+    def test_pruned_is_subset_of_suggested(self):
+        blocks = make_blocks()
+        suggested = blocks.distinct_pairs()
+        for weighting in ("cbs", "js", "ecbs"):
+            for scheme in ("wep", "cep"):
+                assert meta_blocking_pairs(blocks, weighting, scheme) <= suggested

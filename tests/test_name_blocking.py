@@ -1,0 +1,84 @@
+"""Unit tests for Name Blocking and name normalization."""
+
+from repro.blocking import (
+    name_blocking,
+    names_from_attributes,
+    normalize_name,
+    unique_match_blocks,
+)
+from repro.kb import KnowledgeBase
+
+
+def kb_with_names(name, names, prefix, attribute="name"):
+    kb = KnowledgeBase(name)
+    for index, value in enumerate(names):
+        entity = kb.new_entity(f"{prefix}{index}")
+        entity.add_literal(attribute, value)
+    return kb
+
+
+class TestNormalizeName:
+    def test_lowercases_and_strips_punctuation(self):
+        assert normalize_name("The Taj-Mahal!") == normalize_name("the taj mahal")
+
+    def test_token_order_insensitive(self):
+        assert normalize_name("Smith, John") == normalize_name("John Smith")
+
+    def test_whitespace_collapsed(self):
+        assert normalize_name("  a   b ") == "a b"
+
+    def test_empty(self):
+        assert normalize_name("...") == ""
+
+
+class TestNameBlocking:
+    def test_blocks_on_shared_normalized_names(self):
+        kb1 = kb_with_names("A", ["Blue Note", "Red Door"], "a")
+        kb2 = kb_with_names("B", ["blue note!", "Green Hill"], "b", "label")
+        blocks = name_blocking(
+            kb1,
+            kb2,
+            names_from_attributes(["name"]),
+            names_from_attributes(["label"]),
+        )
+        assert len(blocks) == 1
+        assert blocks["blue note"].entities1 == {"a0"}
+
+    def test_empty_names_skipped(self):
+        kb1 = kb_with_names("A", ["..."], "a")
+        kb2 = kb_with_names("B", ["..."], "b")
+        extractor = names_from_attributes(["name"])
+        assert len(name_blocking(kb1, kb2, extractor, extractor)) == 0
+
+    def test_multiple_name_attributes(self):
+        kb1 = KnowledgeBase("A")
+        entity = kb1.new_entity("a0")
+        entity.add_literal("name", "Primary")
+        entity.add_literal("alias", "Secondary")
+        kb2 = kb_with_names("B", ["secondary"], "b")
+        blocks = name_blocking(
+            kb1,
+            kb2,
+            names_from_attributes(["name", "alias"]),
+            names_from_attributes(["name"]),
+        )
+        assert "secondary" in blocks
+
+
+class TestUniqueMatchBlocks:
+    def test_selects_one_to_one_blocks(self):
+        kb1 = kb_with_names("A", ["x y", "dup"], "a")
+        kb2 = kb_with_names("B", ["y x", "dup", "dup2"], "b")
+        kb2["b2"].add_literal("name", "dup")  # second E2 entity named dup
+        extractor = names_from_attributes(["name"])
+        blocks = name_blocking(kb1, kb2, extractor, extractor)
+        unique = unique_match_blocks(blocks)
+        assert [b.key for b in unique] == ["x y"]
+
+    def test_namesakes_excluded(self):
+        """Two E1 entities sharing a name => no H1 evidence for either."""
+        kb1 = kb_with_names("A", ["john smith", "john smith"], "a")
+        kb2 = kb_with_names("B", ["john smith"], "b")
+        extractor = names_from_attributes(["name"])
+        blocks = name_blocking(kb1, kb2, extractor, extractor)
+        assert unique_match_blocks(blocks) == []

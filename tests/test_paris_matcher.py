@@ -1,0 +1,98 @@
+"""Unit tests for the PARIS-style probabilistic matcher."""
+
+import pytest
+
+from repro.kb import KnowledgeBase
+from repro.matching import ParisMatcher
+
+
+def make_pair():
+    kb1 = KnowledgeBase("A")
+    e0 = kb1.new_entity("a0")
+    e0.add_literal("name", "Alpha Object")
+    e0.add_relation("made", "a1")
+    e1 = kb1.new_entity("a1")
+    e1.add_literal("name", "Beta Object")
+
+    kb2 = KnowledgeBase("B")
+    f0 = kb2.new_entity("b0")
+    f0.add_literal("label", "Alpha Object")
+    f0.add_relation("created", "b1")
+    f1 = kb2.new_entity("b1")
+    f1.add_literal("label", "Beta Object")
+    return kb1, kb2
+
+
+class TestFunctionality:
+    def test_single_valued_predicate_is_functional(self):
+        kb = KnowledgeBase("F")
+        for i in range(3):
+            kb.new_entity(f"u{i}").add_literal("id", f"v{i}")
+        fun = ParisMatcher.functionality(kb)
+        assert fun["id"] == pytest.approx(1.0)
+
+    def test_multi_valued_predicate_less_functional(self):
+        kb = KnowledgeBase("F")
+        entity = kb.new_entity("u")
+        entity.add_literal("tag", "x")
+        entity.add_literal("tag", "y")
+        fun = ParisMatcher.functionality(kb)
+        assert fun["tag"] == pytest.approx(0.5)
+
+    def test_duplicate_statements_count_once(self):
+        kb = KnowledgeBase("F")
+        entity = kb.new_entity("u")
+        entity.add_literal("tag", "x")
+        entity.add_literal("tag", "X")  # same after normalization
+        fun = ParisMatcher.functionality(kb)
+        assert fun["tag"] == pytest.approx(1.0)
+
+
+class TestMatching:
+    def test_exact_literals_bootstrap(self):
+        result = ParisMatcher().match(*make_pair())
+        assert result.mapping == {"a0": "b0", "a1": "b1"}
+
+    def test_learns_predicate_equivalence(self):
+        result = ParisMatcher().match(*make_pair())
+        assert result.predicate_equivalence.get(("name", "label"), 0) > 0.5
+
+    def test_formatting_divergence_breaks_literal_evidence(self):
+        kb1, kb2 = make_pair()
+        # punctuation-only decoration: tokens identical, strings differ
+        kb2["b0"].add_literal("label", "ignored")
+        kb1_decorated = KnowledgeBase("A2")
+        e = kb1_decorated.new_entity("a0")
+        e.add_literal("name", '"Alpha, Object."')
+        result = ParisMatcher(iterations=1).match(kb1_decorated, kb2)
+        assert "a0" not in result.mapping
+
+    def test_relational_propagation_recovers_neighbors(self):
+        kb1, kb2 = make_pair()
+        # hide the neighbor's literal on one side: only relations remain
+        kb1["a1"]._pairs[:] = [("name", kb1["a1"].values_of("name")[0])]
+        kb2["b1"]._pairs[:] = []
+        kb2["b1"].add_literal("label", "completely different")
+        result = ParisMatcher(iterations=3, acceptance=0.3).match(kb1, kb2)
+        # a0-b0 matched via name; a1-b1 via the functional made/created edge
+        assert result.mapping.get("a0") == "b0"
+        assert result.mapping.get("a1") == "b1"
+
+    def test_one_to_one_output(self):
+        kb1, kb2 = make_pair()
+        kb2.new_entity("b_dup").add_literal("label", "Alpha Object")
+        result = ParisMatcher().match(kb1, kb2)
+        assert len(set(result.mapping.values())) == len(result.mapping)
+
+    def test_iterations_reported(self):
+        assert ParisMatcher(iterations=2).match(*make_pair()).iterations == 2
+
+
+class TestValidation:
+    def test_invalid_iterations(self):
+        with pytest.raises(ValueError):
+            ParisMatcher(iterations=0)
+
+    def test_invalid_acceptance(self):
+        with pytest.raises(ValueError):
+            ParisMatcher(acceptance=0.0)

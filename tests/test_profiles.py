@@ -1,0 +1,70 @@
+"""Unit tests for the four benchmark dataset profiles."""
+
+import pytest
+
+from repro.datasets import (
+    PROFILE_BUILDERS,
+    PROFILE_ORDER,
+    generate_benchmark,
+    load_profile,
+)
+
+SMALL = 0.08
+
+
+class TestRegistry:
+    def test_order_covers_all(self):
+        assert set(PROFILE_ORDER) == set(PROFILE_BUILDERS)
+
+    def test_unknown_profile(self):
+        with pytest.raises(ValueError):
+            load_profile("nope")
+
+    def test_custom_seed(self):
+        assert load_profile("restaurant", seed=99).seed == 99
+
+
+@pytest.mark.parametrize("name", PROFILE_ORDER)
+class TestEveryProfile:
+    def test_generates(self, name):
+        data = generate_benchmark(name, scale=SMALL)
+        assert len(data.ground_truth) > 0
+        assert len(data.kb1) >= len(data.ground_truth)
+
+    def test_kb1_not_larger(self, name):
+        data = generate_benchmark(name, scale=SMALL)
+        assert len(data.kb1) <= len(data.kb2)
+
+    def test_scale_changes_counts(self, name):
+        small = load_profile(name, scale=SMALL)
+        large = load_profile(name, scale=2 * SMALL)
+        assert large.n_matches > small.n_matches
+
+    def test_alignment_covers_latent_relations(self, name):
+        data = generate_benchmark(name, scale=SMALL)
+        kb1_relations = data.kb1.relation_names()
+        assert kb1_relations <= set(data.relation_alignment)
+
+
+class TestRegimes:
+    def test_bbc_side2_has_many_attributes(self):
+        data = generate_benchmark("bbc_dbpedia", scale=0.15)
+        # random per-entity attribute names make KB2's schema enormous
+        assert len(data.kb2.attribute_names()) > 5 * len(
+            data.kb1.attribute_names()
+        )
+
+    def test_yago_is_token_poor(self):
+        from repro.kb import Tokenizer
+
+        movies = generate_benchmark("yago_imdb", scale=0.15)
+        books = generate_benchmark("rexa_dblp", scale=0.15)
+        tokenizer = Tokenizer()
+        assert movies.kb1.average_tokens(tokenizer) < books.kb1.average_tokens(
+            tokenizer
+        )
+
+    def test_restaurant_is_small(self):
+        restaurant = load_profile("restaurant")
+        rexa = load_profile("rexa_dblp")
+        assert restaurant.n_matches < rexa.n_matches

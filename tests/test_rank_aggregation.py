@@ -1,0 +1,98 @@
+"""Unit and property tests for threshold-free rank aggregation (H3)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import (
+    aggregate_scores,
+    normalized_ranks,
+    top_aggregate_candidate,
+)
+
+candidate_lists = st.lists(
+    st.text(alphabet="abcdef", min_size=1, max_size=3), unique=True, max_size=8
+)
+
+
+class TestNormalizedRanks:
+    def test_paper_scheme(self):
+        ranks = normalized_ranks(["w", "x", "y", "z"])
+        assert ranks == {"w": 1.0, "x": 0.75, "y": 0.5, "z": 0.25}
+
+    def test_singleton(self):
+        assert normalized_ranks(["only"]) == {"only": 1.0}
+
+    def test_empty(self):
+        assert normalized_ranks([]) == {}
+
+    @given(candidate_lists)
+    def test_first_is_one_last_is_inverse_k(self, candidates):
+        ranks = normalized_ranks(candidates)
+        if candidates:
+            assert ranks[candidates[0]] == 1.0
+            assert ranks[candidates[-1]] == pytest.approx(1 / len(candidates))
+
+    @given(candidate_lists)
+    def test_strictly_decreasing(self, candidates):
+        ranks = normalized_ranks(candidates)
+        values = [ranks[c] for c in candidates]
+        assert values == sorted(values, reverse=True)
+
+
+class TestAggregateScores:
+    def test_weighted_sum(self):
+        scores = aggregate_scores(["a", "b"], ["b", "a"], theta=0.6)
+        assert scores["a"] == pytest.approx(0.6 * 1.0 + 0.4 * 0.5)
+        assert scores["b"] == pytest.approx(0.6 * 0.5 + 0.4 * 1.0)
+
+    def test_missing_from_one_list_scores_zero_there(self):
+        scores = aggregate_scores(["a"], ["b"], theta=0.6)
+        assert scores["a"] == pytest.approx(0.6)
+        assert scores["b"] == pytest.approx(0.4)
+
+    def test_invalid_theta(self):
+        with pytest.raises(ValueError):
+            aggregate_scores(["a"], [], theta=0.0)
+        with pytest.raises(ValueError):
+            aggregate_scores(["a"], [], theta=1.0)
+
+    @given(candidate_lists, candidate_lists, st.floats(min_value=0.01, max_value=0.99))
+    def test_scores_bounded(self, values, neighbors, theta):
+        for score in aggregate_scores(values, neighbors, theta).values():
+            assert 0.0 <= score <= 1.0
+
+    @given(candidate_lists, st.floats(min_value=0.01, max_value=0.99))
+    def test_same_lists_first_wins(self, candidates, theta):
+        if not candidates:
+            return
+        best = top_aggregate_candidate(candidates, candidates, theta)
+        assert best[0] == candidates[0]
+        assert best[1] == pytest.approx(1.0)
+
+
+class TestTopAggregateCandidate:
+    def test_empty_lists_give_none(self):
+        assert top_aggregate_candidate([], [], 0.6) is None
+
+    def test_value_only(self):
+        best = top_aggregate_candidate(["x", "y"], [], 0.6)
+        assert best == ("x", pytest.approx(0.6))
+
+    def test_neighbor_evidence_lifts_candidate(self):
+        # y is mid-pack on values but #1 on neighbors; x leads values only.
+        values = ["x", "y", "z"]
+        neighbors = ["y"]
+        best = top_aggregate_candidate(values, neighbors, theta=0.6)
+        assert best[0] == "y"
+        assert best[1] == pytest.approx(0.6 * (2 / 3) + 0.4 * 1.0)
+
+    def test_theta_high_favors_values(self):
+        values = ["x", "y"]
+        neighbors = ["y"]
+        best = top_aggregate_candidate(values, neighbors, theta=0.9)
+        assert best[0] == "x"
+
+    def test_deterministic_tie_break(self):
+        best = top_aggregate_candidate(["b"], ["a"], theta=0.5)
+        assert best[0] == "a"  # equal scores, lexicographic order

@@ -1,0 +1,70 @@
+"""Unit tests for text table rendering."""
+
+from repro.evaluation import (
+    format_number,
+    paper_vs_measured,
+    render_records,
+    render_table,
+)
+
+
+class TestFormatNumber:
+    def test_int(self):
+        assert format_number(42) == "42"
+
+    def test_big_int_scientific(self):
+        assert "e+" in format_number(123_456_789)
+
+    def test_float_rounded(self):
+        assert format_number(3.14159) == "3.14"
+
+    def test_tiny_float_scientific(self):
+        assert "e-" in format_number(0.00042)
+
+    def test_zero(self):
+        assert format_number(0.0) == "0.00"
+
+    def test_bool_passthrough(self):
+        assert format_number(True) == "True"
+
+    def test_string_passthrough(self):
+        assert format_number("abc") == "abc"
+
+
+class TestRenderTable:
+    def test_aligned_columns(self):
+        text = render_table(["a", "bb"], [[1, 2.5], [10, 3.25]])
+        lines = text.splitlines()
+        assert lines[0].startswith("a ")
+        assert "----" in lines[1]
+        assert len(lines) == 4
+
+    def test_title(self):
+        text = render_table(["x"], [[1]], title="Table I")
+        assert text.splitlines()[0] == "Table I"
+
+    def test_custom_decimals(self):
+        text = render_table(["x"], [[1.23456]], decimals=4)
+        assert "1.2346" in text
+
+
+class TestRenderRecords:
+    def test_keys_become_headers(self):
+        text = render_records([{"m": "a", "v": 1}, {"m": "b", "v": 2}])
+        assert text.splitlines()[0].split() == ["m", "v"]
+
+    def test_empty(self):
+        assert render_records([], title="none") == "none"
+
+    def test_missing_key_blank(self):
+        text = render_records([{"a": 1, "b": 2}, {"a": 3}])
+        assert text  # renders without raising
+
+
+class TestPaperVsMeasured:
+    def test_row_shape(self):
+        row = paper_vs_measured("F1", 96.04, 95.5)
+        assert row == {"metric": "F1", "paper": 96.04, "measured": 95.5}
+
+    def test_missing_paper_value(self):
+        assert paper_vs_measured("F1", None, 80.0)["paper"] == "-"

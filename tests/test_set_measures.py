@@ -1,0 +1,110 @@
+"""Unit and property tests for set/bag similarity measures."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.textsim import (
+    containment,
+    cosine_sets,
+    dice,
+    generalized_jaccard,
+    jaccard,
+    multiset_jaccard,
+    overlap,
+)
+
+sets = st.sets(st.text(alphabet="abcde", min_size=1, max_size=3), max_size=10)
+weights = st.dictionaries(
+    st.text(alphabet="abcde", min_size=1, max_size=3),
+    st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+    max_size=8,
+)
+
+
+class TestExactValues:
+    def test_jaccard(self):
+        assert jaccard({"a", "b"}, {"b", "c"}) == pytest.approx(1 / 3)
+
+    def test_dice(self):
+        assert dice({"a", "b"}, {"b", "c"}) == pytest.approx(0.5)
+
+    def test_overlap(self):
+        assert overlap({"a", "b"}, {"b"}) == 1.0
+
+    def test_cosine_sets(self):
+        assert cosine_sets({"a", "b"}, {"b", "c"}) == pytest.approx(0.5)
+
+    def test_containment_directed(self):
+        assert containment({"a", "b"}, {"b", "c", "d"}) == pytest.approx(0.5)
+        assert containment({"b"}, {"b", "c", "d"}) == 1.0
+
+    def test_generalized_jaccard(self):
+        a = {"x": 2.0, "y": 1.0}
+        b = {"x": 1.0, "z": 1.0}
+        assert generalized_jaccard(a, b) == pytest.approx(1.0 / 4.0)
+
+    def test_multiset_jaccard_counts(self):
+        from collections import Counter
+
+        a = Counter(["x", "x", "y"])
+        b = Counter(["x", "z"])
+        assert multiset_jaccard(a, b) == pytest.approx(1.0 / 4.0)
+
+
+class TestEdgeCases:
+    @pytest.mark.parametrize(
+        "measure", [jaccard, dice, overlap, cosine_sets]
+    )
+    def test_both_empty_is_one(self, measure):
+        assert measure(set(), set()) == 1.0
+
+    @pytest.mark.parametrize(
+        "measure", [jaccard, dice, overlap, cosine_sets]
+    )
+    def test_one_empty_is_zero(self, measure):
+        assert measure({"a"}, set()) == 0.0
+
+    def test_generalized_jaccard_empty(self):
+        assert generalized_jaccard({}, {}) == 1.0
+        assert generalized_jaccard({"a": 1.0}, {}) == 0.0
+
+    def test_accepts_lists(self):
+        assert jaccard(["a", "b", "a"], ["a"]) == pytest.approx(0.5)
+
+
+class TestProperties:
+    @given(sets, sets)
+    def test_jaccard_bounds(self, a, b):
+        assert 0.0 <= jaccard(a, b) <= 1.0
+
+    @given(sets, sets)
+    def test_jaccard_symmetry(self, a, b):
+        assert jaccard(a, b) == pytest.approx(jaccard(b, a))
+
+    @given(sets)
+    def test_jaccard_identity(self, a):
+        assert jaccard(a, a) == 1.0
+
+    @given(sets, sets)
+    def test_dice_ge_jaccard(self, a, b):
+        assert dice(a, b) >= jaccard(a, b) - 1e-12
+
+    @given(sets, sets)
+    def test_overlap_ge_cosine_ge_jaccard(self, a, b):
+        assert overlap(a, b) >= cosine_sets(a, b) - 1e-12
+        assert cosine_sets(a, b) >= jaccard(a, b) - 1e-12
+
+    @given(weights, weights)
+    def test_generalized_jaccard_bounds(self, a, b):
+        assert -1e-12 <= generalized_jaccard(a, b) <= 1.0 + 1e-12
+
+    @given(weights, weights)
+    def test_generalized_jaccard_symmetry(self, a, b):
+        assert generalized_jaccard(a, b) == pytest.approx(
+            generalized_jaccard(b, a)
+        )
+
+    @given(sets, sets)
+    def test_containment_bounds(self, a, b):
+        assert 0.0 <= containment(a, b) <= 1.0

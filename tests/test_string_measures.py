@@ -1,0 +1,129 @@
+"""Unit and property tests for character-level string measures."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.textsim import (
+    jaro,
+    jaro_winkler,
+    levenshtein_distance,
+    levenshtein_similarity,
+    monge_elkan,
+    symmetric_monge_elkan,
+)
+
+words = st.text(alphabet="abcdef", max_size=12)
+
+
+class TestLevenshtein:
+    def test_identical(self):
+        assert levenshtein_distance("abc", "abc") == 0
+
+    def test_empty_vs_word(self):
+        assert levenshtein_distance("", "abc") == 3
+        assert levenshtein_distance("abc", "") == 3
+
+    def test_substitution(self):
+        assert levenshtein_distance("cat", "car") == 1
+
+    def test_insertion(self):
+        assert levenshtein_distance("cat", "cart") == 1
+
+    def test_classic_example(self):
+        assert levenshtein_distance("kitten", "sitting") == 3
+
+    def test_similarity_bounds(self):
+        assert levenshtein_similarity("", "") == 1.0
+        assert levenshtein_similarity("abc", "xyz") == 0.0
+
+    @given(words, words)
+    def test_symmetry(self, a, b):
+        assert levenshtein_distance(a, b) == levenshtein_distance(b, a)
+
+    @given(words, words, words)
+    def test_triangle_inequality(self, a, b, c):
+        assert levenshtein_distance(a, c) <= levenshtein_distance(
+            a, b
+        ) + levenshtein_distance(b, c)
+
+    @given(words, words)
+    def test_distance_bounds(self, a, b):
+        d = levenshtein_distance(a, b)
+        assert abs(len(a) - len(b)) <= d <= max(len(a), len(b))
+
+
+class TestJaro:
+    def test_identical(self):
+        assert jaro("martha", "martha") == 1.0
+
+    def test_empty(self):
+        assert jaro("", "abc") == 0.0
+
+    def test_known_value(self):
+        assert jaro("martha", "marhta") == pytest.approx(0.944444, abs=1e-5)
+
+    def test_no_common(self):
+        assert jaro("abc", "xyz") == 0.0
+
+    @given(words, words)
+    def test_bounds(self, a, b):
+        assert 0.0 <= jaro(a, b) <= 1.0
+
+    @given(words, words)
+    def test_symmetry(self, a, b):
+        assert jaro(a, b) == pytest.approx(jaro(b, a))
+
+
+class TestJaroWinkler:
+    def test_known_value(self):
+        assert jaro_winkler("martha", "marhta") == pytest.approx(
+            0.961111, abs=1e-5
+        )
+
+    def test_prefix_boost(self):
+        assert jaro_winkler("prefixed", "prefixes") >= jaro(
+            "prefixed", "prefixes"
+        )
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            jaro_winkler("a", "b", prefix_scale=0.5)
+
+    @given(words, words)
+    def test_bounds(self, a, b):
+        assert 0.0 <= jaro_winkler(a, b) <= 1.0
+
+    @given(words)
+    def test_identity(self, a):
+        assert jaro_winkler(a, a) == 1.0
+
+
+class TestMongeElkan:
+    def test_exact_token_match(self):
+        assert monge_elkan(["abc"], ["abc"]) == 1.0
+
+    def test_empty_first(self):
+        assert monge_elkan([], ["a"]) == 0.0
+        assert monge_elkan([], []) == 1.0
+
+    def test_empty_second(self):
+        assert monge_elkan(["a"], []) == 0.0
+
+    def test_asymmetric(self):
+        a = ["paul", "johnson"]
+        b = ["johson", "paule", "extra"]
+        assert monge_elkan(a, b) != monge_elkan(b, a)
+
+    def test_symmetric_variant(self):
+        a = ["paul", "johnson"]
+        b = ["johson", "paule", "extra"]
+        expected = (monge_elkan(a, b) + monge_elkan(b, a)) / 2
+        assert symmetric_monge_elkan(a, b) == pytest.approx(expected)
+
+    @given(
+        st.lists(words.filter(bool), min_size=1, max_size=4),
+        st.lists(words.filter(bool), min_size=1, max_size=4),
+    )
+    def test_bounds(self, a, b):
+        assert 0.0 <= monge_elkan(a, b) <= 1.0

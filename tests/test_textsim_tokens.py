@@ -1,0 +1,72 @@
+"""Unit and property tests for n-gram construction."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.textsim import character_qgrams, token_ngram_counts, token_ngrams
+
+tokens_strategy = st.lists(
+    st.text(alphabet="abcdef", min_size=1, max_size=4), max_size=12
+)
+
+
+class TestTokenNgrams:
+    def test_unigrams_are_tokens(self):
+        assert token_ngrams(["a", "b"], 1) == ["a", "b"]
+
+    def test_bigrams(self):
+        assert token_ngrams(["new", "york", "city"], 2) == [
+            "new york",
+            "york city",
+        ]
+
+    def test_trigram_of_short_sequence_empty(self):
+        assert token_ngrams(["a", "b"], 3) == []
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            token_ngrams(["a"], 0)
+
+    def test_counts(self):
+        counts = token_ngram_counts(["a", "b", "a", "b"], 2)
+        assert counts["a b"] == 2
+        assert counts["b a"] == 1
+
+    @given(tokens_strategy, st.integers(min_value=1, max_value=4))
+    def test_count_matches_length(self, tokens, n):
+        assert len(token_ngrams(tokens, n)) == max(0, len(tokens) - n + 1)
+
+    @given(tokens_strategy)
+    def test_unigram_count_equals_token_count(self, tokens):
+        assert sum(token_ngram_counts(tokens, 1).values()) == len(tokens)
+
+
+class TestCharacterQgrams:
+    def test_basic(self):
+        assert character_qgrams("abc", 2) == ["ab", "bc"]
+
+    def test_short_string(self):
+        assert character_qgrams("a", 2) == []
+
+    def test_padded(self):
+        assert character_qgrams("ab", 3, pad=True) == [
+            "##a",
+            "#ab",
+            "ab$",
+            "b$$",
+        ]
+
+    def test_invalid_q(self):
+        with pytest.raises(ValueError):
+            character_qgrams("abc", 0)
+
+    @given(st.text(alphabet="xyz", max_size=30), st.integers(min_value=1, max_value=5))
+    def test_each_gram_has_length_q(self, text, q):
+        for gram in character_qgrams(text, q):
+            assert len(gram) == q
+
+    @given(st.text(alphabet="xyz", min_size=1, max_size=30))
+    def test_padding_covers_every_char(self, text):
+        grams = character_qgrams(text, 2, pad=True)
+        assert len(grams) == len(text) + 1

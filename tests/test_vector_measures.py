@@ -1,0 +1,104 @@
+"""Unit and property tests for TF/TF-IDF vectors and cosine."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.textsim import (
+    cosine,
+    document_frequencies,
+    dot,
+    idf_weights,
+    norm,
+    tf_vector,
+    tfidf_vector,
+)
+
+vectors = st.dictionaries(
+    st.text(alphabet="abcd", min_size=1, max_size=2),
+    st.floats(min_value=0.0, max_value=5.0, allow_nan=False),
+    max_size=6,
+)
+
+
+class TestTf:
+    def test_normalizes_counts(self):
+        tf = tf_vector({"a": 3, "b": 1})
+        assert tf["a"] == pytest.approx(0.75)
+        assert sum(tf.values()) == pytest.approx(1.0)
+
+    def test_empty(self):
+        assert tf_vector({}) == {}
+
+
+class TestIdf:
+    def test_smoothed_log(self):
+        idf = idf_weights({"a": 1, "b": 10}, n_documents=10)
+        assert idf["a"] == pytest.approx(math.log(11.0))
+        assert idf["b"] == pytest.approx(math.log(2.0))
+
+    def test_universal_term_stays_positive(self):
+        idf = idf_weights({"a": 10}, 10)
+        assert idf["a"] > 0
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            idf_weights({"a": 1}, 0)
+
+    def test_zero_df_dropped(self):
+        assert "a" not in idf_weights({"a": 0}, 5)
+
+
+class TestTfidf:
+    def test_combines(self):
+        v = tfidf_vector({"a": 1, "b": 1}, {"a": 2.0, "b": 1.0})
+        assert v["a"] == pytest.approx(1.0)
+        assert v["b"] == pytest.approx(0.5)
+
+    def test_missing_idf_defaults_to_one(self):
+        v = tfidf_vector({"a": 1}, {})
+        assert v["a"] == pytest.approx(1.0)
+
+
+class TestCosine:
+    def test_identical_is_one(self):
+        v = {"a": 1.0, "b": 2.0}
+        assert cosine(v, v) == pytest.approx(1.0)
+
+    def test_orthogonal_is_zero(self):
+        assert cosine({"a": 1.0}, {"b": 1.0}) == 0.0
+
+    def test_both_empty_is_one(self):
+        assert cosine({}, {}) == 1.0
+
+    def test_one_empty_is_zero(self):
+        assert cosine({"a": 1.0}, {}) == 0.0
+
+    def test_known_value(self):
+        assert cosine({"a": 1.0, "b": 1.0}, {"a": 1.0}) == pytest.approx(
+            1 / math.sqrt(2)
+        )
+
+    @given(vectors, vectors)
+    def test_bounds(self, a, b):
+        assert 0.0 <= cosine(a, b) <= 1.0
+
+    @given(vectors, vectors)
+    def test_symmetry(self, a, b):
+        assert cosine(a, b) == pytest.approx(cosine(b, a))
+
+
+class TestHelpers:
+    def test_norm(self):
+        assert norm({"a": 3.0, "b": 4.0}) == pytest.approx(5.0)
+
+    def test_dot_sparse(self):
+        assert dot({"a": 2.0, "b": 1.0}, {"a": 3.0, "c": 9.0}) == pytest.approx(6.0)
+
+    def test_document_frequencies(self):
+        df = document_frequencies([["a", "b", "a"], ["b"], ["c"]])
+        assert df["a"] == 1
+        assert df["b"] == 2
+        assert df["c"] == 1

@@ -1,0 +1,84 @@
+"""Unit and property tests for vocabulary generation and Zipf sampling."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import ZipfSampler, pseudo_word, word_pool
+
+
+class TestPseudoWord:
+    def test_length(self):
+        word = pseudo_word(random.Random(1), syllables=3)
+        assert len(word) == 6
+
+    def test_deterministic(self):
+        assert pseudo_word(random.Random(7)) == pseudo_word(random.Random(7))
+
+    def test_invalid_syllables(self):
+        with pytest.raises(ValueError):
+            pseudo_word(random.Random(1), syllables=0)
+
+
+class TestWordPool:
+    def test_size_and_uniqueness(self):
+        pool = word_pool(random.Random(2), 200, syllables=2)
+        assert len(pool) == 200
+        assert len(set(pool)) == 200
+
+    def test_prefix(self):
+        pool = word_pool(random.Random(2), 10, prefix="zz")
+        assert all(word.startswith("zz") for word in pool)
+
+    def test_zero_size(self):
+        assert word_pool(random.Random(2), 0) == []
+
+    def test_negative_size(self):
+        with pytest.raises(ValueError):
+            word_pool(random.Random(2), -1)
+
+
+class TestZipfSampler:
+    def test_empty_pool_rejected(self):
+        with pytest.raises(ValueError):
+            ZipfSampler([])
+
+    def test_samples_come_from_pool(self):
+        words = word_pool(random.Random(3), 50)
+        sampler = ZipfSampler(words)
+        rng = random.Random(4)
+        for _ in range(100):
+            assert sampler.sample(rng) in words
+
+    def test_head_word_most_frequent(self):
+        words = [f"w{i}" for i in range(100)]
+        sampler = ZipfSampler(words, exponent=1.1)
+        rng = random.Random(5)
+        counts = {}
+        for word in sampler.sample_many(rng, 3000):
+            counts[word] = counts.get(word, 0) + 1
+        assert counts.get("w0", 0) > counts.get("w50", 0)
+
+    def test_sample_many_length(self):
+        sampler = ZipfSampler(["a", "b"])
+        assert len(sampler.sample_many(random.Random(1), 17)) == 17
+
+    def test_sample_distinct_no_duplicates(self):
+        sampler = ZipfSampler([f"w{i}" for i in range(20)])
+        sample = sampler.sample_distinct(random.Random(1), 10)
+        assert len(sample) == len(set(sample)) == 10
+
+    def test_sample_distinct_caps_at_pool(self):
+        sampler = ZipfSampler(["a", "b", "c"])
+        assert len(sampler.sample_distinct(random.Random(1), 10)) == 3
+
+    @given(st.integers(min_value=1, max_value=40), st.integers())
+    @settings(max_examples=30, deadline=None)
+    def test_determinism_per_seed(self, size, seed):
+        words = word_pool(random.Random(0), size)
+        sampler = ZipfSampler(words)
+        first = sampler.sample_many(random.Random(seed), 10)
+        second = sampler.sample_many(random.Random(seed), 10)
+        assert first == second

@@ -1,0 +1,101 @@
+"""Unit and property tests for ARCS and SiGMa weighted measures."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.textsim import (
+    arcs_similarity,
+    arcs_token_weight,
+    sigma_similarity,
+    sigma_weights,
+)
+
+
+class TestArcsTokenWeight:
+    def test_unique_token_is_one(self):
+        # the foundation of H2's threshold-free rule
+        assert arcs_token_weight(1, 1) == pytest.approx(1.0)
+
+    def test_decreases_with_frequency(self):
+        assert arcs_token_weight(10, 10) < arcs_token_weight(2, 2)
+
+    def test_known_value(self):
+        assert arcs_token_weight(3, 1) == pytest.approx(0.5)  # 1/log2(4)
+
+    def test_invalid_frequency(self):
+        with pytest.raises(ValueError):
+            arcs_token_weight(0, 1)
+
+    @given(
+        st.integers(min_value=1, max_value=10**6),
+        st.integers(min_value=1, max_value=10**6),
+    )
+    def test_positive_and_bounded(self, ef1, ef2):
+        weight = arcs_token_weight(ef1, ef2)
+        assert 0.0 < weight <= 1.0
+
+    @given(st.integers(min_value=1, max_value=1000))
+    def test_symmetry(self, ef):
+        assert arcs_token_weight(ef, 3) == pytest.approx(arcs_token_weight(3, ef))
+
+
+class TestArcsSimilarity:
+    def test_sums_common_token_weights(self):
+        ef1 = {"a": 1, "b": 3}
+        ef2 = {"a": 1, "b": 1}
+        sim = arcs_similarity(["a", "b"], ["a", "b", "c"], ef1, ef2)
+        assert sim == pytest.approx(1.0 + 1.0 / math.log2(4))
+
+    def test_no_common_tokens(self):
+        assert arcs_similarity(["a"], ["b"], {}, {}) == 0.0
+
+    def test_duplicates_count_once(self):
+        sim = arcs_similarity(["a", "a"], ["a"], {"a": 1}, {"a": 1})
+        assert sim == pytest.approx(1.0)
+
+    def test_unknown_tokens_treated_unique(self):
+        assert arcs_similarity(["zz"], ["zz"], {}, {}) == pytest.approx(1.0)
+
+
+class TestSigma:
+    def test_weights_inverse_frequency(self):
+        weights = sigma_weights({"rare": 1, "common": 100}, 100)
+        assert weights["rare"] > weights["common"]
+
+    def test_weights_invalid_n(self):
+        with pytest.raises(ValueError):
+            sigma_weights({"a": 1}, 0)
+
+    def test_similarity_identical(self):
+        v = {"a": 2.0, "b": 1.0}
+        assert sigma_similarity(v, v) == pytest.approx(1.0)
+
+    def test_similarity_disjoint(self):
+        assert sigma_similarity({"a": 1.0}, {"b": 1.0}) == 0.0
+
+    def test_similarity_both_empty(self):
+        assert sigma_similarity({}, {}) == 1.0
+
+    def test_known_value(self):
+        a = {"x": 1.0, "y": 1.0}
+        b = {"x": 1.0, "z": 1.0}
+        # shared mass 1, total 2 + 2 - 1 = 3
+        assert sigma_similarity(a, b) == pytest.approx(1.0 / 3.0)
+
+    @given(
+        st.dictionaries(
+            st.text(alphabet="ab", min_size=1, max_size=2),
+            st.floats(min_value=0.01, max_value=5.0),
+            max_size=4,
+        ),
+        st.dictionaries(
+            st.text(alphabet="ab", min_size=1, max_size=2),
+            st.floats(min_value=0.01, max_value=5.0),
+            max_size=4,
+        ),
+    )
+    def test_bounds(self, a, b):
+        assert 0.0 <= sigma_similarity(a, b) <= 1.0
