@@ -1,0 +1,104 @@
+"""Engine scaling — serial vs parallel wall-clock of the full pipeline.
+
+Runs every generated benchmark dataset through the pipeline once per
+executor (``serial``, ``thread``, ``process``) and records the total and
+per-stage wall-clock in a table under ``benchmarks/results/``.  Matches
+must be identical across executors on every dataset (the engine's
+determinism contract).
+
+Speedup is hardware-dependent: thread executors contend on the GIL for
+pure-Python stages and process executors pay pickling costs, so on small
+data or few cores the parallel engines may not win.  The hard speedup
+assertion (>= ``REPRO_MIN_SPEEDUP``, default 1.5, on the largest KB
+pair) therefore only arms when ``REPRO_REQUIRE_SPEEDUP=1`` is set and
+the machine has at least 4 CPUs; otherwise the bench records the
+measurements and checks parity only.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro import MinoanER, MinoanERConfig, auto_workers
+from repro.datasets import PROFILE_ORDER
+from repro.evaluation import render_records
+
+ENGINES = ("serial", "thread", "process")
+REQUIRE_SPEEDUP = os.environ.get("REPRO_REQUIRE_SPEEDUP") == "1"
+MIN_SPEEDUP = float(os.environ.get("REPRO_MIN_SPEEDUP", "1.5"))
+
+
+def timed_match(dataset, engine):
+    workers = None if engine == "serial" else auto_workers()
+    config = MinoanERConfig(engine=engine, workers=workers)
+    started = time.perf_counter()
+    result = MinoanER(config).match(dataset.kb1, dataset.kb2)
+    return time.perf_counter() - started, result
+
+
+@pytest.fixture(scope="module")
+def scaling_rows(datasets):
+    rows = []
+    pair_signatures = {}
+    for name in PROFILE_ORDER:
+        dataset = datasets[name]
+        for engine in ENGINES:
+            seconds, result = timed_match(dataset, engine)
+            pair_signatures.setdefault(name, {})[engine] = sorted(
+                (m.uri1, m.uri2, m.heuristic, m.score) for m in result.matches
+            )
+            rows.append(
+                {
+                    "dataset": name,
+                    "engine": engine,
+                    "|E1|+|E2|": len(dataset.kb1) + len(dataset.kb2),
+                    "matches": len(result.matches),
+                    "seconds": seconds,
+                    "blocking": result.stage_seconds["blocking"],
+                    "indexing": result.stage_seconds["indexing"],
+                    "heuristics": result.stage_seconds["heuristics"],
+                }
+            )
+    return rows, pair_signatures
+
+
+class TestEngineScaling:
+    def test_records_scaling_table(self, scaling_rows, save_table):
+        rows, _ = scaling_rows
+        save_table(
+            "engine_scaling",
+            render_records(
+                rows, title=f"Engine scaling ({auto_workers()} workers)"
+            ),
+        )
+        assert len(rows) == len(PROFILE_ORDER) * len(ENGINES)
+
+    def test_matches_identical_across_engines(self, scaling_rows):
+        _, pair_signatures = scaling_rows
+        for name, by_engine in pair_signatures.items():
+            for engine in ENGINES[1:]:
+                assert by_engine[engine] == by_engine["serial"], (
+                    f"{engine} diverged from serial on {name}"
+                )
+
+    def test_parallel_speedup_on_largest_pair(self, scaling_rows, datasets):
+        if not REQUIRE_SPEEDUP:
+            pytest.skip("set REPRO_REQUIRE_SPEEDUP=1 to arm the speedup gate")
+        if (os.cpu_count() or 1) < 4:
+            pytest.skip("speedup gate needs at least 4 CPUs")
+        rows, _ = scaling_rows
+        largest = max(
+            PROFILE_ORDER,
+            key=lambda name: len(datasets[name].kb1) + len(datasets[name].kb2),
+        )
+        by_engine = {
+            row["engine"]: row["seconds"]
+            for row in rows
+            if row["dataset"] == largest
+        }
+        best_parallel = min(by_engine["thread"], by_engine["process"])
+        speedup = by_engine["serial"] / best_parallel
+        assert speedup >= MIN_SPEEDUP, (
+            f"best parallel engine reached only {speedup:.2f}x on {largest}"
+        )

@@ -18,6 +18,13 @@ Quickstart::
 
 from .core.config import PAPER_DEFAULTS, MinoanERConfig
 from .core.pipeline import MatchResult, MinoanER, match_kbs
+from .engine import (
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    auto_workers,
+    create_executor,
+)
 from .datasets.generator import GeneratedDataset
 from .datasets.ground_truth import GroundTruth
 from .datasets.profiles import PROFILE_ORDER, generate_benchmark
@@ -40,8 +47,13 @@ __all__ = [
     "MinoanERConfig",
     "PAPER_DEFAULTS",
     "PROFILE_ORDER",
+    "ProcessExecutor",
+    "SerialExecutor",
+    "ThreadExecutor",
     "Tokenizer",
     "UriRef",
+    "auto_workers",
+    "create_executor",
     "evaluate_matching",
     "generate_benchmark",
     "match_kbs",

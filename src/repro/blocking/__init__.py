@@ -16,6 +16,7 @@ from .metablocking import (
 )
 from .metrics import BlockingQuality, blocking_quality, union_quality
 from .name_blocking import (
+    AttributeNameExtractor,
     NameExtractor,
     name_blocking,
     names_from_attributes,
@@ -31,6 +32,7 @@ from .purging import (
 from .token_blocking import token_blocking
 
 __all__ = [
+    "AttributeNameExtractor",
     "Block",
     "BlockCollection",
     "BlockingGraph",

@@ -10,6 +10,7 @@ of how names were discovered.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Callable, Iterable
 
 from ..kb.entity import EntityDescription
@@ -36,19 +37,28 @@ def normalize_name(name: str) -> str:
     return " ".join(sorted(tokenize_text(name)))
 
 
+@dataclass(frozen=True)
+class AttributeNameExtractor:
+    """Reads names from the literal values of a fixed attribute list.
+
+    A callable class rather than a closure so that it can be pickled and
+    shipped to worker processes by the parallel execution engine.
+    """
+
+    attributes: tuple[str, ...]
+
+    def __call__(self, entity: EntityDescription) -> list[str]:
+        names: list[str] = []
+        for attribute in self.attributes:
+            names.extend(entity.literals_of(attribute))
+        return names
+
+
 def names_from_attributes(
     attributes: Iterable[str],
 ) -> NameExtractor:
     """A name extractor reading the literal values of given attributes."""
-    wanted = list(attributes)
-
-    def extract(entity: EntityDescription) -> list[str]:
-        names: list[str] = []
-        for attribute in wanted:
-            names.extend(entity.literals_of(attribute))
-        return names
-
-    return extract
+    return AttributeNameExtractor(tuple(attributes))
 
 
 def name_blocking(

@@ -20,11 +20,14 @@ def token_blocking(
     tokenizer: Tokenizer | None = None,
     name: str = "BT",
 ) -> BlockCollection:
-    """Build the token blocks ``BT`` of two KBs.
+    """Build the token blocks ``BT`` of two KBs (single-pass construction).
 
     Every distinct token of an entity's schema-agnostic token bag becomes a
     blocking key.  Blocks with entities from only one KB suggest no
     comparison in clean-clean ER and are dropped.
+
+    The pipeline's partitioned counterpart is
+    :func:`repro.engine.blocking.token_blocking_engine`.
     """
     tokenizer = tokenizer or Tokenizer()
     blocks = BlockCollection(name)

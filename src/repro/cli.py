@@ -26,6 +26,7 @@ from pathlib import Path
 
 from .core.config import MinoanERConfig
 from .core.pipeline import MinoanER
+from .engine.executor import EXECUTOR_NAMES
 from .datasets.io import read_ground_truth_csv, save_dataset
 from .datasets.profiles import PROFILE_ORDER, generate_benchmark
 from .evaluation.metrics import evaluate_matching
@@ -67,6 +68,18 @@ def build_parser() -> argparse.ArgumentParser:
     match.add_argument(
         "--no-reciprocity", action="store_true", help="disable H4"
     )
+    match.add_argument(
+        "--engine",
+        choices=EXECUTOR_NAMES,
+        default="serial",
+        help="execution engine for the pipeline stages",
+    )
+    match.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker count for parallel engines (default: one per CPU)",
+    )
 
     evaluate = commands.add_parser(
         "evaluate", help="score predicted links against a ground truth"
@@ -93,6 +106,13 @@ def cmd_generate(args: argparse.Namespace) -> int:
 
 
 def cmd_match(args: argparse.Namespace) -> int:
+    if args.engine == "serial" and args.workers is not None:
+        print(
+            "error: --workers has no effect with --engine serial; "
+            "pass --engine thread or --engine process",
+            file=sys.stderr,
+        )
+        return 2
     kb1 = read_ntriples(args.kb1, name=Path(args.kb1).stem)
     kb2 = read_ntriples(args.kb2, name=Path(args.kb2).stem)
     config = MinoanERConfig(
@@ -102,12 +122,15 @@ def cmd_match(args: argparse.Namespace) -> int:
         name_attributes=args.name_attributes,
         purge_token_blocks=not args.no_purging,
         enable_h4_reciprocity=not args.no_reciprocity,
+        engine=args.engine,
+        workers=args.workers,
     )
     result = MinoanER(config).match(kb1, kb2)
     print(
         f"matched {len(result.matches)} pairs in {result.seconds:.2f}s "
-        f"({result.by_heuristic()})"
+        f"[{args.engine}] ({result.by_heuristic()})"
     )
+    print(f"stages: {result.timing_summary()}")
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
             for uri1, uri2 in sorted(result.pairs()):

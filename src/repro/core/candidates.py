@@ -9,6 +9,7 @@ lists too).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterable
 
 from .neighbors import NeighborSimilarityIndex
 from .similarity import ValueSimilarityIndex
@@ -101,6 +102,16 @@ class CandidateIndex:
             value=tuple(candidate for candidate, _ in value_ranked),
             neighbor=tuple(candidate for candidate, _ in neighbor_ranked),
         )
+
+    def preload_entity1(
+        self, built: Iterable[tuple[str, CandidateLists]]
+    ) -> None:
+        """Seed the E1 cache with lists built elsewhere (parallel engine).
+
+        The lists must be what :meth:`of_entity1` would have produced —
+        the engine guarantees that by calling it in worker processes.
+        """
+        self._cache1.update(built)
 
     def _cooccurring(self, uri: str, side: int) -> set[str]:
         if side == 1:

@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 
 from ..blocking.purging import DEFAULT_GAIN_FACTOR
+from ..engine.executor import EXECUTOR_NAMES
 
 
 @dataclass(frozen=True)
@@ -52,6 +53,16 @@ class MinoanERConfig:
     restrict_h3_to_cooccurring: bool = True
 
     # ------------------------------------------------------------------
+    # Execution engine
+    # ------------------------------------------------------------------
+    #: How pipeline stages execute: ``serial`` (default), ``thread`` or
+    #: ``process``.  All three produce identical matches; the parallel
+    #: executors split the hot stages across workers.
+    engine: str = "serial"
+    #: Worker count for the parallel executors (None = one per CPU).
+    workers: int | None = None
+
+    # ------------------------------------------------------------------
     # Heuristic toggles (ablation benches)
     # ------------------------------------------------------------------
     enable_h1_names: bool = True
@@ -72,6 +83,17 @@ class MinoanERConfig:
             raise ValueError("min_token_length must be >= 1")
         if self.purging_gain_factor < 1.0:
             raise ValueError("purging_gain_factor must be >= 1.0")
+        if self.engine not in EXECUTOR_NAMES:
+            raise ValueError(
+                f"engine must be one of {EXECUTOR_NAMES}, got {self.engine!r}"
+            )
+        if self.workers is not None and self.workers < 1:
+            raise ValueError("workers must be >= 1 (or None for auto)")
+        if self.engine == "serial" and self.workers is not None:
+            raise ValueError(
+                "workers has no effect with the serial engine; "
+                "choose engine='thread' or 'process' (or leave workers unset)"
+            )
 
     def with_heuristics(
         self,

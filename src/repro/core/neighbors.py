@@ -53,12 +53,24 @@ class NeighborSimilarityIndex:
         self._propagate(value_index, top_neighbors1, top_neighbors2)
         self._build_ranked_lists()
 
+    @classmethod
+    def from_pair_sums(cls, sims: dict[Pair, float]) -> "NeighborSimilarityIndex":
+        """An index over externally propagated pair sums (parallel engine)."""
+        index = cls.__new__(cls)
+        index._sims = dict(sims)
+        index._by_entity1 = {}
+        index._by_entity2 = {}
+        index._build_ranked_lists()
+        return index
+
     def _propagate(
         self,
         value_index: ValueSimilarityIndex,
         top_neighbors1: dict[str, set[str]],
         top_neighbors2: dict[str, set[str]],
     ) -> None:
+        # Mirrored by repro.engine.similarity._neighbor_partial (per-chunk
+        # propagation); change the placement rule in both.
         # Reverse indices: neighbor uri -> entities having it as top neighbor.
         reverse1: dict[str, list[str]] = {}
         for uri, neighbor_set in top_neighbors1.items():

@@ -6,17 +6,31 @@ collections ``BN`` and ``BT`` with Block Purging, (iii) derives the value
 and neighbor similarity indices from block statistics alone, and (iv) runs
 the non-iterative heuristics H1-H4.  No schema knowledge, no similarity
 threshold, no convergence loop.
+
+Every stage dispatches through a pluggable execution engine
+(:mod:`repro.engine`): the default :class:`SerialExecutor` runs the
+partitioned stages in the calling thread, while ``thread``/``process``
+executors (the :class:`MinoanERConfig` ``engine``/``workers`` knobs)
+spread them across workers — with identical results, since partition
+layout and merge order are independent of the executor.
 """
 
 from __future__ import annotations
 
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 from ..blocking.base import BlockCollection
-from ..blocking.name_blocking import name_blocking, names_from_attributes
+from ..blocking.name_blocking import names_from_attributes
 from ..blocking.purging import PurgingReport, purge_blocks
-from ..blocking.token_blocking import token_blocking
+from ..engine.blocking import name_blocking_engine, token_blocking_engine
+from ..engine.executor import Executor, create_executor
+from ..engine.matching import (
+    h2_value_matches_engine,
+    h3_rank_aggregation_matches_engine,
+)
+from ..engine.similarity import build_neighbor_index, build_value_index
 from ..kb.knowledge_base import KnowledgeBase
 from ..kb.tokenizer import Tokenizer
 from .candidates import CandidateIndex
@@ -25,13 +39,29 @@ from .heuristics import (
     Match,
     MatchedRegistry,
     h1_name_matches,
-    h2_value_matches,
-    h3_rank_aggregation_matches,
     h4_reciprocity_filter,
 )
-from .neighbors import NeighborSimilarityIndex, top_neighbors
-from .similarity import ValueSimilarityIndex
+from .neighbors import top_neighbors
 from .statistics import top_name_attributes, top_relations
+
+#: The stages whose wall-clock the pipeline accounts separately.
+STAGES = ("blocking", "indexing", "heuristics")
+
+
+class StageTimer:
+    """Accumulates per-stage wall-clock while the pipeline runs."""
+
+    def __init__(self) -> None:
+        self.seconds: dict[str, float] = {}
+
+    @contextmanager
+    def stage(self, name: str):
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - started
+            self.seconds[name] = self.seconds.get(name, 0.0) + elapsed
 
 
 @dataclass
@@ -40,7 +70,9 @@ class MatchResult:
 
     ``matches`` holds the final output (after H4 when enabled);
     ``pre_h4_matches`` the union of H1/H2/H3 decisions, and
-    ``discarded_by_h4`` what reciprocity pruned.
+    ``discarded_by_h4`` what reciprocity pruned.  ``stage_seconds``
+    breaks the total ``seconds`` down into the blocking / indexing /
+    heuristics stages.
     """
 
     matches: list[Match]
@@ -54,6 +86,7 @@ class MatchResult:
     token_blocks: BlockCollection
     purging_report: PurgingReport | None
     seconds: float = 0.0
+    stage_seconds: dict[str, float] = field(default_factory=dict)
 
     def pairs(self) -> set[tuple[str, str]]:
         """The final matched (E1 uri, E2 uri) pairs."""
@@ -72,6 +105,15 @@ class MatchResult:
         for match in self.matches:
             counts[match.heuristic] = counts.get(match.heuristic, 0) + 1
         return counts
+
+    def timing_summary(self) -> str:
+        """One-line per-stage timing breakdown for reports."""
+        parts = [
+            f"{name} {self.stage_seconds[name]:.2f}s"
+            for name in STAGES
+            if name in self.stage_seconds
+        ]
+        return ", ".join(parts)
 
 
 class MinoanER:
@@ -102,26 +144,37 @@ class MinoanER:
             include_uri_localnames=self.config.include_uri_localnames,
         )
 
+    def build_engine(self) -> Executor:
+        """The executor implied by the configuration (caller closes it)."""
+        return create_executor(self.config.engine, self.config.workers)
+
     def build_name_blocks(
-        self, kb1: KnowledgeBase, kb2: KnowledgeBase
+        self,
+        kb1: KnowledgeBase,
+        kb2: KnowledgeBase,
+        engine: Executor | None = None,
     ) -> tuple[BlockCollection, list[str], list[str]]:
         """Discover name attributes and build ``BN``."""
         k = self.config.name_attributes
         names1 = top_name_attributes(kb1, k)
         names2 = top_name_attributes(kb2, k)
-        blocks = name_blocking(
+        blocks = name_blocking_engine(
             kb1,
             kb2,
             names_from_attributes(names1),
             names_from_attributes(names2),
+            engine,
         )
         return blocks, names1, names2
 
     def build_token_blocks(
-        self, kb1: KnowledgeBase, kb2: KnowledgeBase
+        self,
+        kb1: KnowledgeBase,
+        kb2: KnowledgeBase,
+        engine: Executor | None = None,
     ) -> tuple[BlockCollection, PurgingReport | None]:
         """Build ``BT`` and purge oversized blocks."""
-        blocks = token_blocking(kb1, kb2, self.build_tokenizer())
+        blocks = token_blocking_engine(kb1, kb2, self.build_tokenizer(), engine)
         if not self.config.purge_token_blocks:
             return blocks, None
         purged, report = purge_blocks(
@@ -138,50 +191,68 @@ class MinoanER:
         """Run the full non-iterative matching process on two KBs."""
         started = time.perf_counter()
         config = self.config
+        timer = StageTimer()
 
-        name_blocks, names1, names2 = self.build_name_blocks(kb1, kb2)
-        token_blocks, purging_report = self.build_token_blocks(kb1, kb2)
-
-        value_index = ValueSimilarityIndex(token_blocks)
-        relations1 = top_relations(
-            kb1, config.top_n_relations, config.include_incoming_edges
-        )
-        relations2 = top_relations(
-            kb2, config.top_n_relations, config.include_incoming_edges
-        )
-        neighbor_index = NeighborSimilarityIndex(
-            value_index,
-            top_neighbors(kb1, relations1, config.include_incoming_edges),
-            top_neighbors(kb2, relations2, config.include_incoming_edges),
-        )
-        candidate_index = CandidateIndex(
-            value_index,
-            neighbor_index,
-            k=config.top_k_candidates,
-            restrict_neighbors_to_cooccurring=config.restrict_h3_to_cooccurring,
-        )
-
-        registry = MatchedRegistry()
-        collected: list[Match] = []
-        entity1_uris = kb1.uris()
-
-        if config.enable_h1_names:
-            collected.extend(h1_name_matches(name_blocks, registry))
-        if config.enable_h2_values:
-            collected.extend(
-                h2_value_matches(entity1_uris, value_index, registry)
-            )
-        if config.enable_h3_rank_aggregation:
-            collected.extend(
-                h3_rank_aggregation_matches(
-                    entity1_uris, candidate_index, config.theta, registry
+        with self.build_engine() as engine:
+            with timer.stage("blocking"):
+                name_blocks, names1, names2 = self.build_name_blocks(
+                    kb1, kb2, engine
                 )
-            )
+                token_blocks, purging_report = self.build_token_blocks(
+                    kb1, kb2, engine
+                )
 
-        if config.enable_h4_reciprocity:
-            kept, discarded = h4_reciprocity_filter(collected, candidate_index)
-        else:
-            kept, discarded = list(collected), []
+            with timer.stage("indexing"):
+                value_index = build_value_index(token_blocks, engine)
+                relations1 = top_relations(
+                    kb1, config.top_n_relations, config.include_incoming_edges
+                )
+                relations2 = top_relations(
+                    kb2, config.top_n_relations, config.include_incoming_edges
+                )
+                neighbor_index = build_neighbor_index(
+                    value_index,
+                    top_neighbors(kb1, relations1, config.include_incoming_edges),
+                    top_neighbors(kb2, relations2, config.include_incoming_edges),
+                    engine,
+                )
+                candidate_index = CandidateIndex(
+                    value_index,
+                    neighbor_index,
+                    k=config.top_k_candidates,
+                    restrict_neighbors_to_cooccurring=config.restrict_h3_to_cooccurring,
+                )
+
+            with timer.stage("heuristics"):
+                registry = MatchedRegistry()
+                collected: list[Match] = []
+                entity1_uris = kb1.uris()
+
+                if config.enable_h1_names:
+                    collected.extend(h1_name_matches(name_blocks, registry))
+                if config.enable_h2_values:
+                    collected.extend(
+                        h2_value_matches_engine(
+                            entity1_uris, value_index, registry, engine
+                        )
+                    )
+                if config.enable_h3_rank_aggregation:
+                    collected.extend(
+                        h3_rank_aggregation_matches_engine(
+                            entity1_uris,
+                            candidate_index,
+                            config.theta,
+                            registry,
+                            engine,
+                        )
+                    )
+
+                if config.enable_h4_reciprocity:
+                    kept, discarded = h4_reciprocity_filter(
+                        collected, candidate_index
+                    )
+                else:
+                    kept, discarded = list(collected), []
 
         return MatchResult(
             matches=kept,
@@ -195,6 +266,7 @@ class MinoanER:
             token_blocks=token_blocks,
             purging_report=purging_report,
             seconds=time.perf_counter() - started,
+            stage_seconds=dict(timer.seconds),
         )
 
 

@@ -36,7 +36,24 @@ class ValueSimilarityIndex:
         self._accumulate(token_blocks)
         self._build_ranked_lists()
 
+    @classmethod
+    def from_pair_sums(cls, sims: dict[Pair, float]) -> "ValueSimilarityIndex":
+        """An index over externally accumulated pair sums.
+
+        The parallel engine accumulates per-shard sums and merges them
+        associatively; this constructor takes the merged map and only
+        builds the ranked candidate lists.
+        """
+        index = cls.__new__(cls)
+        index._sims = dict(sims)
+        index._by_entity1 = {}
+        index._by_entity2 = {}
+        index._build_ranked_lists()
+        return index
+
     def _accumulate(self, token_blocks: BlockCollection) -> None:
+        # Mirrored by repro.engine.similarity._value_partial (per-shard
+        # accumulation); change the weighting or pair placement in both.
         sims = self._sims
         for block in token_blocks:
             weight = block_token_weight(len(block.entities1), len(block.entities2))

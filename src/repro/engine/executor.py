@@ -1,0 +1,163 @@
+"""Pluggable executors: the parallel substrate of the pipeline.
+
+The paper specifies every MinoanER stage as a Spark map/reduce job; this
+module provides the laptop-scale analogue.  An :class:`Executor` runs a
+function over a list of *partitions* (``map_partitions``) and folds the
+per-partition results back together in partition order (``reduce``).
+
+Three implementations share that interface:
+
+- :class:`SerialExecutor` — runs partitions one after another in the
+  calling thread (the default; no concurrency, no surprises);
+- :class:`ThreadExecutor` — a thread pool (cheap to ship data to, but
+  pure-Python stages contend on the GIL);
+- :class:`ProcessExecutor` — a process pool (true parallelism; partition
+  functions and their arguments must be picklable).
+
+Determinism contract: ``map_partitions`` returns results in partition
+order and ``reduce`` folds them left-to-right in that order, for every
+executor.  Combined with a partition layout that depends only on the data
+(see :mod:`repro.engine.partitioner`), every stage computes bit-identical
+results — including floating-point accumulations — no matter which
+executor ran it or with how many workers.
+"""
+
+from __future__ import annotations
+
+import os
+from abc import ABC, abstractmethod
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Any, Callable, Sequence, TypeVar
+
+P = TypeVar("P")
+R = TypeVar("R")
+
+EXECUTOR_NAMES = ("serial", "thread", "process")
+
+
+def auto_workers() -> int:
+    """Worker count matching the machine (at least 1)."""
+    return max(1, os.cpu_count() or 1)
+
+
+class Executor(ABC):
+    """Runs a function over partitions and merges the results in order."""
+
+    name: str = "abstract"
+
+    def __init__(self, workers: int | None = None) -> None:
+        if workers is not None and workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers if workers is not None else auto_workers()
+
+    @abstractmethod
+    def map_partitions(
+        self, fn: Callable[[P], R], partitions: Sequence[P]
+    ) -> list[R]:
+        """Apply ``fn`` to every partition; results come in partition order."""
+
+    def reduce(
+        self,
+        merge: Callable[[Any, R], Any],
+        results: Sequence[R],
+        initial: Any,
+    ) -> Any:
+        """Left fold of per-partition results, in partition order."""
+        accumulated = initial
+        for result in results:
+            accumulated = merge(accumulated, result)
+        return accumulated
+
+    def run(
+        self,
+        fn: Callable[[P], R],
+        partitions: Sequence[P],
+        merge: Callable[[Any, R], Any],
+        initial: Any,
+    ) -> Any:
+        """``map_partitions`` + ``reduce`` in one call."""
+        return self.reduce(merge, self.map_partitions(fn, partitions), initial)
+
+    def close(self) -> None:
+        """Release pooled workers (idempotent; a no-op for serial)."""
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(workers={self.workers})"
+
+
+class SerialExecutor(Executor):
+    """Runs every partition in the calling thread, one after another."""
+
+    name = "serial"
+
+    def __init__(self, workers: int | None = None) -> None:
+        super().__init__(1)
+
+    def map_partitions(
+        self, fn: Callable[[P], R], partitions: Sequence[P]
+    ) -> list[R]:
+        return [fn(partition) for partition in partitions]
+
+
+class _PooledExecutor(Executor):
+    """Shared lazily-created-pool behaviour of thread/process executors."""
+
+    def _make_pool(self):  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def __init__(self, workers: int | None = None) -> None:
+        super().__init__(workers)
+        self._pool = None
+
+    def map_partitions(
+        self, fn: Callable[[P], R], partitions: Sequence[P]
+    ) -> list[R]:
+        if len(partitions) <= 1 or self.workers == 1:
+            return [fn(partition) for partition in partitions]
+        if self._pool is None:
+            self._pool = self._make_pool()
+        return list(self._pool.map(fn, partitions))
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+
+class ThreadExecutor(_PooledExecutor):
+    """A thread pool; shares memory with the driver (no pickling)."""
+
+    name = "thread"
+
+    def _make_pool(self):
+        return ThreadPoolExecutor(max_workers=self.workers)
+
+
+class ProcessExecutor(_PooledExecutor):
+    """A process pool; partition functions and data must be picklable."""
+
+    name = "process"
+
+    def _make_pool(self):
+        return ProcessPoolExecutor(max_workers=self.workers)
+
+
+def create_executor(name: str = "serial", workers: int | None = None) -> Executor:
+    """Instantiate an executor by name (``serial``/``thread``/``process``).
+
+    ``workers=None`` auto-detects the machine's CPU count (serial always
+    uses exactly one worker).
+    """
+    if name == "serial":
+        return SerialExecutor()
+    if name == "thread":
+        return ThreadExecutor(workers)
+    if name == "process":
+        return ProcessExecutor(workers)
+    raise ValueError(f"unknown executor {name!r}; known: {EXECUTOR_NAMES}")

@@ -1,0 +1,92 @@
+"""Partitioned H3 (and the engine's H2 entry point).
+
+H2 and H3 are sequential *decisions* — an entity matched early removes
+its partner from every later candidate scan — but H3's per-entity work
+(building the top-K value and neighbor candidate lists) is read-only
+against the prepared indices.  H3 therefore runs in two phases:
+
+1. **gather** (parallel): entity chunks build candidate lists against
+   the read-only indices;
+2. **resolve** (serial): the original heuristic logic walks the entities
+   in their original order, consuming the gathered lists.
+
+Phase 2 is exactly the serial heuristic, so the emitted matches are
+identical to a fully serial run, match-for-match.
+
+H2 has no phase worth distributing — its per-entity "work" is a lookup
+into ranked lists the value index already holds — so the engine entry
+point delegates straight to the serial scan; shipping the index to
+workers only to perform dict gets would cost more than the scan itself.
+"""
+
+from __future__ import annotations
+
+from functools import partial
+from typing import Iterable, Sequence
+
+from ..core.candidates import CandidateIndex, CandidateLists
+from ..core.heuristics import (
+    Match,
+    MatchedRegistry,
+    h2_value_matches,
+    h3_rank_aggregation_matches,
+)
+from ..core.similarity import ValueSimilarityIndex
+from .executor import Executor, SerialExecutor
+from .partitioner import chunk_evenly, partition_count
+
+
+def h2_value_matches_engine(
+    entity1_uris: Iterable[str],
+    value_index: ValueSimilarityIndex,
+    registry: MatchedRegistry,
+    engine: Executor | None = None,
+) -> list[Match]:
+    """H2 through the engine interface (uniform stage dispatch).
+
+    Delegates to the serial :func:`h2_value_matches`; see the module
+    docstring for why H2 gains nothing from parallel gathering.
+    ``engine`` is accepted so the pipeline dispatches every heuristic
+    the same way.
+    """
+    del engine  # H2 is a per-entity lookup; nothing to distribute
+    return h2_value_matches(entity1_uris, value_index, registry)
+
+
+def _built_candidate_lists(
+    uris: Sequence[str], candidate_index: CandidateIndex
+) -> list[tuple[str, CandidateLists]]:
+    """(uri, top-K candidate lists) for one entity chunk."""
+    return [(uri, candidate_index.of_entity1(uri)) for uri in uris]
+
+
+def h3_rank_aggregation_matches_engine(
+    entity1_uris: Iterable[str],
+    candidate_index: CandidateIndex,
+    theta: float,
+    registry: MatchedRegistry,
+    engine: Executor | None = None,
+) -> list[Match]:
+    """H3 with parallel candidate-list building; serial rank resolution.
+
+    The expensive part of H3 — assembling each entity's top-K value and
+    neighbor candidate lists — is pure per entity, so chunks build lists
+    concurrently and preload the index's cache; the registry-dependent
+    aggregation then runs serially over the warm cache, which makes it
+    identical to the serial heuristic.
+    """
+    engine = engine or SerialExecutor()
+    uris = [uri for uri in entity1_uris if uri not in registry.matched1]
+    # Candidate lists are a pure function of the uri, so — unlike the
+    # floating-point-summing stages — the chunk count may follow the
+    # worker count: process executors pickle the whole candidate index
+    # (both similarity indices) per chunk, and one chunk per worker
+    # bounds that cost without affecting the gathered lists.
+    n_chunks = min(partition_count(len(uris)), engine.workers)
+    built = engine.map_partitions(
+        partial(_built_candidate_lists, candidate_index=candidate_index),
+        chunk_evenly(uris, n_chunks),
+    )
+    for chunk in built:
+        candidate_index.preload_entity1(chunk)
+    return h3_rank_aggregation_matches(uris, candidate_index, theta, registry)

@@ -1,0 +1,120 @@
+"""Deterministic partitioning of KBs and block collections.
+
+Two layouts cover every parallel stage:
+
+- **hash partitioning** assigns each item to a shard by a *stable* hash
+  of its key (CRC32, never Python's salted ``hash``) — used for entities
+  during blocking (hash-by-entity) and for blocks during similarity
+  aggregation (hash-by-block-key);
+- **even chunking** splits a sequence into contiguous runs, preserving
+  order — used for entity scans whose results must be consumed in the
+  original iteration order (H2/H3).
+
+The partition *count* is a function of the data size alone, never of the
+executor's worker count.  Every executor therefore sees the identical
+partition layout and merges per-partition results in the identical order,
+which makes all floating-point accumulations bit-identical across
+``serial``/``thread``/``process`` runs — executors only change how the
+partitions are scheduled.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Callable, Iterable, Sequence, TypeVar
+
+from ..blocking.base import Block, BlockCollection
+from ..kb.entity import EntityDescription
+from ..kb.knowledge_base import KnowledgeBase
+
+T = TypeVar("T")
+
+#: Aim for at least this many items per partition before splitting further.
+MIN_PARTITION_SIZE = 64
+#: Upper bound on partitions; more shards than this only adds overhead.
+MAX_PARTITIONS = 16
+
+
+def stable_hash(key: str) -> int:
+    """A process- and run-stable hash of a string key (CRC32).
+
+    Python's builtin ``hash`` is salted per interpreter, so it cannot
+    place the same key in the same shard across runs or across worker
+    processes; CRC32 can.
+    """
+    return zlib.crc32(key.encode("utf-8"))
+
+
+def partition_count(
+    n_items: int,
+    min_partition_size: int = MIN_PARTITION_SIZE,
+    max_partitions: int = MAX_PARTITIONS,
+) -> int:
+    """How many partitions to split ``n_items`` into.
+
+    Deliberately independent of the worker count — see the module
+    docstring for why this buys cross-executor determinism.
+    """
+    if n_items <= 0:
+        return 1
+    return max(1, min(max_partitions, n_items // min_partition_size))
+
+
+def hash_partitions(
+    items: Iterable[T], n_partitions: int, key: Callable[[T], str]
+) -> list[list[T]]:
+    """Assign each item to ``stable_hash(key(item)) % n_partitions``.
+
+    Items keep their relative input order within a shard.
+    """
+    if n_partitions < 1:
+        raise ValueError("n_partitions must be >= 1")
+    shards: list[list[T]] = [[] for _ in range(n_partitions)]
+    for item in items:
+        shards[stable_hash(key(item)) % n_partitions].append(item)
+    return shards
+
+
+def chunk_evenly(items: Sequence[T], n_chunks: int) -> list[Sequence[T]]:
+    """Split a sequence into ``n_chunks`` contiguous, order-preserving runs.
+
+    Chunk sizes differ by at most one; empty chunks are dropped.
+    """
+    if n_chunks < 1:
+        raise ValueError("n_chunks must be >= 1")
+    total = len(items)
+    size, remainder = divmod(total, n_chunks)
+    chunks: list[Sequence[T]] = []
+    start = 0
+    for index in range(n_chunks):
+        stop = start + size + (1 if index < remainder else 0)
+        if stop > start:
+            chunks.append(items[start:stop])
+        start = stop
+    return chunks
+
+
+def partition_entities(
+    kb: KnowledgeBase, n_partitions: int | None = None
+) -> list[list[EntityDescription]]:
+    """Hash-by-entity shards of a KB's descriptions (blocking layout)."""
+    n_parts = (
+        n_partitions if n_partitions is not None else partition_count(len(kb))
+    )
+    return hash_partitions(kb, n_parts, key=lambda entity: entity.uri)
+
+
+def partition_blocks(
+    blocks: BlockCollection, n_partitions: int | None = None
+) -> list[list[Block]]:
+    """Hash-by-block-key shards of a collection (aggregation layout).
+
+    Blocks are sorted by key *before* sharding, so the per-shard scan
+    order — and with it every per-shard floating-point accumulation — is
+    independent of the collection's insertion order.
+    """
+    n_parts = (
+        n_partitions if n_partitions is not None else partition_count(len(blocks))
+    )
+    ordered = sorted(blocks, key=lambda block: block.key)
+    return hash_partitions(ordered, n_parts, key=lambda block: block.key)

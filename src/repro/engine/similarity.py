@@ -1,0 +1,121 @@
+"""Partitioned construction of the value and neighbor similarity indices.
+
+Both indices are sums over independent contributions — token-block weights
+for ``valueSim``, propagated value pairs for ``neighborNSim`` — so each
+shard accumulates a partial ``pair -> sum`` map and the driver merges the
+partials associatively, in partition order.
+
+Determinism: blocks are sharded by a stable hash of their key (and the
+entities of each block are scanned in sorted order), value pairs are
+chunked in their index order, and partials merge left-to-right.  The
+resulting floating-point sums are therefore bit-identical across
+executors and worker counts.
+"""
+
+from __future__ import annotations
+
+from functools import partial
+
+from ..blocking.base import Block, BlockCollection
+from ..core.neighbors import NeighborSimilarityIndex
+from ..core.similarity import Pair, ValueSimilarityIndex, block_token_weight
+from .executor import Executor, SerialExecutor
+from .partitioner import chunk_evenly, partition_blocks, partition_count
+
+PairSums = dict[Pair, float]
+
+
+def merge_pair_sums(accumulated: PairSums, partial_sums: PairSums) -> PairSums:
+    """Fold one shard's partial sums into the running total (associative)."""
+    for pair, value in partial_sums.items():
+        accumulated[pair] = accumulated.get(pair, 0.0) + value
+    return accumulated
+
+
+def _value_partial(blocks: list[Block]) -> PairSums:
+    """valueSim contributions of one block shard.
+
+    Entities are scanned in sorted order so the shard's output — dict
+    order included — does not depend on the interpreter's set-hash seed.
+    """
+    sums: PairSums = {}
+    for block in blocks:
+        weight = block_token_weight(len(block.entities1), len(block.entities2))
+        for uri1 in sorted(block.entities1):
+            for uri2 in sorted(block.entities2):
+                pair = (uri1, uri2)
+                sums[pair] = sums.get(pair, 0.0) + weight
+    return sums
+
+
+def build_value_index(
+    token_blocks: BlockCollection, engine: Executor | None = None
+) -> ValueSimilarityIndex:
+    """The :class:`ValueSimilarityIndex` of ``token_blocks``, partitioned.
+
+    Shards the blocks by key (hash-by-block-key), accumulates per-shard
+    pair sums, merges them in shard order.
+    """
+    engine = engine or SerialExecutor()
+    partials = engine.map_partitions(_value_partial, partition_blocks(token_blocks))
+    return ValueSimilarityIndex.from_pair_sums(
+        engine.reduce(merge_pair_sums, partials, {})
+    )
+
+
+def _reverse_index(top_neighbors: dict[str, set[str]]) -> dict[str, list[str]]:
+    """neighbor uri -> sorted entities having it among their top neighbors."""
+    reverse: dict[str, list[str]] = {}
+    for uri, neighbor_set in top_neighbors.items():
+        for neighbor in neighbor_set:
+            reverse.setdefault(neighbor, []).append(uri)
+    for parents in reverse.values():
+        parents.sort()
+    return reverse
+
+
+def _neighbor_partial(
+    value_items: list[tuple[Pair, float]],
+    reverse1: dict[str, list[str]],
+    reverse2: dict[str, list[str]],
+) -> PairSums:
+    """neighborNSim contributions of one chunk of value pairs."""
+    sums: PairSums = {}
+    for (neighbor1, neighbor2), sim in value_items:
+        parents1 = reverse1.get(neighbor1)
+        if not parents1:
+            continue
+        parents2 = reverse2.get(neighbor2)
+        if not parents2:
+            continue
+        for entity1 in parents1:
+            for entity2 in parents2:
+                pair = (entity1, entity2)
+                sums[pair] = sums.get(pair, 0.0) + sim
+    return sums
+
+
+def build_neighbor_index(
+    value_index: ValueSimilarityIndex,
+    top_neighbors1: dict[str, set[str]],
+    top_neighbors2: dict[str, set[str]],
+    engine: Executor | None = None,
+) -> NeighborSimilarityIndex:
+    """The :class:`NeighborSimilarityIndex`, propagated shard by shard.
+
+    The sparse value-pair map is chunked in index order; every chunk
+    propagates its pairs up to the entities listing them as top
+    neighbors, against read-only reverse indices.
+    """
+    engine = engine or SerialExecutor()
+    items = sorted(value_index.pairs().items())
+    worker = partial(
+        _neighbor_partial,
+        reverse1=_reverse_index(top_neighbors1),
+        reverse2=_reverse_index(top_neighbors2),
+    )
+    chunks = chunk_evenly(items, partition_count(len(items)))
+    partials = engine.map_partitions(worker, chunks)
+    return NeighborSimilarityIndex.from_pair_sums(
+        engine.reduce(merge_pair_sums, partials, {})
+    )

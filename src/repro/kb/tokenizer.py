@@ -58,6 +58,11 @@ class Tokenizer:
         self.min_length = min_length
         self.include_uri_localnames = include_uri_localnames
         self.stop_words = frozenset(w.lower() for w in stop_words)
+        # Per-entity token-bag memo keyed by object identity; the stored
+        # entity reference both pins the id and detects stale reuse.
+        self._token_cache: dict[
+            int, tuple[EntityDescription, tuple[str, ...]]
+        ] = {}
 
     def tokens(self, entity: EntityDescription) -> list[str]:
         """The token bag of ``entity`` (duplicates preserved)."""
@@ -78,6 +83,35 @@ class Tokenizer:
     def token_counts(self, entity: EntityDescription) -> Counter[str]:
         """Token multiplicities of ``entity`` (term frequencies)."""
         return Counter(self.tokens(entity))
+
+    def cached_tokens(self, entity: EntityDescription) -> tuple[str, ...]:
+        """The token bag of ``entity``, memoized per tokenizer.
+
+        Descriptions are immutable in practice once loaded, so passes
+        that revisit entities with one tokenizer — BSL's grid search
+        tokenizes both KBs once per (n-gram, weighting, similarity)
+        point — pay the tokenization exactly once.  Mutating an entity
+        after it was cached will not be observed; use
+        :meth:`clear_cache` in that case.
+        """
+        key = id(entity)
+        hit = self._token_cache.get(key)
+        if hit is not None and hit[0] is entity:
+            return hit[1]
+        bag = tuple(self.tokens(entity))
+        self._token_cache[key] = (entity, bag)
+        return bag
+
+    def clear_cache(self) -> None:
+        """Drop all memoized token bags."""
+        self._token_cache.clear()
+
+    def __getstate__(self) -> dict:
+        # The memo is an identity-keyed local cache: ids are meaningless
+        # in another process, so pickles (for process executors) drop it.
+        state = self.__dict__.copy()
+        state["_token_cache"] = {}
+        return state
 
     def __repr__(self) -> str:
         return (

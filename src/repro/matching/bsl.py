@@ -128,11 +128,11 @@ class BslBaseline:
     ) -> list[tuple[str, str, float]]:
         """Similarity of each candidate pair under one representation."""
         counts1 = {
-            entity.uri: token_ngram_counts(self.tokenizer.tokens(entity), ngram)
+            entity.uri: token_ngram_counts(self.tokenizer.cached_tokens(entity), ngram)
             for entity in kb1
         }
         counts2 = {
-            entity.uri: token_ngram_counts(self.tokenizer.tokens(entity), ngram)
+            entity.uri: token_ngram_counts(self.tokenizer.cached_tokens(entity), ngram)
             for entity in kb2
         }
 
@@ -238,6 +238,9 @@ class BslBaseline:
                                 recall=recall,
                                 configurations_tried=tried,
                             )
+        # The grid is done: release the per-entity token memo so the
+        # baseline object does not pin both KBs' token bags afterwards.
+        self.tokenizer.clear_cache()
         if best is None:
             raise ValueError("empty BSL grid")
         best.configurations_tried = tried

@@ -66,3 +66,27 @@ class TestWithHeuristics:
         config = PAPER_DEFAULTS.with_heuristics(h1=False)
         assert PAPER_DEFAULTS.enable_h1_names
         assert not config.enable_h1_names
+
+
+class TestEngineKnobs:
+    def test_defaults(self):
+        assert PAPER_DEFAULTS.engine == "serial"
+        assert PAPER_DEFAULTS.workers is None
+
+    def test_parallel_engines_accept_workers(self):
+        assert MinoanERConfig(engine="thread", workers=4).workers == 4
+        assert MinoanERConfig(engine="process", workers=2).workers == 2
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="engine"):
+            MinoanERConfig(engine="spark")
+
+    def test_nonpositive_workers_rejected(self):
+        with pytest.raises(ValueError, match="workers"):
+            MinoanERConfig(engine="thread", workers=0)
+
+    def test_workers_with_serial_engine_rejected(self):
+        # Silently ignoring workers would let a user believe a run was
+        # parallel; the config refuses the combination instead.
+        with pytest.raises(ValueError, match="no effect"):
+            MinoanERConfig(workers=8)

@@ -1,0 +1,182 @@
+"""Executor parity: thread/process runs must equal serial runs exactly.
+
+The engine's determinism contract (partition layout from data size only,
+merges in partition order, sorted scan orders) promises *bit-identical*
+results across executors — same match pairs with the same floating-point
+scores, and the same block collections in the same iteration order.
+These are property-style tests over the four generated benchmark
+profiles plus hand-built KBs.
+"""
+
+import pytest
+
+from repro import MinoanER, MinoanERConfig
+from repro.blocking import names_from_attributes, token_blocking
+from repro.core import top_name_attributes
+from repro.datasets import PROFILE_ORDER, generate_benchmark
+from repro.engine import (
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    name_blocking_engine,
+    token_blocking_engine,
+)
+from repro.kb import Tokenizer
+
+PARITY_SCALE = 0.08
+
+
+@pytest.fixture(scope="module", params=PROFILE_ORDER)
+def dataset(request):
+    return generate_benchmark(request.param, scale=PARITY_SCALE)
+
+
+def run_match(dataset, engine_name, workers=None):
+    config = MinoanERConfig(engine=engine_name, workers=workers)
+    return MinoanER(config).match(dataset.kb1, dataset.kb2)
+
+
+def signature(result):
+    """Everything observable about a run, in order, scores included."""
+    return {
+        "matches": [
+            (m.uri1, m.uri2, m.heuristic, m.score) for m in result.matches
+        ],
+        "pre_h4": [
+            (m.uri1, m.uri2, m.heuristic, m.score)
+            for m in result.pre_h4_matches
+        ],
+        "token_keys": result.token_blocks.keys(),
+        "token_blocks": {
+            b.key: (frozenset(b.entities1), frozenset(b.entities2))
+            for b in result.token_blocks
+        },
+        "name_keys": result.name_blocks.keys(),
+        "name_blocks": {
+            b.key: (frozenset(b.entities1), frozenset(b.entities2))
+            for b in result.name_blocks
+        },
+        "purging": result.purging_report,
+    }
+
+
+class TestPipelineParity:
+    def test_thread_matches_serial(self, dataset):
+        serial = run_match(dataset, "serial")
+        threaded = run_match(dataset, "thread", workers=4)
+        assert signature(threaded) == signature(serial)
+
+    def test_process_four_workers_matches_serial(self, dataset):
+        serial = run_match(dataset, "serial")
+        processed = run_match(dataset, "process", workers=4)
+        assert signature(processed) == signature(serial)
+
+    def test_serial_runs_are_reproducible(self, dataset):
+        assert signature(run_match(dataset, "serial")) == signature(
+            run_match(dataset, "serial")
+        )
+
+
+class TestBlockCollectionParity:
+    def test_engine_blocking_matches_legacy_content(self, dataset):
+        legacy = token_blocking(dataset.kb1, dataset.kb2, Tokenizer())
+        with ThreadExecutor(4) as executor:
+            parallel = token_blocking_engine(
+                dataset.kb1, dataset.kb2, Tokenizer(), executor
+            )
+        assert set(parallel.keys()) == set(legacy.keys())
+        for block in legacy:
+            other = parallel[block.key]
+            assert other.entities1 == block.entities1
+            assert other.entities2 == block.entities2
+
+    def test_engine_block_keys_sorted(self, dataset):
+        with SerialExecutor() as executor:
+            blocks = token_blocking_engine(
+                dataset.kb1, dataset.kb2, Tokenizer(), executor
+            )
+        assert blocks.keys() == sorted(blocks.keys())
+
+    def test_name_blocking_parity_across_executors(self, dataset):
+        extractor1 = names_from_attributes(top_name_attributes(dataset.kb1, 2))
+        extractor2 = names_from_attributes(top_name_attributes(dataset.kb2, 2))
+        collections = []
+        for executor in (SerialExecutor(), ThreadExecutor(4), ProcessExecutor(4)):
+            with executor:
+                collections.append(
+                    name_blocking_engine(
+                        dataset.kb1, dataset.kb2, extractor1, extractor2, executor
+                    )
+                )
+        reference = collections[0]
+        for other in collections[1:]:
+            assert other.keys() == reference.keys()
+            for block in reference:
+                assert other[block.key].entities1 == block.entities1
+                assert other[block.key].entities2 == block.entities2
+
+
+class TestIndexParity:
+    """The engine's shard-accumulated indices must agree with the serial
+    constructors — guarding the two implementations of valueSim
+    accumulation / neighbor propagation against silent divergence.
+    (Comparison is approximate at 1e-12: shard merges legitimately add
+    the same weights in a different order.)
+    """
+
+    def test_value_index_matches_serial_constructor(self, dataset):
+        from repro.core import MinoanER as Matcher
+        from repro.core.similarity import ValueSimilarityIndex
+        from repro.engine import build_value_index
+
+        blocks, _ = Matcher().build_token_blocks(dataset.kb1, dataset.kb2)
+        serial = ValueSimilarityIndex(blocks)
+        with ThreadExecutor(4) as executor:
+            engine_built = build_value_index(blocks, executor)
+        assert set(engine_built.pairs()) == set(serial.pairs())
+        for pair, sim in serial.pairs().items():
+            assert engine_built.pairs()[pair] == pytest.approx(sim, rel=1e-12)
+
+    def test_neighbor_index_matches_serial_constructor(self, dataset):
+        from repro.core import MinoanER as Matcher
+        from repro.core.neighbors import (
+            NeighborSimilarityIndex,
+            top_neighbors,
+        )
+        from repro.core.similarity import ValueSimilarityIndex
+        from repro.core.statistics import top_relations
+        from repro.engine import build_neighbor_index
+
+        blocks, _ = Matcher().build_token_blocks(dataset.kb1, dataset.kb2)
+        value_index = ValueSimilarityIndex(blocks)
+        neighbors1 = top_neighbors(
+            dataset.kb1, top_relations(dataset.kb1, 3, True), True
+        )
+        neighbors2 = top_neighbors(
+            dataset.kb2, top_relations(dataset.kb2, 3, True), True
+        )
+        serial = NeighborSimilarityIndex(value_index, neighbors1, neighbors2)
+        with ThreadExecutor(4) as executor:
+            engine_built = build_neighbor_index(
+                value_index, neighbors1, neighbors2, executor
+            )
+        assert set(engine_built.pairs()) == set(serial.pairs())
+        for pair, sim in serial.pairs().items():
+            assert engine_built.pairs()[pair] == pytest.approx(sim, rel=1e-12)
+
+
+class TestStageTimings:
+    def test_stage_seconds_recorded(self, dataset):
+        result = run_match(dataset, "serial")
+        assert set(result.stage_seconds) == {
+            "blocking",
+            "indexing",
+            "heuristics",
+        }
+        assert all(value >= 0.0 for value in result.stage_seconds.values())
+        assert sum(result.stage_seconds.values()) <= result.seconds
+
+    def test_timing_summary_mentions_every_stage(self, dataset):
+        summary = run_match(dataset, "serial").timing_summary()
+        for stage in ("blocking", "indexing", "heuristics"):
+            assert stage in summary

@@ -98,3 +98,33 @@ class TestTokenizer:
 
     def test_repr(self):
         assert "min_length=1" in repr(Tokenizer())
+
+
+class TestCachedTokens:
+    def test_memoizes_per_entity(self):
+        tokenizer = Tokenizer()
+        entity = EntityDescription("e1")
+        entity.add_literal("name", "alpha beta")
+        first = tokenizer.cached_tokens(entity)
+        assert first == ("alpha", "beta")
+        assert tokenizer.cached_tokens(entity) is first  # cache hit
+
+    def test_clear_cache(self):
+        tokenizer = Tokenizer()
+        entity = EntityDescription("e1")
+        entity.add_literal("name", "alpha")
+        tokenizer.cached_tokens(entity)
+        tokenizer.clear_cache()
+        assert tokenizer._token_cache == {}
+
+    def test_pickle_drops_cache(self):
+        import pickle
+
+        tokenizer = Tokenizer(min_length=2, stop_words=("the",))
+        entity = EntityDescription("e1")
+        entity.add_literal("name", "the alpha")
+        tokenizer.cached_tokens(entity)
+        clone = pickle.loads(pickle.dumps(tokenizer))
+        assert clone._token_cache == {}
+        assert clone.min_length == 2
+        assert clone.stop_words == frozenset({"the"})
