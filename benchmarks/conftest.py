@@ -5,6 +5,15 @@ Every bench consumes the four benchmark-like datasets generated at
 thousand entities per KB, seconds per pipeline run).  Rendered tables are
 printed and also written under ``benchmarks/results/`` so the regenerated
 paper tables persist as artifacts.
+
+Volatile wall-clock measurements never go into the committed ``*.txt``
+artifacts: benches pass them separately and ``save_table`` writes them to
+an uncommitted ``*.timing.txt`` sibling, so result reruns diff clean and
+real regressions stay visible.
+
+``sessions`` provides one :class:`~repro.pipeline.session.MatchSession`
+per dataset; ablation benches share them so upstream blocking/indexing
+artifacts are computed once per dataset instead of once per variant.
 """
 
 import os
@@ -13,6 +22,7 @@ from pathlib import Path
 import pytest
 
 from repro.datasets import PROFILE_ORDER, generate_benchmark
+from repro.pipeline import MatchSession
 
 BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.25"))
 RESULTS_DIR = Path(__file__).parent / "results"
@@ -27,14 +37,37 @@ def datasets():
     }
 
 
+@pytest.fixture(scope="module")
+def sessions(datasets):
+    """One artifact-reusing MatchSession per dataset.
+
+    Module-scoped: every bench file gets fresh sessions, so stage-run
+    counter assertions stay exact while variants within a file still
+    share upstream artifacts.
+    """
+    return {
+        name: MatchSession(data.kb1, data.kb2)
+        for name, data in datasets.items()
+    }
+
+
 @pytest.fixture(scope="session")
 def save_table():
-    """Print a rendered table and persist it under benchmarks/results/."""
+    """Print a rendered table and persist it under benchmarks/results/.
+
+    ``timing`` (optional) is written to ``<name>.timing.txt`` — kept out
+    of version control so wall-clock noise never dirties the artifacts.
+    """
     RESULTS_DIR.mkdir(exist_ok=True)
 
-    def _save(name: str, text: str) -> None:
+    def _save(name: str, text: str, timing: str | None = None) -> None:
         print()
         print(text)
         (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+        if timing is not None:
+            print(timing)
+            (RESULTS_DIR / f"{name}.timing.txt").write_text(
+                timing + "\n", encoding="utf-8"
+            )
 
     return _save

@@ -17,19 +17,21 @@ from repro.blocking import (
     purge_blocks,
     token_blocking,
 )
-from repro.core import MinoanER, MinoanERConfig
+from repro.core import MinoanERConfig
 from repro.datasets import PROFILE_ORDER
 from repro.evaluation import evaluate_matching, render_records
 from repro.kb import Tokenizer
 
 
-def compute_h3_variants(datasets):
+def compute_h3_variants(datasets, sessions):
     rows = []
     for name in ("bbc_dbpedia", "yago_imdb"):
         data = datasets[name]
         for label, restricted in (("conference", True), ("journal", False)):
+            # the toggle is a candidates-stage field: the session reuses
+            # blocking and both similarity indices across the variants
             config = MinoanERConfig(restrict_h3_to_cooccurring=restricted)
-            result = MinoanER(config).match(data.kb1, data.kb2)
+            result = sessions[name].match(config)
             quality = evaluate_matching(result.pairs(), data.ground_truth)
             rows.append(
                 {
@@ -76,9 +78,9 @@ def compute_metablocking(datasets):
     return rows
 
 
-def test_ablation_h3_candidate_source(benchmark, datasets, save_table):
+def test_ablation_h3_candidate_source(benchmark, datasets, sessions, save_table):
     rows = benchmark.pedantic(
-        compute_h3_variants, args=(datasets,), rounds=1, iterations=1
+        compute_h3_variants, args=(datasets, sessions), rounds=1, iterations=1
     )
     save_table(
         "ablation_h3_variants",
@@ -88,6 +90,9 @@ def test_ablation_h3_candidate_source(benchmark, datasets, save_table):
     for name in ("bbc_dbpedia", "yago_imdb"):
         # the journal variant may only help (it is a superset of evidence)
         assert by_key[(name, "journal")] >= by_key[(name, "conference")] - 2.0
+        # both variants shared one blocking + value/neighbor index build
+        assert sessions[name].runs("value_index") == 1
+        assert sessions[name].runs("candidates") == 2
 
 
 def test_ablation_metablocking(benchmark, datasets, save_table):

@@ -5,6 +5,12 @@ quantifies that motivation by running MinoanER with cumulative heuristic
 subsets on every dataset: H1 alone, H1+H2, H1+H2+H3, and the full system
 (with H4).  Asserted shape: recall grows monotonically along the
 cumulative chain, and H4 never hurts precision.
+
+All variants run through the shared :class:`MatchSession` fixtures, so
+blocking and indexing execute once per dataset and only the matching
+stage re-runs per variant — asserted via the sessions' stage-run
+counters, with the full variant checked match-for-match against a
+one-shot ``MinoanER().match()``.
 """
 
 from repro.core import MinoanER, MinoanERConfig
@@ -18,14 +24,23 @@ VARIANTS = (
     ("full (H1-H4)", dict()),
 )
 
+#: Stages the variant sweep must never re-run (evidence preparation).
+UPSTREAM_STAGES = (
+    "name_blocking",
+    "token_blocking",
+    "value_index",
+    "neighbor_index",
+    "candidates",
+)
 
-def compute_ablation(datasets):
+
+def compute_ablation(datasets, sessions):
     rows = []
     for name in PROFILE_ORDER:
         data = datasets[name]
         for label, toggles in VARIANTS:
             config = MinoanERConfig().with_heuristics(**toggles)
-            result = MinoanER(config).match(data.kb1, data.kb2)
+            result = sessions[name].match(config)
             quality = evaluate_matching(result.pairs(), data.ground_truth)
             rows.append(
                 {
@@ -40,9 +55,11 @@ def compute_ablation(datasets):
     return rows
 
 
-def test_ablation_heuristic_contributions(benchmark, datasets, save_table):
+def test_ablation_heuristic_contributions(
+    benchmark, datasets, sessions, save_table
+):
     rows = benchmark.pedantic(
-        compute_ablation, args=(datasets,), rounds=1, iterations=1
+        compute_ablation, args=(datasets, sessions), rounds=1, iterations=1
     )
     save_table(
         "ablation_heuristics",
@@ -67,3 +84,29 @@ def test_ablation_heuristic_contributions(benchmark, datasets, save_table):
             - by_variant[(name, "H1+H2")]["recall"]
         )
         assert gain > 3.0
+
+
+def test_session_skips_upstream_and_matches_one_shot(datasets):
+    """Acceptance: a session-driven ablation sweep runs blocking/indexing
+    exactly once while its full-variant matches equal a one-shot
+    ``MinoanER().match()``, match-for-match (self-contained session so
+    the counters are exact regardless of test selection)."""
+    from repro.pipeline import MatchSession
+
+    data = datasets["bbc_dbpedia"]
+    session = MatchSession(data.kb1, data.kb2)
+    results = {
+        label: session.match(MinoanERConfig().with_heuristics(**toggles))
+        for label, toggles in VARIANTS
+    }
+    for stage in UPSTREAM_STAGES:
+        assert session.runs(stage) == 1, (
+            f"{stage} re-ran during the sweep: {session.stage_runs}"
+        )
+    assert session.runs("matching") == len(VARIANTS)
+
+    one_shot = MinoanER().match(data.kb1, data.kb2)
+    assert [
+        (m.uri1, m.uri2, m.heuristic, m.score)
+        for m in results["full (H1-H4)"].matches
+    ] == [(m.uri1, m.uri2, m.heuristic, m.score) for m in one_shot.matches]

@@ -5,19 +5,24 @@ claiming orders-of-magnitude fewer comparisons "without any significant
 impact on recall".  This bench runs MinoanER with purging on and off on
 every dataset and also measures Block Filtering (the journal-version
 extension) as a third variant.
+
+Runs go through the shared sessions (name blocking and the purging-on
+pipeline are reused across variants); the volatile per-variant seconds
+live in the uncommitted ``ablation_purging.timing.txt`` sibling.
 """
 
 import time
 
 from repro.blocking import filter_blocks, purge_blocks, token_blocking
-from repro.core import MinoanER, MinoanERConfig
+from repro.core import MinoanERConfig
 from repro.datasets import PROFILE_ORDER
 from repro.evaluation import evaluate_matching, render_records
 from repro.kb import Tokenizer
 
 
-def compute_purging_ablation(datasets):
+def compute_purging_ablation(datasets, sessions):
     rows = []
+    timing_rows = []
     for name in PROFILE_ORDER:
         data = datasets[name]
         for label, config in (
@@ -25,7 +30,7 @@ def compute_purging_ablation(datasets):
             ("purging off", MinoanERConfig(purge_token_blocks=False)),
         ):
             started = time.perf_counter()
-            result = MinoanER(config).match(data.kb1, data.kb2)
+            result = sessions[name].match(config)
             elapsed = time.perf_counter() - started
             quality = evaluate_matching(result.pairs(), data.ground_truth)
             rows.append(
@@ -36,6 +41,12 @@ def compute_purging_ablation(datasets):
                     "precision": round(100 * quality.precision, 2),
                     "recall": round(100 * quality.recall, 2),
                     "f1": round(100 * quality.f1, 2),
+                }
+            )
+            timing_rows.append(
+                {
+                    "dataset": name,
+                    "variant": label,
                     "seconds": round(elapsed, 2),
                 }
             )
@@ -51,19 +62,24 @@ def compute_purging_ablation(datasets):
                 "precision": "",
                 "recall": "",
                 "f1": "",
-                "seconds": "",
             }
         )
-    return rows
+    return rows, timing_rows
 
 
-def test_ablation_block_purging(benchmark, datasets, save_table):
-    rows = benchmark.pedantic(
-        compute_purging_ablation, args=(datasets,), rounds=1, iterations=1
+def test_ablation_block_purging(benchmark, datasets, sessions, save_table):
+    rows, timing_rows = benchmark.pedantic(
+        compute_purging_ablation,
+        args=(datasets, sessions),
+        rounds=1,
+        iterations=1,
     )
     save_table(
         "ablation_purging",
         render_records(rows, title="Ablation A3 — Block Purging effect"),
+        timing=render_records(
+            timing_rows, title="Ablation A3 — wall-clock (volatile)"
+        ),
     )
 
     by_variant = {(r["dataset"], r["variant"]): r for r in rows}
@@ -77,3 +93,5 @@ def test_ablation_block_purging(benchmark, datasets, save_table):
         assert filtered["comparisons"] <= on["comparisons"]
         # and does not destroy recall relative to the unpurged run
         assert on["recall"] > off["recall"] - 12.0
+        # the session reused name blocking across both variants
+        assert sessions[name].runs("name_blocking") == 1

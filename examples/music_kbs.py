@@ -16,6 +16,7 @@ import sys
 from repro import MinoanER, evaluate_matching, generate_benchmark
 from repro.evaluation import render_records
 from repro.kb import Tokenizer, dataset_statistics
+from repro.pipeline import render_stage_list
 
 
 def main(scale: float = 0.25) -> None:
@@ -34,7 +35,10 @@ def main(scale: float = 0.25) -> None:
     )
     print()
 
-    result = MinoanER().match(kb1, kb2)
+    matcher = MinoanER()
+    print(render_stage_list(matcher.graph))
+    print()
+    result = matcher.match(kb1, kb2)
     report = result.purging_report
     print(
         f"Block Purging: {report.blocks_before} -> {report.blocks_after} "
@@ -49,6 +53,7 @@ def main(scale: float = 0.25) -> None:
         f"Recall {100 * quality.recall:.2f}  "
         f"F1 {100 * quality.f1:.2f}"
     )
+    print(f"Per-stage wall-clock: {result.timing_summary()}")
 
 
 if __name__ == "__main__":

@@ -75,6 +75,12 @@ def main() -> None:
     unmatched = set(kb1.uris()) - {m.uri1 for m in result.matches}
     print(f"Unmatched in {kb1.name}: {sorted(unmatched)}")
 
+    # The pipeline is a composable stage graph: the builder swaps
+    # heuristics (or whole stages) without touching the core.
+    names_only = MinoanER.builder().with_heuristics("h1").build()
+    print()
+    print(f"H1-only matches: {sorted(names_only.match(kb1, kb2).pairs())}")
+
 
 if __name__ == "__main__":
     main()

@@ -25,6 +25,16 @@ from .engine import (
     auto_workers,
     create_executor,
 )
+from .pipeline import (
+    BLOCKING_SCHEMES,
+    HEURISTICS,
+    Heuristic,
+    MatchSession,
+    PipelineBuilder,
+    PipelineContext,
+    Stage,
+    StageGraph,
+)
 from .datasets.generator import GeneratedDataset
 from .datasets.ground_truth import GroundTruth
 from .datasets.profiles import PROFILE_ORDER, generate_benchmark
@@ -36,19 +46,27 @@ from .kb.tokenizer import Tokenizer
 __version__ = "1.0.0"
 
 __all__ = [
+    "BLOCKING_SCHEMES",
     "EntityDescription",
     "GeneratedDataset",
     "GroundTruth",
+    "HEURISTICS",
+    "Heuristic",
     "KnowledgeBase",
     "Literal",
     "MatchResult",
+    "MatchSession",
     "MatchingQuality",
     "MinoanER",
     "MinoanERConfig",
     "PAPER_DEFAULTS",
     "PROFILE_ORDER",
+    "PipelineBuilder",
+    "PipelineContext",
     "ProcessExecutor",
     "SerialExecutor",
+    "Stage",
+    "StageGraph",
     "ThreadExecutor",
     "Tokenizer",
     "UriRef",

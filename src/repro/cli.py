@@ -27,6 +27,8 @@ from pathlib import Path
 from .core.config import MinoanERConfig
 from .core.pipeline import MinoanER
 from .engine.executor import EXECUTOR_NAMES
+from .pipeline import BLOCKING_SCHEMES, HEURISTICS, render_stage_list
+from .pipeline.stages import ENABLE_FLAGS
 from .datasets.io import read_ground_truth_csv, save_dataset
 from .datasets.profiles import PROFILE_ORDER, generate_benchmark
 from .evaluation.metrics import evaluate_matching
@@ -55,9 +57,22 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--seed", type=int, default=None)
 
     match = commands.add_parser("match", help="match two N-Triples KBs")
-    match.add_argument("kb1")
-    match.add_argument("kb2")
+    match.add_argument("kb1", nargs="?", default=None)
+    match.add_argument("kb2", nargs="?", default=None)
     match.add_argument("--output", default=None, help="links file (N-Triples)")
+    match.add_argument(
+        "--list-stages",
+        action="store_true",
+        help="print the pipeline stage graph and registered plugins, then exit",
+    )
+    match.add_argument(
+        "--disable-stage",
+        action="append",
+        default=None,
+        metavar="STAGE",
+        help="disable a pipeline stage by name (repeatable); "
+        f"disableable: {', '.join(sorted(DISABLABLE_STAGES))}",
+    )
     match.add_argument("--theta", type=float, default=0.6)
     match.add_argument("--top-k", type=int, default=15)
     match.add_argument("--top-n-relations", type=int, default=3)
@@ -105,6 +120,62 @@ def cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Stage/heuristic names ``--disable-stage`` accepts, with the config or
+#: graph change each maps to.  Disabling anything else would leave a
+#: downstream stage without its required artifacts.
+DISABLABLE_STAGES = ("h1", "h2", "h3", "h4", "purging", "name_blocking")
+
+
+class _UsageError(Exception):
+    """A CLI usage problem (reported on stderr, exit code 2)."""
+
+
+def _apply_disabled(builder, disabled: list[str]) -> None:
+    """Translate ``--disable-stage`` names into an explicit composition.
+
+    Heuristic names shrink the heuristic sequence; ``name_blocking``
+    additionally drops H1, which needs the name blocks; ``purging`` is a
+    token-blocking config toggle.  When H1 ends up disabled by either
+    route, the ``name_blocking`` stage is dropped too — nothing would
+    consume its output.
+    """
+    heuristics = [
+        name
+        for name, flag in ENABLE_FLAGS.items()
+        if getattr(builder.config, flag)
+    ]
+    recompose = False
+    for name in disabled:
+        if name in ENABLE_FLAGS:
+            if name in heuristics:
+                heuristics.remove(name)
+            recompose = True
+        elif name == "purging":
+            builder.with_config(purge_token_blocks=False)
+        elif name == "name_blocking":
+            if "h1" in heuristics:
+                heuristics.remove("h1")
+            recompose = True
+        else:
+            raise _UsageError(
+                f"error: cannot disable stage {name!r}; "
+                f"disableable: {', '.join(DISABLABLE_STAGES)}"
+            )
+    if recompose:
+        if not heuristics:
+            raise _UsageError("error: cannot disable every heuristic")
+        if "h1" not in heuristics:
+            builder.with_blocking("token")
+        builder.with_heuristics(*heuristics)
+
+
+def _print_stage_list(builder) -> None:
+    print(render_stage_list(builder.build_graph()))
+    print()
+    print(f"registered blocking schemes: {', '.join(BLOCKING_SCHEMES.names())}")
+    print(f"registered heuristics: {', '.join(HEURISTICS.names())}")
+
+
 def cmd_match(args: argparse.Namespace) -> int:
     if args.engine == "serial" and args.workers is not None:
         print(
@@ -113,8 +184,6 @@ def cmd_match(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    kb1 = read_ntriples(args.kb1, name=Path(args.kb1).stem)
-    kb2 = read_ntriples(args.kb2, name=Path(args.kb2).stem)
     config = MinoanERConfig(
         theta=args.theta,
         top_k_candidates=args.top_k,
@@ -125,7 +194,21 @@ def cmd_match(args: argparse.Namespace) -> int:
         engine=args.engine,
         workers=args.workers,
     )
-    result = MinoanER(config).match(kb1, kb2)
+    builder = MinoanER.builder(config)
+    try:
+        _apply_disabled(builder, args.disable_stage or [])
+    except _UsageError as error:
+        print(error, file=sys.stderr)
+        return 2
+    if args.list_stages:
+        _print_stage_list(builder)
+        return 0
+    if args.kb1 is None or args.kb2 is None:
+        print("error: match needs two KB files (or --list-stages)", file=sys.stderr)
+        return 2
+    kb1 = read_ntriples(args.kb1, name=Path(args.kb1).stem)
+    kb2 = read_ntriples(args.kb2, name=Path(args.kb2).stem)
+    result = builder.build().match(kb1, kb2)
     print(
         f"matched {len(result.matches)} pairs in {result.seconds:.2f}s "
         f"[{args.engine}] ({result.by_heuristic()})"

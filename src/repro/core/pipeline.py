@@ -7,6 +7,15 @@ and neighbor similarity indices from block statistics alone, and (iv) runs
 the non-iterative heuristics H1-H4.  No schema knowledge, no similarity
 threshold, no convergence loop.
 
+Since PR 2 the pipeline is an explicit **stage graph**
+(:mod:`repro.pipeline`): six pluggable stages over a typed artifact
+store, composed by default exactly as the paper describes.  ``match()``
+and :func:`match_kbs` are thin wrappers over that graph;
+``MinoanER.builder()`` composes custom graphs (swapped blocking schemes,
+extra heuristics, user stages) and ``MinoanER.session()`` /
+:class:`~repro.pipeline.session.MatchSession` reuses cached upstream
+artifacts across repeated runs.
+
 Every stage dispatches through a pluggable execution engine
 (:mod:`repro.engine`): the default :class:`SerialExecutor` runs the
 partitioned stages in the calling thread, while ``thread``/``process``
@@ -18,51 +27,19 @@ layout and merge order are independent of the executor.
 from __future__ import annotations
 
 import time
-from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 from ..blocking.base import BlockCollection
-from ..blocking.name_blocking import names_from_attributes
-from ..blocking.purging import PurgingReport, purge_blocks
-from ..engine.blocking import name_blocking_engine, token_blocking_engine
-from ..engine.executor import Executor, create_executor
-from ..engine.matching import (
-    h2_value_matches_engine,
-    h3_rank_aggregation_matches_engine,
-)
-from ..engine.similarity import build_neighbor_index, build_value_index
+from ..blocking.purging import PurgingReport
+from ..engine.executor import Executor, SerialExecutor, create_executor
 from ..kb.knowledge_base import KnowledgeBase
 from ..kb.tokenizer import Tokenizer
-from .candidates import CandidateIndex
+from ..pipeline.builder import PipelineBuilder, default_graph
+from ..pipeline.context import PipelineContext
+from ..pipeline.stage import StageGraph
+from ..pipeline.stages import NameBlockingStage, TokenBlockingStage
 from .config import MinoanERConfig
-from .heuristics import (
-    Match,
-    MatchedRegistry,
-    h1_name_matches,
-    h4_reciprocity_filter,
-)
-from .neighbors import top_neighbors
-from .statistics import top_name_attributes, top_relations
-
-#: The stages whose wall-clock the pipeline accounts separately.
-STAGES = ("blocking", "indexing", "heuristics")
-
-
-class StageTimer:
-    """Accumulates per-stage wall-clock while the pipeline runs."""
-
-    def __init__(self) -> None:
-        self.seconds: dict[str, float] = {}
-
-    @contextmanager
-    def stage(self, name: str):
-        started = time.perf_counter()
-        try:
-            yield
-        finally:
-            elapsed = time.perf_counter() - started
-            self.seconds[name] = self.seconds.get(name, 0.0) + elapsed
-
+from .heuristics import Match
 
 @dataclass
 class MatchResult:
@@ -70,9 +47,12 @@ class MatchResult:
 
     ``matches`` holds the final output (after H4 when enabled);
     ``pre_h4_matches`` the union of H1/H2/H3 decisions, and
-    ``discarded_by_h4`` what reciprocity pruned.  ``stage_seconds``
-    breaks the total ``seconds`` down into the blocking / indexing /
-    heuristics stages.
+    ``discarded_by_h4`` what reciprocity pruned.  ``stage_seconds`` maps
+    every executed stage (``name_blocking``, ``token_blocking``,
+    ``value_index``, ``neighbor_index``, ``candidates``, ``matching``,
+    plus any registered custom stages) to its wall-clock;
+    :meth:`seconds_by_group` folds that into the coarse
+    blocking/indexing/heuristics view.
     """
 
     matches: list[Match]
@@ -87,6 +67,32 @@ class MatchResult:
     purging_report: PurgingReport | None
     seconds: float = 0.0
     stage_seconds: dict[str, float] = field(default_factory=dict)
+    stage_groups: dict[str, str] = field(default_factory=dict)
+
+    @classmethod
+    def from_context(
+        cls, ctx: PipelineContext, seconds: float
+    ) -> "MatchResult":
+        """Assemble the result from a finished pipeline context.
+
+        Artifacts a custom graph did not produce fall back to empty
+        values, so ``match()`` keeps its shape under any composition.
+        """
+        return cls(
+            matches=ctx.get_or("matches", []),
+            pre_h4_matches=ctx.get_or("pre_h4_matches", []),
+            discarded_by_h4=ctx.get_or("discarded_by_h4", []),
+            name_attributes1=ctx.get_or("name_attributes1", []),
+            name_attributes2=ctx.get_or("name_attributes2", []),
+            top_relations1=ctx.get_or("top_relations1", []),
+            top_relations2=ctx.get_or("top_relations2", []),
+            name_blocks=ctx.get_or("name_blocks", BlockCollection("BN")),
+            token_blocks=ctx.get_or("token_blocks", BlockCollection("BT")),
+            purging_report=ctx.get_or("purging_report"),
+            seconds=seconds,
+            stage_seconds=dict(ctx.stage_seconds),
+            stage_groups=dict(ctx.stage_groups),
+        )
 
     def pairs(self) -> set[tuple[str, str]]:
         """The final matched (E1 uri, E2 uri) pairs."""
@@ -106,14 +112,20 @@ class MatchResult:
             counts[match.heuristic] = counts.get(match.heuristic, 0) + 1
         return counts
 
+    def seconds_by_group(self) -> dict[str, float]:
+        """Stage wall-clock folded into timing groups, in stage order."""
+        grouped: dict[str, float] = {}
+        for name, elapsed in self.stage_seconds.items():
+            group = self.stage_groups.get(name, name)
+            grouped[group] = grouped.get(group, 0.0) + elapsed
+        return grouped
+
     def timing_summary(self) -> str:
-        """One-line per-stage timing breakdown for reports."""
-        parts = [
-            f"{name} {self.stage_seconds[name]:.2f}s"
-            for name in STAGES
-            if name in self.stage_seconds
-        ]
-        return ", ".join(parts)
+        """One-line per-group timing breakdown for reports."""
+        return ", ".join(
+            f"{group} {elapsed:.2f}s"
+            for group, elapsed in self.seconds_by_group().items()
+        )
 
 
 class MinoanER:
@@ -125,17 +137,37 @@ class MinoanER:
         result = matcher.match(kb1, kb2)
         result.pairs()
 
+        # custom composition / repeated runs
+        matcher = MinoanER.builder().with_heuristics("h1", "h3").build()
+        session = MinoanER().session(kb1, kb2)
+
     ``kb1`` is treated as the smaller/primary KB: H2 and H3 iterate over
     its unmatched descriptions, and evaluation in the paper is with respect
     to the first KB's descriptions.  All four benchmark datasets of the
     paper follow this convention.
     """
 
-    def __init__(self, config: MinoanERConfig | None = None) -> None:
+    def __init__(
+        self,
+        config: MinoanERConfig | None = None,
+        graph: StageGraph | None = None,
+    ) -> None:
         self.config = config or MinoanERConfig()
+        self.graph = graph or default_graph()
+
+    @classmethod
+    def builder(cls, config: MinoanERConfig | None = None) -> PipelineBuilder:
+        """A fluent :class:`PipelineBuilder` (see :mod:`repro.pipeline`)."""
+        return PipelineBuilder(config)
+
+    def session(self, kb1: KnowledgeBase, kb2: KnowledgeBase):
+        """A :class:`~repro.pipeline.session.MatchSession` over this graph."""
+        from ..pipeline.session import MatchSession
+
+        return MatchSession(kb1, kb2, self.config, graph=self.graph)
 
     # ------------------------------------------------------------------
-    # Pipeline stages (public so examples/benches can introspect)
+    # Pipeline substrate (public so examples/benches can introspect)
     # ------------------------------------------------------------------
     def build_tokenizer(self) -> Tokenizer:
         """The tokenizer implied by the configuration."""
@@ -148,24 +180,32 @@ class MinoanER:
         """The executor implied by the configuration (caller closes it)."""
         return create_executor(self.config.engine, self.config.workers)
 
+    def _run_stage(
+        self,
+        stage,
+        kb1: KnowledgeBase,
+        kb2: KnowledgeBase,
+        engine: Executor | None,
+    ) -> PipelineContext:
+        """Run one stage against a throwaway context (introspection)."""
+        ctx = PipelineContext(kb1, kb2, self.config)
+        stage.run(ctx, engine or SerialExecutor())
+        return ctx
+
     def build_name_blocks(
         self,
         kb1: KnowledgeBase,
         kb2: KnowledgeBase,
         engine: Executor | None = None,
     ) -> tuple[BlockCollection, list[str], list[str]]:
-        """Discover name attributes and build ``BN``."""
-        k = self.config.name_attributes
-        names1 = top_name_attributes(kb1, k)
-        names2 = top_name_attributes(kb2, k)
-        blocks = name_blocking_engine(
-            kb1,
-            kb2,
-            names_from_attributes(names1),
-            names_from_attributes(names2),
-            engine,
+        """Discover name attributes and build ``BN`` (the pipeline's
+        ``name_blocking`` stage, runnable in isolation)."""
+        ctx = self._run_stage(NameBlockingStage(), kb1, kb2, engine)
+        return (
+            ctx.get("name_blocks"),
+            ctx.get("name_attributes1"),
+            ctx.get("name_attributes2"),
         )
-        return blocks, names1, names2
 
     def build_token_blocks(
         self,
@@ -173,16 +213,10 @@ class MinoanER:
         kb2: KnowledgeBase,
         engine: Executor | None = None,
     ) -> tuple[BlockCollection, PurgingReport | None]:
-        """Build ``BT`` and purge oversized blocks."""
-        blocks = token_blocking_engine(kb1, kb2, self.build_tokenizer(), engine)
-        if not self.config.purge_token_blocks:
-            return blocks, None
-        purged, report = purge_blocks(
-            blocks,
-            gain_factor=self.config.purging_gain_factor,
-            max_cardinality=self.config.purging_max_cardinality,
-        )
-        return purged, report
+        """Build ``BT`` and purge oversized blocks (the pipeline's
+        ``token_blocking`` stage, runnable in isolation)."""
+        ctx = self._run_stage(TokenBlockingStage(), kb1, kb2, engine)
+        return ctx.get("token_blocks"), ctx.get("purging_report")
 
     # ------------------------------------------------------------------
     # End-to-end matching
@@ -190,84 +224,10 @@ class MinoanER:
     def match(self, kb1: KnowledgeBase, kb2: KnowledgeBase) -> MatchResult:
         """Run the full non-iterative matching process on two KBs."""
         started = time.perf_counter()
-        config = self.config
-        timer = StageTimer()
-
+        ctx = PipelineContext(kb1, kb2, self.config)
         with self.build_engine() as engine:
-            with timer.stage("blocking"):
-                name_blocks, names1, names2 = self.build_name_blocks(
-                    kb1, kb2, engine
-                )
-                token_blocks, purging_report = self.build_token_blocks(
-                    kb1, kb2, engine
-                )
-
-            with timer.stage("indexing"):
-                value_index = build_value_index(token_blocks, engine)
-                relations1 = top_relations(
-                    kb1, config.top_n_relations, config.include_incoming_edges
-                )
-                relations2 = top_relations(
-                    kb2, config.top_n_relations, config.include_incoming_edges
-                )
-                neighbor_index = build_neighbor_index(
-                    value_index,
-                    top_neighbors(kb1, relations1, config.include_incoming_edges),
-                    top_neighbors(kb2, relations2, config.include_incoming_edges),
-                    engine,
-                )
-                candidate_index = CandidateIndex(
-                    value_index,
-                    neighbor_index,
-                    k=config.top_k_candidates,
-                    restrict_neighbors_to_cooccurring=config.restrict_h3_to_cooccurring,
-                )
-
-            with timer.stage("heuristics"):
-                registry = MatchedRegistry()
-                collected: list[Match] = []
-                entity1_uris = kb1.uris()
-
-                if config.enable_h1_names:
-                    collected.extend(h1_name_matches(name_blocks, registry))
-                if config.enable_h2_values:
-                    collected.extend(
-                        h2_value_matches_engine(
-                            entity1_uris, value_index, registry, engine
-                        )
-                    )
-                if config.enable_h3_rank_aggregation:
-                    collected.extend(
-                        h3_rank_aggregation_matches_engine(
-                            entity1_uris,
-                            candidate_index,
-                            config.theta,
-                            registry,
-                            engine,
-                        )
-                    )
-
-                if config.enable_h4_reciprocity:
-                    kept, discarded = h4_reciprocity_filter(
-                        collected, candidate_index
-                    )
-                else:
-                    kept, discarded = list(collected), []
-
-        return MatchResult(
-            matches=kept,
-            pre_h4_matches=collected,
-            discarded_by_h4=discarded,
-            name_attributes1=names1,
-            name_attributes2=names2,
-            top_relations1=relations1,
-            top_relations2=relations2,
-            name_blocks=name_blocks,
-            token_blocks=token_blocks,
-            purging_report=purging_report,
-            seconds=time.perf_counter() - started,
-            stage_seconds=dict(timer.seconds),
-        )
+            self.graph.execute(ctx, engine)
+        return MatchResult.from_context(ctx, time.perf_counter() - started)
 
 
 def match_kbs(

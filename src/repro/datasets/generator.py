@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import math
 import random
+import zlib
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
@@ -424,8 +425,13 @@ class KbPairGenerator:
                 stop_pool,
             )
             if side.type_labels > 0 and type_label_pool:
-                label_index = hash(latent.type_name) % len(type_label_pool)
-                entity.add_literal("rdf:type", type_label_pool[label_index])
+                # crc32, not hash(): str hashing is salted per process, so
+                # builtin hash() would assign different labels run-to-run
+                # and make Table I's distinct-type counts nondeterministic.
+                digest = zlib.crc32(latent.type_name.encode("utf-8"))
+                entity.add_literal(
+                    "rdf:type", type_label_pool[digest % len(type_label_pool)]
+                )
             for relation_name, target_id in latent.edges:
                 target_uri = uri_of.get(target_id)
                 if target_uri is None:
@@ -533,9 +539,11 @@ class KbPairGenerator:
             for spec in profile.types
             for relation in spec.relations
         }
+        # Sorted iteration: the set's order is hash-salt dependent, and the
+        # alignment's insertion order leaks into baseline reports.
         alignment = {
             profile.side1.relation_name(name): profile.side2.relation_name(name)
-            for name in latent_relations
+            for name in sorted(latent_relations)
         }
         return GeneratedDataset(
             profile=profile,

@@ -24,6 +24,7 @@ from ..matching.linda import LindaMatcher
 from ..matching.paris import ParisMatcher
 from ..matching.rimom import RimomMatcher
 from ..matching.sigma import SigmaMatcher
+from ..pipeline.session import MatchSession
 from .metrics import MatchingQuality, evaluate_matching
 
 
@@ -71,10 +72,21 @@ def _name_extractors(dataset: GeneratedDataset, k: int = 2):
 
 
 def run_minoaner(
-    dataset: GeneratedDataset, config: MinoanERConfig | None = None
+    dataset: GeneratedDataset,
+    config: MinoanERConfig | None = None,
+    session: MatchSession | None = None,
 ) -> MethodRow:
-    """MinoanER with the paper's default configuration."""
-    result = MinoanER(config).match(dataset.kb1, dataset.kb2)
+    """MinoanER with the paper's default configuration.
+
+    Pass a :class:`~repro.pipeline.session.MatchSession` over the same KB
+    pair to reuse cached blocking/index artifacts across repeated calls
+    (ablations, parameter sweeps); the emitted matches are identical to a
+    one-shot ``MinoanER(config).match(...)``.
+    """
+    if session is not None:
+        result = session.match(config)
+    else:
+        result = MinoanER(config).match(dataset.kb1, dataset.kb2)
     quality = evaluate_matching(result.pairs(), dataset.ground_truth)
     by_heuristic = ", ".join(
         f"{name}={count}" for name, count in sorted(result.by_heuristic().items())

@@ -1,0 +1,66 @@
+"""The composable stage-graph API of the MinoanER pipeline.
+
+MinoanER is a composition of independent map/reduce stages; this package
+makes that composition a first-class, pluggable object:
+
+- :class:`Stage` / :class:`StageGraph` — units with declared artifact
+  inputs/outputs over a typed :class:`PipelineContext` artifact store
+  (provenance + per-stage timing included);
+- :data:`BLOCKING_SCHEMES` / :data:`HEURISTICS` — named registries the
+  built-ins (``name``/``token`` blocking, ``h1``-``h4``) register
+  themselves into and user code extends;
+- :class:`PipelineBuilder` — fluent composition
+  (``MinoanER.builder().with_heuristics("h1", my_h5).build()``);
+- :class:`MatchSession` — repeated matching of one KB pair with
+  config-keyed artifact memoization (ablations and grid searches only
+  re-run the stages whose declared config fields changed).
+"""
+
+from .builder import PipelineBuilder, default_graph
+from .context import Artifact, MissingArtifactError, PipelineContext
+from .registry import BLOCKING_SCHEMES, HEURISTICS, Registry, RegistryError
+from .session import MatchSession
+from .stage import Stage, StageGraph, StageGraphError, render_stage_list
+from .stages import (
+    CandidateStage,
+    DEFAULT_HEURISTIC_ORDER,
+    H1NameHeuristic,
+    H2ValueHeuristic,
+    H3RankAggregationHeuristic,
+    H4ReciprocityHeuristic,
+    Heuristic,
+    MatchingStage,
+    NameBlockingStage,
+    NeighborIndexStage,
+    TokenBlockingStage,
+    ValueIndexStage,
+)
+
+__all__ = [
+    "Artifact",
+    "BLOCKING_SCHEMES",
+    "CandidateStage",
+    "DEFAULT_HEURISTIC_ORDER",
+    "H1NameHeuristic",
+    "H2ValueHeuristic",
+    "H3RankAggregationHeuristic",
+    "H4ReciprocityHeuristic",
+    "HEURISTICS",
+    "Heuristic",
+    "MatchSession",
+    "MatchingStage",
+    "MissingArtifactError",
+    "NameBlockingStage",
+    "NeighborIndexStage",
+    "PipelineBuilder",
+    "PipelineContext",
+    "Registry",
+    "RegistryError",
+    "Stage",
+    "StageGraph",
+    "StageGraphError",
+    "TokenBlockingStage",
+    "ValueIndexStage",
+    "default_graph",
+    "render_stage_list",
+]

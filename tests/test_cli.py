@@ -107,3 +107,83 @@ class TestMatchAndEvaluate:
         )
         assert code == 0
         assert "recall 0.00" in capsys.readouterr().out
+
+
+class TestStageIntrospection:
+    def test_list_stages_prints_graph(self, capsys):
+        code = main(["match", "--list-stages"])
+        assert code == 0
+        output = capsys.readouterr().out
+        for stage in (
+            "name_blocking",
+            "token_blocking",
+            "value_index",
+            "neighbor_index",
+            "candidates",
+            "matching",
+        ):
+            assert stage in output
+        assert "registered heuristics: h1, h2, h3, h4" in output
+
+    def test_list_stages_reflects_disabled(self, capsys):
+        code = main(
+            ["match", "--list-stages", "--disable-stage", "name_blocking"]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "name_blocking   " not in output  # stage column entry gone
+
+    def test_match_without_kbs_or_list_stages_errors(self, capsys):
+        code = main(["match"])
+        assert code == 2
+        assert "two KB files" in capsys.readouterr().err
+
+    def test_unknown_disable_stage_rejected(self, capsys):
+        code = main(["match", "--list-stages", "--disable-stage", "bogus"])
+        assert code == 2
+        assert "cannot disable" in capsys.readouterr().err
+
+    def test_disabling_every_heuristic_rejected(self, capsys):
+        code = main(
+            ["match", "--list-stages"]
+            + [f"--disable-stage=h{i}" for i in (1, 2, 3, 4)]
+        )
+        assert code == 2
+        assert "every heuristic" in capsys.readouterr().err
+
+    def test_disabling_h1_drops_orphan_name_blocking(self, capsys):
+        code = main(["match", "--list-stages", "--disable-stage", "h1"])
+        assert code == 0
+        assert "name_blocking" not in capsys.readouterr().out
+
+
+class TestDisableStage:
+    def test_disable_h3_changes_nothing_structural(self, bundle, capsys):
+        code = main(
+            [
+                "match",
+                str(bundle / "kb1.nt"),
+                str(bundle / "kb2.nt"),
+                "--disable-stage",
+                "h3",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "matched" in output
+        assert "'H3'" not in output  # no H3 in the by-heuristic report
+
+    def test_disable_name_blocking_matches_on_tokens_only(self, bundle, capsys):
+        code = main(
+            [
+                "match",
+                str(bundle / "kb1.nt"),
+                str(bundle / "kb2.nt"),
+                "--disable-stage",
+                "name_blocking",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "matched" in output
+        assert "'H1'" not in output

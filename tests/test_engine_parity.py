@@ -166,17 +166,28 @@ class TestIndexParity:
 
 
 class TestStageTimings:
-    def test_stage_seconds_recorded(self, dataset):
+    def test_stage_seconds_recorded_per_stage(self, dataset):
         result = run_match(dataset, "serial")
         assert set(result.stage_seconds) == {
-            "blocking",
-            "indexing",
-            "heuristics",
+            "name_blocking",
+            "token_blocking",
+            "value_index",
+            "neighbor_index",
+            "candidates",
+            "matching",
         }
         assert all(value >= 0.0 for value in result.stage_seconds.values())
         assert sum(result.stage_seconds.values()) <= result.seconds
 
-    def test_timing_summary_mentions_every_stage(self, dataset):
+    def test_seconds_fold_into_groups(self, dataset):
+        result = run_match(dataset, "serial")
+        grouped = result.seconds_by_group()
+        assert set(grouped) == {"blocking", "indexing", "heuristics"}
+        assert sum(grouped.values()) == pytest.approx(
+            sum(result.stage_seconds.values())
+        )
+
+    def test_timing_summary_mentions_every_group(self, dataset):
         summary = run_match(dataset, "serial").timing_summary()
-        for stage in ("blocking", "indexing", "heuristics"):
-            assert stage in summary
+        for group in ("blocking", "indexing", "heuristics"):
+            assert group in summary
