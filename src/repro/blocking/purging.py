@@ -22,6 +22,7 @@ constant; see DESIGN.md for the deviation note.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterable
 
 from .base import BlockCollection
 
@@ -85,17 +86,36 @@ def cardinality_threshold(
     strictly larger are stop-word-like.  With fewer than two levels there
     is nothing to purge.
     """
+    return cardinality_threshold_from_sizes(
+        ((len(b.entities1), len(b.entities2)) for b in blocks),
+        gain_factor=gain_factor,
+        max_purged_assignments=max_purged_assignments,
+    )
+
+
+def cardinality_threshold_from_sizes(
+    side_sizes: "Iterable[tuple[int, int]]",
+    gain_factor: float = DEFAULT_GAIN_FACTOR,
+    max_purged_assignments: float = MAX_PURGED_ASSIGNMENTS,
+) -> int:
+    """:func:`cardinality_threshold` over bare ``(|b1|, |b2|)`` size pairs.
+
+    The incremental block index maintains per-key side sizes without
+    materializing :class:`~repro.blocking.base.Block` objects; sharing the
+    threshold arithmetic here keeps its purging decisions exactly equal to
+    the batch path's.
+    """
     if gain_factor < 1.0:
         raise ValueError("gain_factor must be >= 1.0")
 
     # Aggregate comparisons/assignments per distinct cardinality level.
     per_level: dict[int, tuple[int, int]] = {}
-    for block in blocks:
-        cardinality = block.cardinality()
+    for n_entities1, n_entities2 in side_sizes:
+        cardinality = n_entities1 * n_entities2
         comparisons, assignments = per_level.get(cardinality, (0, 0))
         per_level[cardinality] = (
             comparisons + cardinality,
-            assignments + block.assignments(),
+            assignments + n_entities1 + n_entities2,
         )
     if not per_level:
         return 0
@@ -124,6 +144,40 @@ def cardinality_threshold(
         if suffix_cost >= gain_factor * prefix_cost:
             threshold = level  # highest qualifying cut wins
     return threshold
+
+
+def purge_decision_from_sizes(
+    side_sizes: "dict[str, tuple[int, int]]",
+    gain_factor: float = DEFAULT_GAIN_FACTOR,
+    max_cardinality: int | None = None,
+) -> tuple[set[str], PurgingReport]:
+    """:func:`purge_blocks` over ``key -> (|b1|, |b2|)`` maintained sizes.
+
+    Returns the keys that survive and the same :class:`PurgingReport` a
+    batch :func:`purge_blocks` over the materialized collection emits.
+    The incremental block index uses this so that the keep rule and the
+    report arithmetic live in exactly one place.
+    """
+    limit = (
+        max_cardinality
+        if max_cardinality is not None
+        else cardinality_threshold_from_sizes(side_sizes.values(), gain_factor)
+    )
+    kept = {
+        key
+        for key, (n_entities1, n_entities2) in side_sizes.items()
+        if n_entities1 * n_entities2 <= limit
+    }
+    report = PurgingReport(
+        max_cardinality=limit,
+        blocks_before=len(side_sizes),
+        blocks_after=len(kept),
+        comparisons_before=sum(n1 * n2 for n1, n2 in side_sizes.values()),
+        comparisons_after=sum(
+            n1 * n2 for key, (n1, n2) in side_sizes.items() if key in kept
+        ),
+    )
+    return kept, report
 
 
 def purge_blocks(

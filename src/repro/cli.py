@@ -73,6 +73,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable a pipeline stage by name (repeatable); "
         f"disableable: {', '.join(sorted(DISABLABLE_STAGES))}",
     )
+    match.add_argument(
+        "--apply-delta",
+        action="append",
+        default=None,
+        metavar="OP:KB:FILE",
+        help="after the initial match, apply an entity delta incrementally "
+        "and report the final matches: 'add:kb1:more.nt' (N-Triples of new "
+        "entities) or 'remove:kb2:uris.txt' (one URI per line); repeatable, "
+        "applied in order",
+    )
     match.add_argument("--theta", type=float, default=0.6)
     match.add_argument("--top-k", type=int, default=15)
     match.add_argument("--top-n-relations", type=int, default=3)
@@ -176,6 +186,69 @@ def _print_stage_list(builder) -> None:
     print(f"registered heuristics: {', '.join(HEURISTICS.names())}")
 
 
+def _parse_delta_spec(spec: str) -> tuple[str, str, str]:
+    """Split one ``--apply-delta`` value into (op, kb, path)."""
+    parts = spec.split(":", 2)
+    if len(parts) != 3 or parts[0] not in ("add", "remove") or parts[1] not in (
+        "kb1",
+        "kb2",
+    ):
+        raise _UsageError(
+            f"error: bad delta spec {spec!r}; expected "
+            "'add:<kb1|kb2>:<file.nt>' or 'remove:<kb1|kb2>:<file>'"
+        )
+    return parts[0], parts[1], parts[2]
+
+
+def _run_deltas(builder, kb1, kb2, specs: list[str], engine: str):
+    """Match incrementally: initial run, then each delta, then the final.
+
+    Returns the final :class:`~repro.core.pipeline.MatchResult`.
+    """
+    from .incremental import IncrementalMatcher
+
+    parsed = [_parse_delta_spec(spec) for spec in specs]
+    for _, _, path in parsed:
+        # Fail before the (possibly expensive) initial match, not after.
+        if not Path(path).is_file():
+            raise _UsageError(f"error: delta file not found: {path}")
+    matcher = IncrementalMatcher(builder.session(kb1, kb2))
+    initial = matcher.match()
+    print(
+        f"initial match: {len(initial.matches)} pairs in "
+        f"{initial.seconds:.2f}s [{engine}]"
+    )
+    baseline = dict(matcher.stage_recomputes)
+    for op, kb_id, path in parsed:
+        try:
+            if op == "add":
+                added = read_ntriples(path, name=Path(path).stem)
+                count = matcher.add_entities(kb_id, list(added))
+            else:
+                with open(path, encoding="utf-8") as handle:
+                    uris = [line.strip() for line in handle if line.strip()]
+                count = matcher.remove_entities(kb_id, uris)
+        except (KeyError, ValueError, OSError) as error:
+            # Bad content in a user-supplied delta file (unknown or
+            # duplicate URIs, unparsable triples) is a usage error; bugs
+            # elsewhere in the run keep their tracebacks.
+            raise _UsageError(f"error: delta {op}:{kb_id}:{path}: {error}")
+        print(f"delta: {op} {count} entities on {kb_id} ({path})")
+    final = matcher.match()
+    recomputed = {
+        stage: count - baseline.get(stage, 0)
+        for stage, count in matcher.stage_recomputes.items()
+        if count > baseline.get(stage, 0)
+    }
+    print(
+        f"incremental match: {len(final.matches)} pairs in "
+        f"{final.seconds:.2f}s "
+        f"(stages recomputed by deltas: {recomputed}, "
+        f"delta-updated: {matcher.counters()['delta_updated']})"
+    )
+    return final
+
+
 def cmd_match(args: argparse.Namespace) -> int:
     if args.engine == "serial" and args.workers is not None:
         print(
@@ -208,7 +281,16 @@ def cmd_match(args: argparse.Namespace) -> int:
         return 2
     kb1 = read_ntriples(args.kb1, name=Path(args.kb1).stem)
     kb2 = read_ntriples(args.kb2, name=Path(args.kb2).stem)
-    result = builder.build().match(kb1, kb2)
+    if args.apply_delta:
+        try:
+            result = _run_deltas(
+                builder, kb1, kb2, args.apply_delta, args.engine
+            )
+        except _UsageError as error:
+            print(error, file=sys.stderr)
+            return 2
+    else:
+        result = builder.build().match(kb1, kb2)
     print(
         f"matched {len(result.matches)} pairs in {result.seconds:.2f}s "
         f"[{args.engine}] ({result.by_heuristic()})"

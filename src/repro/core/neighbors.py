@@ -13,9 +13,11 @@ the non-iterative, block-driven evaluation the paper advocates.
 
 from __future__ import annotations
 
+from typing import Mapping
+
 from ..kb.graph import NeighborIndex
 from ..kb.knowledge_base import KnowledgeBase
-from .similarity import Pair, ValueSimilarityIndex
+from .similarity import Pair, ValueSimilarityIndex, apply_pair_updates
 
 
 def top_neighbors(
@@ -123,6 +125,16 @@ class NeighborSimilarityIndex:
         """E1 entities with non-zero neighbor similarity to ``uri2``."""
         ranked = self._by_entity2.get(uri2, [])
         return ranked if k is None else ranked[:k]
+
+    def apply_pair_updates(self, updates: Mapping[Pair, float | None]) -> int:
+        """Patch pair similarities in place (``None`` deletes a pair).
+
+        Same contract as
+        :meth:`repro.core.similarity.ValueSimilarityIndex.apply_pair_updates`.
+        """
+        return apply_pair_updates(
+            self._sims, self._by_entity1, self._by_entity2, updates
+        )
 
     def __len__(self) -> int:
         return len(self._sims)

@@ -15,10 +15,71 @@ pairs co-occurring in some block — all other pairs have similarity zero.
 
 from __future__ import annotations
 
+from typing import Mapping
+
 from ..blocking.base import BlockCollection
 from ..textsim.weighted import arcs_token_weight
 
 Pair = tuple[str, str]
+
+RankedLists = dict[str, list[tuple[str, float]]]
+
+
+def apply_pair_updates(
+    sims: dict[Pair, float],
+    by_entity1: RankedLists,
+    by_entity2: RankedLists,
+    updates: Mapping[Pair, float | None],
+) -> int:
+    """Patch a sparse pair-similarity map and re-rank affected entities.
+
+    ``updates`` maps each pair to its new similarity, or ``None`` to
+    delete it.  Only the ranked candidate lists of entities appearing in
+    an effective update are rebuilt — and since those lists sort by
+    ``(-similarity, uri)``, a total order per entity, the rebuilt lists
+    are exactly what a cold construction over the patched map produces.
+    Shared by the value and neighbor indices (same internal layout).
+    Returns the number of pairs whose stored value actually changed.
+    """
+    per_entity1: dict[str, set[str]] = {}
+    per_entity2: dict[str, set[str]] = {}
+    changed = 0
+    for (uri1, uri2), value in updates.items():
+        old = sims.get((uri1, uri2))
+        if value is None:
+            if old is None:
+                continue
+            del sims[(uri1, uri2)]
+        else:
+            if old == value:
+                continue
+            sims[(uri1, uri2)] = value
+        changed += 1
+        per_entity1.setdefault(uri1, set()).add(uri2)
+        per_entity2.setdefault(uri2, set()).add(uri1)
+
+    for ranked, touched, flip in (
+        (by_entity1, per_entity1, False),
+        (by_entity2, per_entity2, True),
+    ):
+        for uri, counterparts in touched.items():
+            partners = {other for other, _ in ranked.get(uri, ())}
+            for other in counterparts:
+                pair = (other, uri) if flip else (uri, other)
+                if pair in sims:
+                    partners.add(other)
+                else:
+                    partners.discard(other)
+            if not partners:
+                ranked.pop(uri, None)
+                continue
+            rebuilt = [
+                (other, sims[(other, uri) if flip else (uri, other)])
+                for other in partners
+            ]
+            rebuilt.sort(key=lambda item: (-item[1], item[0]))
+            ranked[uri] = rebuilt
+    return changed
 
 
 def block_token_weight(n_entities1: int, n_entities2: int) -> float:
@@ -104,6 +165,17 @@ class ValueSimilarityIndex:
             if uri2 not in exclude:
                 return uri2, sim
         return None
+
+    def apply_pair_updates(self, updates: Mapping[Pair, float | None]) -> int:
+        """Patch pair similarities in place (``None`` deletes a pair).
+
+        Ranked candidate lists are rebuilt only for entities an update
+        touches; see :func:`apply_pair_updates`.  Returns the number of
+        pairs that changed.
+        """
+        return apply_pair_updates(
+            self._sims, self._by_entity1, self._by_entity2, updates
+        )
 
     def __len__(self) -> int:
         return len(self._sims)

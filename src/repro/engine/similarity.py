@@ -5,24 +5,66 @@ for ``valueSim``, propagated value pairs for ``neighborNSim`` — so each
 shard accumulates a partial ``pair -> sum`` map and the driver merges the
 partials associatively, in partition order.
 
-Determinism: blocks are sharded by a stable hash of their key (and the
-entities of each block are scanned in sorted order), value pairs are
-chunked in their index order, and partials merge left-to-right.  The
-resulting floating-point sums are therefore bit-identical across
-executors and worker counts.
+Determinism: blocks and value pairs are both sharded by a *stable hash*
+of their key (block key / value-pair key), scanned within a shard in
+sorted key order, and the partials merge left-to-right.  The resulting
+floating-point sums are therefore bit-identical across executors and
+worker counts — and, because a contribution's shard is a function of its
+key alone (never of its position), the incremental subsystem can replay
+the exact accumulation order of any single pair with
+:func:`shard_merged_sum` instead of rebuilding the whole index.
 """
 
 from __future__ import annotations
 
 from functools import partial
+from typing import Iterable
 
 from ..blocking.base import Block, BlockCollection
 from ..core.neighbors import NeighborSimilarityIndex
 from ..core.similarity import Pair, ValueSimilarityIndex, block_token_weight
 from .executor import Executor, SerialExecutor
-from .partitioner import chunk_evenly, partition_blocks, partition_count
+from .partitioner import (
+    hash_partitions,
+    partition_blocks,
+    partition_count,
+    stable_hash,
+)
 
 PairSums = dict[Pair, float]
+
+#: Separator of the two URIs inside a value-pair shard key.  Any fixed
+#: byte works: the key only feeds CRC32, never an ordering comparison.
+_PAIR_KEY_SEPARATOR = "\x1f"
+
+
+def value_pair_key(pair: Pair) -> str:
+    """The shard key of one value pair (stable across runs/processes)."""
+    return pair[0] + _PAIR_KEY_SEPARATOR + pair[1]
+
+
+def shard_merged_sum(
+    contributions: Iterable[tuple[str, float]], n_shards: int
+) -> float:
+    """Replay the engine's shard-then-merge accumulation for one pair.
+
+    ``contributions`` are ``(shard key, weight)`` terms **in the batch
+    scan order** (sorted by the stage's sort domain: block key for
+    valueSim, value pair for neighborNSim).  Grouping by
+    ``stable_hash(key) % n_shards``, subtotalling within each shard in
+    scan order, and adding subtotals in ascending shard order reproduces
+    bit-for-bit the float the partitioned builders compute for that pair
+    — the primitive the incremental subsystem uses to patch single pairs
+    without rebuilding an index.
+    """
+    subtotals: dict[int, float] = {}
+    for key, weight in contributions:
+        shard = stable_hash(key) % n_shards
+        subtotals[shard] = subtotals.get(shard, 0.0) + weight
+    total = 0.0
+    for shard in sorted(subtotals):
+        total += subtotals[shard]
+    return total
 
 
 def merge_pair_sums(accumulated: PairSums, partial_sums: PairSums) -> PairSums:
@@ -103,8 +145,10 @@ def build_neighbor_index(
 ) -> NeighborSimilarityIndex:
     """The :class:`NeighborSimilarityIndex`, propagated shard by shard.
 
-    The sparse value-pair map is chunked in index order; every chunk
-    propagates its pairs up to the entities listing them as top
+    The sparse value-pair map is sorted, then sharded by the stable hash
+    of each pair's key (not by position, so a pair's shard survives
+    insertions elsewhere — the property delta updates rely on); every
+    shard propagates its pairs up to the entities listing them as top
     neighbors, against read-only reverse indices.
     """
     engine = engine or SerialExecutor()
@@ -114,8 +158,12 @@ def build_neighbor_index(
         reverse1=_reverse_index(top_neighbors1),
         reverse2=_reverse_index(top_neighbors2),
     )
-    chunks = chunk_evenly(items, partition_count(len(items)))
-    partials = engine.map_partitions(worker, chunks)
+    shards = hash_partitions(
+        items,
+        partition_count(len(items)),
+        key=lambda item: value_pair_key(item[0]),
+    )
+    partials = engine.map_partitions(worker, shards)
     return NeighborSimilarityIndex.from_pair_sums(
         engine.reduce(merge_pair_sums, partials, {})
     )

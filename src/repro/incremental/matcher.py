@@ -1,0 +1,722 @@
+"""Incremental matching with batch-parity guarantees.
+
+An :class:`IncrementalMatcher` wraps a :class:`~repro.pipeline.session.
+MatchSession` and accepts entity deltas — ``add_entities`` /
+``remove_entities`` on either KB — updating the blocking placements,
+purging threshold, value/neighbor similarity indices and candidate
+evidence *in place* instead of recomputing the pipeline from scratch.
+
+**The parity contract.**  After any sequence of deltas, ``match()``
+returns exactly what a cold batch ``match()`` on the final KB state
+returns — bit-identical matches, scores, block collections and index
+floats.  Three properties of the batch engine make this achievable:
+
+- block membership, placements and purging thresholds are discrete
+  (set/integer) computations, so maintaining them incrementally is
+  exact by construction;
+- both similarity indices accumulate floats in an order determined
+  entirely by *keys* (blocks sorted by key and sharded by stable hash;
+  value pairs likewise), never by position — so the accumulation order
+  of one pair can be replayed in isolation with
+  :func:`~repro.engine.similarity.shard_merged_sum`;
+- the matching heuristics are deterministic functions of the prepared
+  artifacts and the KB iteration order, which the mutable
+  :class:`~repro.kb.knowledge_base.KnowledgeBase` preserves under
+  deltas (removals keep relative order, re-adds append).
+
+When a delta invalidates a *global* decision — the discovered name
+attributes, the top relations, or a partition layout (shard counts
+follow data size) — the affected stage falls back to a full recompute
+through the identical batch code path, so parity is never at risk; the
+fallback is counted in :attr:`stage_recomputes` and the common case in
+:attr:`delta_updates`.  Delta work (re-keying added entities) dispatches
+through the same partitioned execution engine as the batch stages.
+"""
+
+from __future__ import annotations
+
+import time
+from functools import partial
+from typing import TYPE_CHECKING, Iterable
+
+from ..blocking.name_blocking import names_from_attributes, normalize_name
+from ..blocking.purging import PurgingReport, purge_decision_from_sizes
+from ..core.similarity import Pair, block_token_weight
+from ..core.statistics import top_name_attributes, top_relations
+from ..core.neighbors import top_neighbors
+from ..engine.executor import create_executor
+from ..engine.partitioner import hash_partitions, partition_count
+from ..engine.similarity import (
+    build_neighbor_index,
+    build_value_index,
+    shard_merged_sum,
+    value_pair_key,
+)
+from ..kb.graph import inverse
+from ..kb.tokenizer import Tokenizer
+from ..pipeline.context import PipelineContext
+from ..pipeline.delta import DeltaContext
+from .blocks import DeltaBlockIndex
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from ..core.pipeline import MatchResult
+    from ..kb.entity import EntityDescription
+    from ..pipeline.session import MatchSession
+
+#: Stages the incremental matcher maintains; the session's graph must be
+#: exactly these (name_blocking optional — token-only compositions work).
+REQUIRED_STAGES = (
+    "token_blocking",
+    "value_index",
+    "neighbor_index",
+    "candidates",
+    "matching",
+)
+
+
+def _token_key_rows(
+    entities: list["EntityDescription"], tokenizer: Tokenizer
+) -> list[tuple[str, frozenset[str]]]:
+    """(uri, token keys) of one entity partition (engine worker)."""
+    return [(e.uri, frozenset(tokenizer.token_set(e))) for e in entities]
+
+
+def _name_key_rows(
+    entities: list["EntityDescription"], extractor
+) -> list[tuple[str, frozenset[str]]]:
+    """(uri, normalized name keys) of one entity partition (engine worker)."""
+    rows = []
+    for entity in entities:
+        keys = frozenset(
+            key
+            for key in (normalize_name(raw) for raw in extractor(entity))
+            if key
+        )
+        rows.append((entity.uri, keys))
+    return rows
+
+
+def _merge_rows(rows: list, partial_rows: list) -> list:
+    rows.extend(partial_rows)
+    return rows
+
+
+class IncrementalMatcher:
+    """Delta-updatable matching over a completed :class:`MatchSession`."""
+
+    def __init__(self, session: "MatchSession") -> None:
+        names = session.graph.names()
+        unsupported = set(names) - set(REQUIRED_STAGES) - {"name_blocking"}
+        missing = [name for name in REQUIRED_STAGES if name not in names]
+        if unsupported or missing:
+            raise ValueError(
+                "IncrementalMatcher supports the default stage composition "
+                f"only (missing: {sorted(missing)}, "
+                f"unsupported: {sorted(unsupported)})"
+            )
+        self.session = session
+        self.config = session.config
+        self.graph = session.graph
+        self.kbs = (session.kb1, session.kb2)
+        self._has_names = "name_blocking" in names
+        #: Full stage-equivalent recomputations (bootstrap counts as one
+        #: cold run); the parity harness asserts delta refreshes stay
+        #: strictly below a cold run's stage count.
+        self.stage_recomputes: dict[str, int] = {}
+        #: In-place artifact patches, by stage name.
+        self.delta_updates: dict[str, int] = {}
+        #: Applied deltas, oldest first: (op, kb side, uris).
+        self.delta_log: list[tuple[str, int, tuple[str, ...]]] = []
+        self.last_context: PipelineContext | None = None
+
+        self._tokenizer = Tokenizer(
+            min_length=self.config.min_token_length,
+            include_uri_localnames=self.config.include_uri_localnames,
+        )
+        self._tokens = DeltaBlockIndex("BT")
+        self._names = DeltaBlockIndex("BN")
+        self._name_attrs: list[list[str]] = [[], []]
+        self._top_rels: list[list[str]] = [[], []]
+        self._top_nbrs: list[dict[str, set[str]]] = [{}, {}]
+        self._rev: list[dict[str, set[str]]] = [{}, {}]
+        self._refs: list[dict[str, set[str]]] = [{}, {}]
+        self._tn_dirty: list[set[str]] = [set(), set()]
+        self._purged_keys: set[str] = set()
+        self._pending = False
+        self._stage_seconds: dict[str, tuple[float, bool]] = {}
+        self._bootstrap()
+
+    # ------------------------------------------------------------------
+    # Bootstrap (one cold pass over the current KB state)
+    # ------------------------------------------------------------------
+    def _engine(self):
+        return create_executor(self.config.engine, self.config.workers)
+
+    def _keys_via_engine(self, entities, worker, engine):
+        """Re-key ``entities`` through the partitioned engine."""
+        shards = hash_partitions(
+            list(entities),
+            partition_count(len(entities)),
+            key=lambda entity: entity.uri,
+        )
+        return engine.run(worker, shards, _merge_rows, [])
+
+    def _count(self, counters: dict[str, int], stage: str) -> None:
+        counters[stage] = counters.get(stage, 0) + 1
+
+    def _bootstrap(self) -> None:
+        config = self.config
+        with self._engine() as engine:
+            token_worker = partial(_token_key_rows, tokenizer=self._tokenizer)
+            for side in (1, 2):
+                kb = self.kbs[side - 1]
+                self._tokens.load_side(
+                    side, self._keys_via_engine(kb, token_worker, engine)
+                )
+                if self._has_names:
+                    attrs = top_name_attributes(kb, config.name_attributes)
+                    self._name_attrs[side - 1] = attrs
+                    self._names.load_side(
+                        side,
+                        self._keys_via_engine(
+                            kb,
+                            partial(
+                                _name_key_rows,
+                                extractor=names_from_attributes(attrs),
+                            ),
+                            engine,
+                        ),
+                    )
+                self._top_rels[side - 1] = top_relations(
+                    kb, config.top_n_relations, config.include_incoming_edges
+                )
+                self._top_nbrs[side - 1] = top_neighbors(
+                    kb,
+                    self._top_rels[side - 1],
+                    config.include_incoming_edges,
+                )
+                self._rebuild_reverse(side)
+                refs = self._refs[side - 1]
+                for entity in kb:
+                    for _, target in entity.relation_pairs():
+                        refs.setdefault(target, set()).add(entity.uri)
+            self._tokens.collect_dirty()  # load_side touches nothing, but be safe
+            self._names.collect_dirty()
+
+            self._purged_keys, self._purging_report = self._purge_decision()
+            self._token_blocks = self._tokens.assemble(keep=self._purged_keys)
+            self._value_index = build_value_index(self._token_blocks, engine)
+            self._value_shards = partition_count(len(self._purged_keys))
+            self._neighbor_index = build_neighbor_index(
+                self._value_index,
+                self._top_nbrs[0],
+                self._top_nbrs[1],
+                engine,
+            )
+            self._neighbor_shards = partition_count(
+                len(self._value_index.pairs())
+            )
+            if self._has_names:
+                self._name_blocks = self._names.assemble()
+                self._count(self.stage_recomputes, "name_blocking")
+            for stage in ("token_blocking", "value_index", "neighbor_index"):
+                self._count(self.stage_recomputes, stage)
+
+        base = PipelineContext(self.kbs[0], self.kbs[1], config)
+        self._publish_artifacts(base, producer="bootstrap")
+        self._base_ctx = base
+
+    def _rebuild_reverse(self, side: int) -> None:
+        reverse: dict[str, set[str]] = {}
+        for uri, neighbor_set in self._top_nbrs[side - 1].items():
+            for neighbor in neighbor_set:
+                reverse.setdefault(neighbor, set()).add(uri)
+        self._rev[side - 1] = reverse
+
+    def _publish_artifacts(self, ctx: PipelineContext, producer: str) -> None:
+        if self._has_names:
+            ctx.put("name_blocks", self._name_blocks, producer=producer)
+            ctx.put("name_attributes1", list(self._name_attrs[0]), producer=producer)
+            ctx.put("name_attributes2", list(self._name_attrs[1]), producer=producer)
+        ctx.put("token_blocks", self._token_blocks, producer=producer)
+        ctx.put("purging_report", self._purging_report, producer=producer)
+        ctx.put("value_index", self._value_index, producer=producer)
+        ctx.put("neighbor_index", self._neighbor_index, producer=producer)
+        ctx.put("top_relations1", list(self._top_rels[0]), producer=producer)
+        ctx.put("top_relations2", list(self._top_rels[1]), producer=producer)
+
+    # ------------------------------------------------------------------
+    # Deltas
+    # ------------------------------------------------------------------
+    def _side_of(self, kb_id) -> int:
+        if kb_id in (1, 2):
+            return kb_id
+        if isinstance(kb_id, str):
+            lowered = kb_id.lower()
+            if lowered in ("1", "kb1"):
+                return 1
+            if lowered in ("2", "kb2"):
+                return 2
+            names = [kb.name for kb in self.kbs]
+            if kb_id in names and names.count(kb_id) == 1:
+                return names.index(kb_id) + 1
+        raise ValueError(
+            f"unknown KB {kb_id!r}; use 1/2, 'kb1'/'kb2' or a unique KB name"
+        )
+
+    def add_entities(
+        self, kb_id, entities: Iterable["EntityDescription"]
+    ) -> int:
+        """Insert descriptions into one KB; evidence refreshes lazily.
+
+        URIs must be new to that KB.  Returns the number added.
+        """
+        side = self._side_of(kb_id)
+        kb = self.kbs[side - 1]
+        batch = list(entities)
+        uris = [entity.uri for entity in batch]
+        seen: set[str] = set()
+        duplicates = []
+        for uri in uris:
+            if uri in kb or uri in seen:
+                duplicates.append(uri)
+            seen.add(uri)
+        if duplicates:
+            raise ValueError(
+                f"duplicate entity URIs for KB{side}: {sorted(set(duplicates))}"
+            )
+        if not batch:
+            return 0
+        with self._engine() as engine:
+            token_rows = self._keys_via_engine(
+                batch, partial(_token_key_rows, tokenizer=self._tokenizer), engine
+            )
+            name_rows = (
+                self._keys_via_engine(
+                    batch,
+                    partial(
+                        _name_key_rows,
+                        extractor=names_from_attributes(
+                            self._name_attrs[side - 1]
+                        ),
+                    ),
+                    engine,
+                )
+                if self._has_names
+                else []
+            )
+        token_keys = dict(token_rows)
+        name_keys = dict(name_rows)
+        refs = self._refs[side - 1]
+        dirty = self._tn_dirty[side - 1]
+        for entity in batch:
+            kb.add(entity)
+        for entity in batch:
+            uri = entity.uri
+            self._tokens.add_entity(side, uri, token_keys[uri])
+            if self._has_names:
+                self._names.add_entity(side, uri, name_keys[uri])
+            for _, target in entity.relation_pairs():
+                refs.setdefault(target, set()).add(uri)
+                if target in kb:
+                    dirty.add(target)
+            dirty.add(uri)
+            dirty.update(s for s in refs.get(uri, ()) if s in kb)
+        self.delta_log.append(("add", side, tuple(uris)))
+        self._pending = True
+        return len(batch)
+
+    def remove_entities(self, kb_id, uris: Iterable[str]) -> int:
+        """Withdraw descriptions from one KB; evidence refreshes lazily.
+
+        Every URI must exist in that KB.  Returns the number removed.
+        """
+        side = self._side_of(kb_id)
+        kb = self.kbs[side - 1]
+        batch = list(uris)
+        seen: set[str] = set()
+        rejected = []
+        for uri in batch:
+            if uri not in kb or uri in seen:  # absent, or repeated in-batch
+                rejected.append(uri)
+            seen.add(uri)
+        if rejected:
+            # Validate the whole batch before mutating anything: a
+            # mid-loop failure would leave KB and indices half-updated
+            # with the delta unlogged — silent parity corruption.
+            raise KeyError(
+                f"missing or duplicated for KB{side}: {sorted(set(rejected))}"
+            )
+        refs = self._refs[side - 1]
+        dirty = self._tn_dirty[side - 1]
+        for uri in batch:
+            entity = kb.remove(uri)
+            self._tokens.remove_entity(side, uri)
+            if self._has_names:
+                self._names.remove_entity(side, uri)
+            for _, target in entity.relation_pairs():
+                holders = refs.get(target)
+                if holders is not None:
+                    holders.discard(uri)
+                    if not holders:
+                        del refs[target]
+                if target in kb:
+                    dirty.add(target)
+            dirty.add(uri)
+            dirty.update(s for s in refs.get(uri, ()) if s in kb)
+        self.delta_log.append(("remove", side, tuple(batch)))
+        self._pending = True
+        return len(batch)
+
+    # ------------------------------------------------------------------
+    # Refresh: propagate pending deltas through the evidence
+    # ------------------------------------------------------------------
+    def _purge_decision(self) -> tuple[set[str], PurgingReport | None]:
+        """The surviving token keys (and report) for the current state.
+
+        Exactly :func:`~repro.blocking.purging.purge_blocks` over the
+        assembled collection, computed from maintained side sizes.
+        """
+        config = self.config
+        shared = self._tokens.shared_counts()
+        if not config.purge_token_blocks:
+            return set(shared), None
+        return purge_decision_from_sizes(
+            shared,
+            gain_factor=config.purging_gain_factor,
+            max_cardinality=config.purging_max_cardinality,
+        )
+
+    def _timed(self, stage: str, started: float, ran: bool) -> None:
+        previous = self._stage_seconds.get(stage, (0.0, False))
+        self._stage_seconds[stage] = (
+            previous[0] + (time.perf_counter() - started),
+            previous[1] or ran,
+        )
+
+    def refresh(self, engine=None) -> bool:
+        """Propagate pending deltas through every maintained artifact.
+
+        Returns True when anything had to be refreshed.  Called
+        automatically by :meth:`match`, which shares one executor across
+        the refresh and the decision stages; standalone calls create
+        (and close) their own.
+        """
+        if not self._pending:
+            return False
+        self._stage_seconds = {}
+        if engine is None:
+            with self._engine() as owned:
+                return self.refresh(owned)
+        self._refresh_names(engine)
+        value_changes = self._refresh_values(engine)
+        self._refresh_neighbors(engine, value_changes)
+        self._pending = False
+        self._tn_dirty = [set(), set()]
+        return True
+
+    def _refresh_names(self, engine) -> None:
+        if not self._has_names:
+            return
+        started = time.perf_counter()
+        rebuilt = False
+        for side in (1, 2):
+            kb = self.kbs[side - 1]
+            attrs = top_name_attributes(kb, self.config.name_attributes)
+            if attrs == self._name_attrs[side - 1]:
+                continue
+            # The discovered name attributes moved: every name key of
+            # this side is suspect, so re-extract the whole side.
+            self._name_attrs[side - 1] = attrs
+            self._names.load_side(
+                side,
+                self._keys_via_engine(
+                    kb,
+                    partial(
+                        _name_key_rows,
+                        extractor=names_from_attributes(attrs),
+                    ),
+                    engine,
+                ),
+            )
+            rebuilt = True
+        self._names.collect_dirty()
+        self._name_blocks = self._names.assemble()
+        self._count(
+            self.stage_recomputes if rebuilt else self.delta_updates,
+            "name_blocking",
+        )
+        self._timed("name_blocking", started, rebuilt)
+
+    def _refresh_values(self, engine) -> dict[Pair, float | None]:
+        """Update purging + the value index; returns the effective
+        pair-level changes (new value, or None for a deleted pair)."""
+        started = time.perf_counter()
+        previous_purged = self._purged_keys
+        dirty = self._tokens.collect_dirty()
+        self._purged_keys, self._purging_report = self._purge_decision()
+        self._token_blocks = self._tokens.assemble(keep=self._purged_keys)
+        self._count(self.delta_updates, "token_blocking")
+        self._timed("token_blocking", started, False)
+
+        started = time.perf_counter()
+        n_shards = partition_count(len(self._purged_keys))
+        old_sims = self._value_index.pairs()
+        if n_shards != self._value_shards:
+            # The shard layout moved with the block count: per-pair
+            # accumulation grouping changed globally, so only a full
+            # rebuild reproduces the batch floats.
+            retained = dict(old_sims)
+            self._value_index = build_value_index(self._token_blocks, engine)
+            self._value_shards = n_shards
+            new_sims = self._value_index.pairs()
+            changes: dict[Pair, float | None] = {
+                pair: new_sims.get(pair)
+                for pair in retained.keys() | new_sims.keys()
+                if retained.get(pair) != new_sims.get(pair)
+            }
+            self._count(self.stage_recomputes, "value_index")
+            self._timed("value_index", started, True)
+            return changes
+
+        affected: set[Pair] = set()
+        for key, (old1, old2) in dirty.items():
+            if key in previous_purged:
+                affected.update(
+                    (uri1, uri2) for uri1 in old1 for uri2 in old2
+                )
+            if key in self._purged_keys:
+                new1, new2 = self._tokens.members(key)
+                affected.update(
+                    (uri1, uri2) for uri1 in new1 for uri2 in new2
+                )
+        for key in (previous_purged ^ self._purged_keys) - dirty.keys():
+            members1, members2 = self._tokens.members(key)
+            affected.update(
+                (uri1, uri2) for uri1 in members1 for uri2 in members2
+            )
+
+        updates: dict[Pair, float | None] = {}
+        for uri1, uri2 in affected:
+            common = (
+                self._tokens.entity_keys(1, uri1)
+                & self._tokens.entity_keys(2, uri2)
+                & self._purged_keys
+            )
+            if common:
+                contributions = [
+                    (key, block_token_weight(*self._tokens.side_sizes(key)))
+                    for key in sorted(common)
+                ]
+                updates[(uri1, uri2)] = shard_merged_sum(
+                    contributions, n_shards
+                )
+            else:
+                updates[(uri1, uri2)] = None
+        changes = {
+            pair: value
+            for pair, value in updates.items()
+            if old_sims.get(pair) != value
+        }
+        self._value_index.apply_pair_updates(changes)
+        self._count(self.delta_updates, "value_index")
+        self._timed("value_index", started, False)
+        return changes
+
+    def _refresh_neighbors(
+        self, engine, value_changes: dict[Pair, float | None]
+    ) -> None:
+        started = time.perf_counter()
+        config = self.config
+        rebuild = False
+        changed_entities: list[set[str]] = [set(), set()]
+        for side in (1, 2):
+            kb = self.kbs[side - 1]
+            rels = top_relations(
+                kb, config.top_n_relations, config.include_incoming_edges
+            )
+            if rels != self._top_rels[side - 1]:
+                # The relation importance ranking moved: every top-
+                # neighbor set of this side is suspect.
+                self._top_rels[side - 1] = rels
+                self._top_nbrs[side - 1] = top_neighbors(
+                    kb, rels, config.include_incoming_edges
+                )
+                self._rebuild_reverse(side)
+                rebuild = True
+                continue
+            neighbors = self._top_nbrs[side - 1]
+            reverse = self._rev[side - 1]
+            for uri in sorted(self._tn_dirty[side - 1]):
+                old = neighbors.get(uri, set())
+                new = self._entity_top_neighbors(side, uri)
+                if new == old:
+                    continue
+                changed_entities[side - 1].add(uri)
+                for gone in old - new:
+                    holders = reverse.get(gone)
+                    if holders is not None:
+                        holders.discard(uri)
+                        if not holders:
+                            del reverse[gone]
+                for came in new - old:
+                    reverse.setdefault(came, set()).add(uri)
+                if new:
+                    neighbors[uri] = new
+                else:
+                    neighbors.pop(uri, None)
+
+        n_shards = partition_count(len(self._value_index.pairs()))
+        if rebuild or n_shards != self._neighbor_shards:
+            self._neighbor_index = build_neighbor_index(
+                self._value_index,
+                self._top_nbrs[0],
+                self._top_nbrs[1],
+                engine,
+            )
+            self._neighbor_shards = n_shards
+            self._count(self.stage_recomputes, "neighbor_index")
+            self._timed("neighbor_index", started, True)
+            return
+
+        affected: set[Pair] = set()
+        rev1, rev2 = self._rev
+        for neighbor1, neighbor2 in value_changes:
+            parents1 = rev1.get(neighbor1)
+            if not parents1:
+                continue
+            parents2 = rev2.get(neighbor2)
+            if not parents2:
+                continue
+            affected.update(
+                (entity1, entity2)
+                for entity1 in parents1
+                for entity2 in parents2
+            )
+        for entity1 in changed_entities[0]:
+            partners = {
+                uri2
+                for uri2, _ in self._neighbor_index.candidates_of_entity1(
+                    entity1
+                )
+            }
+            for neighbor1 in self._top_nbrs[0].get(entity1, ()):
+                for neighbor2, _ in self._value_index.candidates_of_entity1(
+                    neighbor1
+                ):
+                    partners.update(rev2.get(neighbor2, ()))
+            affected.update((entity1, uri2) for uri2 in partners)
+        for entity2 in changed_entities[1]:
+            partners = {
+                uri1
+                for uri1, _ in self._neighbor_index.candidates_of_entity2(
+                    entity2
+                )
+            }
+            for neighbor2 in self._top_nbrs[1].get(entity2, ()):
+                for neighbor1, _ in self._value_index.candidates_of_entity2(
+                    neighbor2
+                ):
+                    partners.update(rev1.get(neighbor1, ()))
+            affected.update((uri1, entity2) for uri1 in partners)
+
+        value_sims = self._value_index.pairs()
+        updates: dict[Pair, float | None] = {}
+        for entity1, entity2 in affected:
+            contributions = []
+            for neighbor1 in sorted(self._top_nbrs[0].get(entity1, ())):
+                for neighbor2 in sorted(self._top_nbrs[1].get(entity2, ())):
+                    sim = value_sims.get((neighbor1, neighbor2))
+                    if sim is not None:
+                        contributions.append(
+                            (value_pair_key((neighbor1, neighbor2)), sim)
+                        )
+            updates[(entity1, entity2)] = (
+                shard_merged_sum(contributions, n_shards)
+                if contributions
+                else None
+            )
+        self._neighbor_index.apply_pair_updates(updates)
+        self._count(self.delta_updates, "neighbor_index")
+        self._timed("neighbor_index", started, False)
+
+    def _entity_top_neighbors(self, side: int, uri: str) -> set[str]:
+        """The top-neighbor set of one entity under the current rankings.
+
+        Mirrors :func:`~repro.core.neighbors.top_neighbors` for a single
+        entity, using the maintained reverse-reference index for the
+        incoming direction.
+        """
+        kb = self.kbs[side - 1]
+        entity = kb.get(uri)
+        if entity is None:
+            return set()
+        wanted = set(self._top_rels[side - 1])
+        found: set[str] = set()
+        for relation, target in entity.relation_pairs():
+            if relation in wanted and target in kb:
+                found.add(target)
+        if self.config.include_incoming_edges:
+            for subject in self._refs[side - 1].get(uri, ()):
+                if subject not in kb:
+                    continue
+                for relation, target in kb[subject].relation_pairs():
+                    if target == uri and inverse(relation) in wanted:
+                        found.add(subject)
+                        break
+        return found
+
+    # ------------------------------------------------------------------
+    # Matching
+    # ------------------------------------------------------------------
+    def match(self) -> "MatchResult":
+        """Matches for the current KB state (bit-identical to a cold run).
+
+        Refreshes pending deltas, overlays the patched artifacts on the
+        bootstrap context through a :class:`DeltaContext`, and re-runs
+        only the decision stages (candidates + matching) — the only
+        stages without a sound in-place patch, since H1-H3 are
+        order-dependent greedy passes.
+        """
+        from ..core.pipeline import MatchResult
+
+        started = time.perf_counter()
+        with self._engine() as engine:
+            self.refresh(engine)
+            refresh_sections = self._stage_seconds
+            self._stage_seconds = {}  # consumed: a no-delta match reports nothing
+            ctx = DeltaContext(self._base_ctx)
+            self._publish_artifacts(ctx, producer="delta")
+            for stage, (seconds, ran) in refresh_sections.items():
+                ctx.record_stage(
+                    stage, self.graph.stage(stage).timing_group, seconds, ran=ran
+                )
+            for name in ("candidates", "matching"):
+                stage = self.graph.stage(name)
+                stage_started = time.perf_counter()
+                stage.run(ctx, engine)
+                ctx.record_stage(
+                    name,
+                    stage.timing_group,
+                    time.perf_counter() - stage_started,
+                    ran=True,
+                )
+                self._count(self.stage_recomputes, name)
+        self.last_context = ctx
+        return MatchResult.from_context(ctx, time.perf_counter() - started)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def counters(self) -> dict[str, dict[str, int]]:
+        """Copies of the recompute/delta-update counters."""
+        return {
+            "recomputed": dict(self.stage_recomputes),
+            "delta_updated": dict(self.delta_updates),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"IncrementalMatcher({self.kbs[0].name!r}, {self.kbs[1].name!r}, "
+            f"deltas={len(self.delta_log)})"
+        )

@@ -33,17 +33,53 @@ class KnowledgeBase:
     ) -> None:
         self.name = name
         self._entities: dict[str, EntityDescription] = {}
+        self._version = 0
         for entity in entities:
             self.add(entity)
 
     # ------------------------------------------------------------------
     # Mutation
     # ------------------------------------------------------------------
+    @property
+    def version(self) -> int:
+        """Monotonic mutation counter (bumped by :meth:`add`/:meth:`remove`).
+
+        Derived structures (session caches, incremental indices, KB
+        statistics) record the version they were computed against and
+        treat a mismatch as staleness — the invalidation contract that
+        makes in-place KB mutation safe to expose.
+        """
+        return self._version
+
     def add(self, entity: EntityDescription) -> None:
         """Add a description; raises on duplicate URIs."""
         if entity.uri in self._entities:
             raise ValueError(f"duplicate entity URI: {entity.uri}")
         self._entities[entity.uri] = entity
+        self._version += 1
+
+    def remove(self, uri: str) -> EntityDescription:
+        """Remove and return the description for ``uri``.
+
+        The remaining descriptions keep their relative order, and a later
+        :meth:`add` of the same URI appends at the end — the semantics a
+        delta stream needs for order-sensitive consumers (H2/H3 scan
+        entities in insertion order).
+        """
+        entity = self._entities.pop(uri, None)
+        if entity is None:
+            raise KeyError(f"no entity {uri!r} in KB {self.name!r}")
+        self._version += 1
+        return entity
+
+    def copy(self, name: str | None = None) -> "KnowledgeBase":
+        """A new KB with the same descriptions in the same order.
+
+        Descriptions themselves are shared (they are immutable once
+        loaded); only the membership is independent, so deltas applied to
+        the copy leave the original untouched.
+        """
+        return KnowledgeBase(name or self.name, self._entities.values())
 
     def new_entity(self, uri: str) -> EntityDescription:
         """Create, register and return an empty description for ``uri``."""

@@ -18,8 +18,10 @@ makes that composition a first-class, pluggable object:
 
 from .builder import PipelineBuilder, default_graph
 from .context import Artifact, MissingArtifactError, PipelineContext
+from .delta import DeltaContext
+from .digest import artifact_digest, context_digests
 from .registry import BLOCKING_SCHEMES, HEURISTICS, Registry, RegistryError
-from .session import MatchSession
+from .session import MatchSession, StaleSessionError
 from .stage import Stage, StageGraph, StageGraphError, render_stage_list
 from .stages import (
     CandidateStage,
@@ -41,6 +43,10 @@ __all__ = [
     "BLOCKING_SCHEMES",
     "CandidateStage",
     "DEFAULT_HEURISTIC_ORDER",
+    "DeltaContext",
+    "StaleSessionError",
+    "artifact_digest",
+    "context_digests",
     "H1NameHeuristic",
     "H2ValueHeuristic",
     "H3RankAggregationHeuristic",

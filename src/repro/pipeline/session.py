@@ -43,6 +43,18 @@ if TYPE_CHECKING:  # pragma: no cover - types only
 #: Cache-key sentinel for the seeded inputs (fixed per session).
 _INPUT_SIGNATURE = ("input",)
 
+
+class StaleSessionError(RuntimeError):
+    """The session's KBs were mutated after artifacts were cached.
+
+    Cache keys are built from stage names and config fields — by
+    construction they cannot see KB deltas, so a mutated-KB ``match()``
+    would silently return pre-delta artifacts.  Callers must either
+    route deltas through :class:`repro.incremental.IncrementalMatcher`
+    (which keeps artifacts exactly consistent) or explicitly call
+    :meth:`MatchSession.invalidate` to drop the affected cache entries.
+    """
+
 def _isolated(value):
     """A shallow copy for container artifacts crossing the cache boundary.
 
@@ -80,6 +92,7 @@ class MatchSession:
         self.stage_runs: dict[str, int] = {}
         self._cache: dict[tuple, dict[str, Any]] = {}
         self._config_fields = {f.name for f in fields(config)}
+        self._kb_versions = (kb1.version, kb2.version)
 
     # ------------------------------------------------------------------
     # Cache keys
@@ -125,6 +138,14 @@ class MatchSession:
         """
         from ..core.pipeline import MatchResult
 
+        current = (self.kb1.version, self.kb2.version)
+        if current != self._kb_versions:
+            raise StaleSessionError(
+                f"KBs mutated since this session cached artifacts "
+                f"(versions {self._kb_versions} -> {current}); call "
+                "invalidate('kb1'/'kb2') to drop stale artifacts, or use "
+                "repro.incremental.IncrementalMatcher for delta updates"
+            )
         run_config = config if config is not None else self.config
         if overrides:
             mapped = {
@@ -195,6 +216,54 @@ class MatchSession:
     def clear(self) -> None:
         """Drop all cached artifacts (counters are kept)."""
         self._cache.clear()
+        self._kb_versions = (self.kb1.version, self.kb2.version)
+
+    def invalidate(self, artifact: str) -> int:
+        """Drop the cache entries an out-of-band change to ``artifact``
+        taints: the stage producing it plus everything downstream.
+
+        ``artifact`` is an artifact key, a stage name, or one of the
+        seeded inputs (``kb1``/``kb2`` — these taint every stage).  After
+        invalidation the session accepts the KBs' current versions, so a
+        deliberate KB mutation becomes usable again:
+        ``kb1.add(...); session.invalidate("kb1"); session.match()``.
+        Returns the number of cache entries dropped.
+        """
+        from .stage import SEED_KEYS
+
+        if artifact in SEED_KEYS:
+            tainted = set(self.graph.names())
+        else:
+            producer = None
+            for stage in self.graph:
+                if stage.name == artifact or artifact in stage.provides:
+                    producer = stage
+                    break
+            if producer is None:
+                raise KeyError(
+                    f"no stage of this session's graph produces {artifact!r}"
+                )
+            tainted = {producer.name}
+            tainted_keys = set(producer.provides)
+            for stage in self.graph:  # graph iterates in execution order
+                if stage.name in tainted:
+                    continue
+                if tainted_keys & set(stage.requires):
+                    tainted.add(stage.name)
+                    tainted_keys.update(stage.provides)
+        stale = [
+            signature
+            for signature in self._cache
+            if signature[0] in tainted
+        ]
+        for signature in stale:
+            del self._cache[signature]
+        if tainted >= set(self.graph.names()):
+            # Only a full invalidation clears the staleness guard: a
+            # narrow one leaves artifacts computed on the old KB state
+            # in the cache, and match() must keep refusing to serve them.
+            self._kb_versions = (self.kb1.version, self.kb2.version)
+        return len(stale)
 
     def __repr__(self) -> str:
         return (

@@ -187,3 +187,69 @@ class TestDisableStage:
         output = capsys.readouterr().out
         assert "matched" in output
         assert "'H1'" not in output
+
+
+class TestApplyDelta:
+    def test_add_and_remove_deltas_report_incremental_run(
+        self, bundle, tmp_path, capsys
+    ):
+        from repro.kb.io_ntriples import read_ntriples
+
+        additions = tmp_path / "more.nt"
+        additions.write_text(
+            '<http://cli.example/new1> <http://cli.example/name> "Cli Delta Diner" .\n'
+            '<http://cli.example/new2> <http://cli.example/name> "Second Fresh Spot" .\n',
+            encoding="utf-8",
+        )
+        victim = read_ntriples(bundle / "kb2.nt").uris()[0]
+        removals = tmp_path / "gone.txt"
+        removals.write_text(victim + "\n", encoding="utf-8")
+        code = main(
+            [
+                "match",
+                str(bundle / "kb1.nt"),
+                str(bundle / "kb2.nt"),
+                "--apply-delta",
+                f"add:kb1:{additions}",
+                "--apply-delta",
+                f"remove:kb2:{removals}",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "initial match:" in output
+        assert "delta: add 2 entities on kb1" in output
+        assert "delta: remove 1 entities on kb2" in output
+        assert "incremental match:" in output
+        assert "delta-updated" in output
+        assert victim not in output  # the removed entity cannot match
+
+    def test_missing_delta_file_exits_cleanly_before_matching(
+        self, bundle, capsys
+    ):
+        code = main(
+            [
+                "match",
+                str(bundle / "kb1.nt"),
+                str(bundle / "kb2.nt"),
+                "--apply-delta",
+                "add:kb1:does_not_exist.nt",
+            ]
+        )
+        assert code == 2
+        captured = capsys.readouterr()
+        assert "does_not_exist.nt" in captured.err
+        assert "initial match" not in captured.out  # failed upfront
+
+    def test_bad_delta_spec_rejected(self, bundle, capsys):
+        code = main(
+            [
+                "match",
+                str(bundle / "kb1.nt"),
+                str(bundle / "kb2.nt"),
+                "--apply-delta",
+                "upsert:kb1:x.nt",
+            ]
+        )
+        assert code == 2
+        assert "bad delta spec" in capsys.readouterr().err

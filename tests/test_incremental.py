@@ -1,0 +1,397 @@
+"""Unit tests for the incremental subsystem's building blocks.
+
+The end-to-end parity contract lives in ``test_incremental_parity.py``;
+here each piece is exercised in isolation: the delta block index, the
+pair-update patching of the similarity indices, the shard-merge replay,
+the DeltaContext overlay (snapshot/rollback/provenance), stale-session
+detection with the explicit ``invalidate`` API, and the matcher's delta
+validation and bookkeeping.
+"""
+
+import pytest
+
+from repro.core import MinoanER, MinoanERConfig
+from repro.core.similarity import ValueSimilarityIndex
+from repro.engine import build_value_index
+from repro.engine.similarity import shard_merged_sum, value_pair_key
+from repro.incremental import DeltaBlockIndex, IncrementalMatcher
+from repro.kb import KnowledgeBase
+from repro.kb.entity import EntityDescription
+from repro.blocking.base import Block, BlockCollection
+from repro.blocking.purging import (
+    cardinality_threshold,
+    cardinality_threshold_from_sizes,
+)
+from repro.pipeline import (
+    DeltaContext,
+    MatchSession,
+    StaleSessionError,
+    artifact_digest,
+)
+from repro.pipeline.context import PipelineContext
+
+from test_pipeline import make_pair
+
+
+# ----------------------------------------------------------------------
+# KnowledgeBase mutation contract
+# ----------------------------------------------------------------------
+class TestMutableKB:
+    def test_version_bumps_on_add_and_remove(self):
+        kb = KnowledgeBase("X")
+        v0 = kb.version
+        kb.new_entity("a")
+        assert kb.version == v0 + 1
+        kb.remove("a")
+        assert kb.version == v0 + 2
+
+    def test_remove_missing_raises(self):
+        with pytest.raises(KeyError, match="ghost"):
+            KnowledgeBase("X").remove("ghost")
+
+    def test_remove_preserves_order_and_readd_appends(self):
+        kb = KnowledgeBase("X")
+        for uri in ("a", "b", "c"):
+            kb.new_entity(uri)
+        middle = kb.remove("b")
+        assert kb.uris() == ["a", "c"]
+        kb.add(middle)
+        assert kb.uris() == ["a", "c", "b"]
+
+    def test_copy_is_independent(self):
+        kb = KnowledgeBase("X")
+        kb.new_entity("a")
+        clone = kb.copy()
+        clone.remove("a")
+        assert "a" in kb and "a" not in clone
+
+
+# ----------------------------------------------------------------------
+# DeltaBlockIndex
+# ----------------------------------------------------------------------
+class TestDeltaBlockIndex:
+    def test_add_remove_roundtrip_assembles_like_batch(self):
+        index = DeltaBlockIndex("BT")
+        index.load_side(1, [("a1", frozenset({"x", "y"}))])
+        index.load_side(2, [("b1", frozenset({"y", "z"}))])
+        index.add_entity(1, "a2", {"z", "y"})
+        blocks = index.assemble()
+        assert blocks.keys() == ["y", "z"]  # sorted, two-sided only
+        assert blocks["y"].entities1 == {"a1", "a2"}
+        index.remove_entity(1, "a2")
+        assert index.assemble().keys() == ["y"]
+
+    def test_dirty_tracking_snapshots_pre_delta_members(self):
+        index = DeltaBlockIndex("BT")
+        index.load_side(1, [("a1", frozenset({"x"}))])
+        index.load_side(2, [("b1", frozenset({"x"}))])
+        index.collect_dirty()
+        index.add_entity(1, "a2", {"x"})
+        index.remove_entity(2, "b1")
+        dirty = index.collect_dirty()
+        assert dirty == {"x": (("a1",), ("b1",))}
+        # collected — the tracker resets
+        assert index.collect_dirty() == {}
+
+    def test_re_adding_placed_entity_rejected(self):
+        index = DeltaBlockIndex("BT")
+        index.add_entity(1, "a1", {"x"})
+        with pytest.raises(ValueError, match="already placed"):
+            index.add_entity(1, "a1", {"y"})
+        assert index.entity_keys(1, "a1") == {"x"}  # untouched
+
+    def test_shared_counts_and_keep_filter(self):
+        index = DeltaBlockIndex("BT")
+        index.load_side(1, [("a1", frozenset({"x", "only1"}))])
+        index.load_side(2, [("b1", frozenset({"x"})), ("b2", frozenset({"x"}))])
+        assert index.shared_counts() == {"x": (1, 2)}
+        assert index.assemble(keep=set()).keys() == []
+
+
+# ----------------------------------------------------------------------
+# Pair updates + shard-merge replay
+# ----------------------------------------------------------------------
+class TestPairUpdates:
+    def make_index(self):
+        blocks = BlockCollection("BT")
+        blocks.add(Block("t1", {"a1"}, {"b1"}))
+        blocks.add(Block("t2", {"a1", "a2"}, {"b1", "b2"}))
+        return build_value_index(blocks)
+
+    def test_update_and_delete_rerank_affected_entities(self):
+        index = self.make_index()
+        index.apply_pair_updates({("a1", "b1"): 5.0, ("a2", "b2"): None})
+        assert index.similarity("a1", "b1") == 5.0
+        assert index.similarity("a2", "b2") == 0.0
+        assert index.candidates_of_entity1("a2") == [
+            ("b1", index.similarity("a2", "b1"))
+        ]
+        assert index.best_candidate("a1") == ("b1", 5.0)
+
+    def test_patched_index_equals_cold_construction(self):
+        blocks = BlockCollection("BT")
+        blocks.add(Block("t1", {"a1"}, {"b1"}))
+        blocks.add(Block("t2", {"a1", "a2"}, {"b1", "b2"}))
+        index = build_value_index(blocks)
+        # grow block t1 and replay the affected pair sums
+        blocks2 = BlockCollection("BT")
+        blocks2.add(Block("t1", {"a1", "a3"}, {"b1"}))
+        blocks2.add(Block("t2", {"a1", "a2"}, {"b1", "b2"}))
+        cold = build_value_index(blocks2)
+        updates = {
+            pair: cold.pairs().get(pair)
+            for pair in set(index.pairs()) | set(cold.pairs())
+            if index.pairs().get(pair) != cold.pairs().get(pair)
+        }
+        index.apply_pair_updates(updates)
+        assert artifact_digest(index) == artifact_digest(cold)
+
+    def test_noop_update_reports_zero_changes(self):
+        index = self.make_index()
+        current = dict(index.pairs())
+        assert index.apply_pair_updates(current) == 0
+
+    def test_shard_merged_sum_replays_engine_accumulation(self):
+        from repro.engine.partitioner import partition_blocks
+        from repro.engine.similarity import _value_partial, merge_pair_sums
+
+        blocks = BlockCollection("BT")
+        # one shared pair across many singleton blocks, each contributing
+        # arcs(1, 1) == 1.0 plus a varying tail via block "u"
+        for i in range(12):
+            blocks.add(Block(f"t{i}", {"a1"}, {"b1"}))
+        blocks.add(Block("u", {"a1", "a2", "a3"}, {"b1", "b2"}))
+        for n_shards in (1, 2, 3, 7):
+            merged = {}
+            for shard in partition_blocks(blocks, n_shards):
+                merged = merge_pair_sums(merged, _value_partial(shard))
+            contributions = sorted(
+                (
+                    block.key,
+                    1.0
+                    if block.key != "u"
+                    else merged[("a2", "b2")],  # u's weight, arcs(3, 2)
+                )
+                for block in blocks
+            )
+            assert (
+                shard_merged_sum(contributions, n_shards)
+                == merged[("a1", "b1")]
+            )
+
+    def test_value_pair_key_distinguishes_boundary(self):
+        assert value_pair_key(("ab", "c")) != value_pair_key(("a", "bc"))
+
+
+# ----------------------------------------------------------------------
+# Purging threshold arithmetic sharing
+# ----------------------------------------------------------------------
+class TestPurgingFromSizes:
+    def test_matches_block_collection_path(self):
+        blocks = BlockCollection("BT")
+        blocks.add(Block("stop", set(map(str, range(30))), set(map(str, range(30)))))
+        for i in range(20):
+            blocks.add(Block(f"t{i}", {"a"}, {"b"}))
+        assert cardinality_threshold(blocks) == cardinality_threshold_from_sizes(
+            (len(b.entities1), len(b.entities2)) for b in blocks
+        )
+
+
+# ----------------------------------------------------------------------
+# DeltaContext overlay
+# ----------------------------------------------------------------------
+class TestDeltaContext:
+    def make_base(self):
+        kb1, kb2 = make_pair()
+        base = PipelineContext(kb1, kb2, MinoanERConfig())
+        base.put("thing", [1, 2], producer="stage_x")
+        return base
+
+    def test_reads_fall_through_writes_overlay(self):
+        base = self.make_base()
+        delta = DeltaContext(base)
+        assert delta.get("thing") == [1, 2]
+        delta.put("thing", [3], producer="delta:stage_x")
+        assert delta.get("thing") == [3]
+        assert base.get("thing") == [1, 2]  # base untouched
+        assert delta.provenance("thing").producer == "delta:stage_x"
+        assert delta.overlay_keys() == ["thing"]
+
+    def test_snapshot_rollback_restores_prior_overlay(self):
+        delta = DeltaContext(self.make_base())
+        delta.put("thing", [3], producer="delta:a")
+        marker = delta.snapshot()
+        delta.put("thing", [4], producer="delta:b")
+        delta.put("extra", "x", producer="delta:b")
+        assert delta.rollback(marker) == 2
+        assert delta.get("thing") == [3]
+        assert not delta.has("extra")
+        assert delta.rollback(0) == 1
+        assert delta.get("thing") == [1, 2]
+
+    def test_rollback_rejects_unknown_marker(self):
+        delta = DeltaContext(self.make_base())
+        with pytest.raises(ValueError, match="marker"):
+            delta.rollback(5)
+
+    def test_keys_merge_base_and_overlay(self):
+        delta = DeltaContext(self.make_base())
+        delta.put("extra", 1, producer="delta:x")
+        keys = delta.keys()
+        assert keys.index("kb1") < keys.index("extra")
+        assert {a.key for a in delta} >= {"kb1", "kb2", "thing", "extra"}
+
+
+# ----------------------------------------------------------------------
+# Stale sessions and explicit invalidation
+# ----------------------------------------------------------------------
+class TestStaleSession:
+    def test_mutated_kb_raises_instead_of_stale_matches(self):
+        kb1, kb2 = make_pair()
+        session = MatchSession(kb1, kb2)
+        first = session.match()
+        extra = EntityDescription("a9")
+        extra.add_literal("name", "freshly added venue")
+        kb1.add(extra)
+        with pytest.raises(StaleSessionError, match="mutated"):
+            session.match()
+        # the pre-delta result object is unaffected
+        assert ("a0", "b0") in first.pairs()
+
+    def test_invalidate_seed_key_recovers_and_sees_delta(self):
+        kb1, kb2 = make_pair()
+        session = MatchSession(kb1, kb2)
+        session.match()
+        extra1 = EntityDescription("a9")
+        extra1.add_literal("name", "freshly added venue")
+        extra2 = EntityDescription("b9")
+        extra2.add_literal("name", "Freshly Added Venue")
+        kb1.add(extra1)
+        kb2.add(extra2)
+        dropped = session.invalidate("kb1")
+        assert dropped == len(list(session.graph))  # everything was tainted
+        result = session.match()
+        assert ("a9", "b9") in result.pairs()
+
+    def test_invalidate_artifact_drops_stage_and_downstream_only(self):
+        kb1, kb2 = make_pair()
+        session = MatchSession(kb1, kb2)
+        session.match()
+        cached_before = session.cached_artifacts()
+        dropped = session.invalidate("token_blocks")
+        # token_blocking + value/neighbor/candidates/matching, not names
+        assert dropped == 5
+        assert session.cached_artifacts() == cached_before - 5
+        session.match()
+        assert session.runs("name_blocking") == 1  # reused from cache
+        assert session.runs("token_blocking") == 2
+
+    def test_narrow_invalidate_keeps_stale_guard_armed(self):
+        kb1, kb2 = make_pair()
+        session = MatchSession(kb1, kb2)
+        session.match()
+        extra = EntityDescription("a9")
+        extra.add_literal("name", "freshly added venue")
+        kb1.add(extra)
+        session.invalidate("matching")  # narrow: upstream caches still stale
+        with pytest.raises(StaleSessionError):
+            session.match()
+
+    def test_invalidate_unknown_artifact_raises(self):
+        kb1, kb2 = make_pair()
+        session = MatchSession(kb1, kb2)
+        with pytest.raises(KeyError, match="nonsense"):
+            session.invalidate("nonsense")
+
+    def test_clear_also_accepts_current_versions(self):
+        kb1, kb2 = make_pair()
+        session = MatchSession(kb1, kb2)
+        session.match()
+        kb1.remove("a0")
+        session.clear()
+        assert ("a0", "b0") not in session.match().pairs()
+
+
+# ----------------------------------------------------------------------
+# IncrementalMatcher surface behaviour
+# ----------------------------------------------------------------------
+class TestIncrementalMatcherSurface:
+    def make_matcher(self):
+        kb1, kb2 = make_pair()
+        return IncrementalMatcher(MinoanER().session(kb1, kb2))
+
+    def test_rejects_unsupported_graph_compositions(self):
+        kb1, kb2 = make_pair()
+        from repro.pipeline import Stage
+
+        class Odd(Stage):
+            name = "odd"
+            provides = ("odd",)
+
+            def run(self, ctx, engine):
+                ctx.put("odd", 1, producer=self.name)
+
+        builder = MinoanER.builder().with_stage(Odd())
+        with pytest.raises(ValueError, match="unsupported"):
+            IncrementalMatcher(builder.session(kb1, kb2))
+
+    def test_kb_selector_forms(self):
+        matcher = self.make_matcher()
+        assert matcher._side_of(1) == 1
+        assert matcher._side_of("kb2") == 2
+        assert matcher._side_of("A") == 1  # unique KB name
+        with pytest.raises(ValueError, match="unknown KB"):
+            matcher._side_of("nope")
+
+    def test_duplicate_add_rejected_atomically(self):
+        matcher = self.make_matcher()
+        clash = EntityDescription("a0")
+        fresh = EntityDescription("a8")
+        with pytest.raises(ValueError, match="duplicate"):
+            matcher.add_entities(1, [fresh, clash])
+        assert "a8" not in matcher.kbs[0]  # nothing was applied
+
+    def test_remove_missing_rejected(self):
+        matcher = self.make_matcher()
+        with pytest.raises(KeyError, match="ghost"):
+            matcher.remove_entities(1, ["ghost"])
+
+    def test_remove_duplicate_uri_rejected_atomically(self):
+        matcher = self.make_matcher()
+        with pytest.raises(KeyError, match="a2"):
+            matcher.remove_entities(1, ["a2", "a2"])
+        # nothing was applied: the entity still matches
+        assert "a2" in matcher.kbs[0]
+        assert matcher.refresh() is False
+        assert ("a2", "b2") in matcher.match().pairs()
+
+    def test_delta_log_and_counters(self):
+        matcher = self.make_matcher()
+        matcher.match()
+        matcher.remove_entities(1, ["a2"])
+        matcher.match()
+        assert matcher.delta_log == [("remove", 1, ("a2",))]
+        counters = matcher.counters()
+        assert counters["delta_updated"]["token_blocking"] >= 1
+        assert counters["recomputed"]["matching"] == 2
+
+    def test_empty_add_is_a_noop(self):
+        matcher = self.make_matcher()
+        assert matcher.add_entities(1, []) == 0
+        assert matcher.refresh() is False
+
+    def test_no_delta_match_reports_no_refresh_stages(self):
+        matcher = self.make_matcher()
+        matcher.remove_entities(1, ["a2"])
+        matcher.match()  # consumes the refresh's stage sections
+        repeat = matcher.match()  # nothing pending: decisions only
+        assert set(repeat.stage_seconds) == {"candidates", "matching"}
+
+    def test_wrapped_session_raises_after_deltas(self):
+        kb1, kb2 = make_pair()
+        session = MinoanER().session(kb1, kb2)
+        matcher = IncrementalMatcher(session)
+        matcher.remove_entities(1, ["a2"])
+        with pytest.raises(StaleSessionError):
+            session.match()
+        assert ("a2", "b2") not in matcher.match().pairs()
