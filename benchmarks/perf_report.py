@@ -1,0 +1,311 @@
+"""Similarity-core performance report: packed hot path vs the
+string-dict baseline, measured in the same run.
+
+Runs the paper-default pipeline on one pinned synthetic profile and
+writes ``benchmarks/results/BENCH_similarity.json`` — an *uncommitted*
+artifact (like the ``*.timing.txt`` split): wall-clock numbers are
+machine-dependent and never belong in version control.
+
+For the value/neighbor index stages the report also times a faithful
+re-implementation of the **pre-interning baseline** (string-tuple pair
+dicts, per-entity list sorts — the exact construction this repo used
+before the packed core) on the same blocks, verifies the two produce
+identical pair maps, and records the speedup.  That makes every report
+self-calibrating: "2.5x" means 2.5x on this machine, this run.
+
+JSON schema (``schema`` = ``repro-bench-similarity/1``)::
+
+    {
+      "schema": "repro-bench-similarity/1",
+      "profile": "<profile name>", "scale": <float>,
+      "python": "<x.y.z>", "numpy": "<version>" | null,
+      "entities": [<|KB1|>, <|KB2|>],
+      "pairs": {"value": <n>, "neighbor": <n>},
+      "stages": {<stage>: <seconds>, ..., "end_to_end": <seconds>},
+      "baseline_stages": {"value_index": <s>, "neighbor_index": <s>},
+      "speedup": {"value_index": <x>, "neighbor_index": <x>,
+                  "value_plus_neighbor": <x>},
+      "peak_rss_kb": <int>
+    }
+
+``--check REFERENCE.json`` compares this run's end-to-end seconds
+against a committed reference (``benchmarks/perf_reference.json``) and
+exits non-zero beyond ``--max-regression`` (default 3.0 — a generous
+bound that only catches accidental quadratic blowups, not machine
+noise).  The CI perf-smoke job runs exactly that on the small profile.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import resource
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core import MinoanER, MinoanERConfig  # noqa: E402
+from repro.core.neighbors import top_neighbors  # noqa: E402
+from repro.core.statistics import top_relations  # noqa: E402
+from repro.datasets import generate_benchmark  # noqa: E402
+from repro.engine import (  # noqa: E402
+    build_neighbor_index,
+    build_value_index,
+    hash_partitions,
+    partition_blocks,
+    partition_count,
+)
+from repro.engine.similarity import (  # noqa: E402
+    _value_partial,
+    merge_pair_sums,
+    value_pair_key,
+)
+
+DEFAULT_OUT = Path(__file__).parent / "results" / "BENCH_similarity.json"
+
+SCHEMA = "repro-bench-similarity/1"
+
+
+# ----------------------------------------------------------------------
+# The pre-interning baseline (string-tuple dicts), kept verbatim so the
+# speedup is always measured against the construction this repo shipped
+# before the packed core — not against a strawman.
+# ----------------------------------------------------------------------
+def _baseline_ranked_lists(sims):
+    by_entity1, by_entity2 = {}, {}
+    for (uri1, uri2), sim in sims.items():
+        by_entity1.setdefault(uri1, []).append((uri2, sim))
+        by_entity2.setdefault(uri2, []).append((uri1, sim))
+    for ranked in by_entity1.values():
+        ranked.sort(key=lambda item: (-item[1], item[0]))
+    for ranked in by_entity2.values():
+        ranked.sort(key=lambda item: (-item[1], item[0]))
+    return by_entity1, by_entity2
+
+
+def baseline_value_index(token_blocks):
+    """Pre-PR ``build_value_index``: string-keyed shard dicts + sorts."""
+    merged = {}
+    for shard in partition_blocks(token_blocks):
+        merged = merge_pair_sums(merged, _value_partial(shard))
+    _baseline_ranked_lists(merged)
+    return merged
+
+
+def _baseline_reverse_index(top_neighbor_map):
+    reverse = {}
+    for uri, neighbor_set in top_neighbor_map.items():
+        for neighbor in neighbor_set:
+            reverse.setdefault(neighbor, []).append(uri)
+    for parents in reverse.values():
+        parents.sort()
+    return reverse
+
+
+def baseline_neighbor_index(value_sims, top_neighbors1, top_neighbors2):
+    """Pre-PR ``build_neighbor_index``: string-pair propagation."""
+    reverse1 = _baseline_reverse_index(top_neighbors1)
+    reverse2 = _baseline_reverse_index(top_neighbors2)
+    items = sorted(value_sims.items())
+    shards = hash_partitions(
+        items,
+        partition_count(len(items)),
+        key=lambda item: value_pair_key(item[0]),
+    )
+    merged = {}
+    for shard in shards:
+        sums = {}
+        for (neighbor1, neighbor2), sim in shard:
+            parents1 = reverse1.get(neighbor1)
+            if not parents1:
+                continue
+            parents2 = reverse2.get(neighbor2)
+            if not parents2:
+                continue
+            for entity1 in parents1:
+                for entity2 in parents2:
+                    pair = (entity1, entity2)
+                    sums[pair] = sums.get(pair, 0.0) + sim
+        merged = merge_pair_sums(merged, sums)
+    _baseline_ranked_lists(merged)
+    return merged
+
+
+def _timed(fn, *args):
+    started = time.perf_counter()
+    result = fn(*args)
+    return result, time.perf_counter() - started
+
+
+def run_report(profile: str, scale: float) -> dict:
+    data = generate_benchmark(profile, scale=scale)
+    matcher = MinoanER()
+    config = MinoanERConfig()
+
+    blocks, _ = matcher.build_token_blocks(data.kb1, data.kb2)
+    relations1 = top_relations(
+        data.kb1, config.top_n_relations, config.include_incoming_edges
+    )
+    relations2 = top_relations(
+        data.kb2, config.top_n_relations, config.include_incoming_edges
+    )
+    neighbors1 = top_neighbors(
+        data.kb1, relations1, config.include_incoming_edges
+    )
+    neighbors2 = top_neighbors(
+        data.kb2, relations2, config.include_incoming_edges
+    )
+
+    baseline_value, baseline_value_s = _timed(baseline_value_index, blocks)
+    value_index, value_s = _timed(build_value_index, blocks)
+    baseline_neighbor, baseline_neighbor_s = _timed(
+        baseline_neighbor_index, baseline_value, neighbors1, neighbors2
+    )
+    neighbor_index, neighbor_s = _timed(
+        build_neighbor_index, value_index, neighbors1, neighbors2
+    )
+    if value_index.pairs() != baseline_value:
+        raise AssertionError("packed value index diverged from the baseline")
+    if neighbor_index.pairs() != baseline_neighbor:
+        raise AssertionError(
+            "packed neighbor index diverged from the baseline"
+        )
+
+    result, end_to_end_s = _timed(matcher.match, data.kb1, data.kb2)
+
+    try:
+        import numpy
+
+        numpy_version = numpy.__version__
+    except ImportError:
+        numpy_version = None
+
+    stages = {
+        name: round(seconds, 4)
+        for name, seconds in result.stage_seconds.items()
+    }
+    stages["value_index"] = round(value_s, 4)
+    stages["neighbor_index"] = round(neighbor_s, 4)
+    stages["end_to_end"] = round(end_to_end_s, 4)
+    return {
+        "schema": SCHEMA,
+        "profile": profile,
+        "scale": scale,
+        "python": platform.python_version(),
+        "numpy": numpy_version,
+        "entities": [len(data.kb1), len(data.kb2)],
+        "pairs": {"value": len(value_index), "neighbor": len(neighbor_index)},
+        "stages": stages,
+        "baseline_stages": {
+            "value_index": round(baseline_value_s, 4),
+            "neighbor_index": round(baseline_neighbor_s, 4),
+        },
+        "speedup": {
+            "value_index": round(baseline_value_s / value_s, 2),
+            "neighbor_index": round(baseline_neighbor_s / neighbor_s, 2),
+            "value_plus_neighbor": round(
+                (baseline_value_s + baseline_neighbor_s)
+                / (value_s + neighbor_s),
+                2,
+            ),
+        },
+        "peak_rss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+    }
+
+
+def _normalized_wall_time(report: dict) -> float | None:
+    """End-to-end seconds per second of same-run baseline index work.
+
+    Dividing by the string-dict baseline measured in the same process
+    cancels machine speed, so a reference recorded on one machine stays
+    meaningful on another (CI runners are routinely severalfold slower
+    than the machine that froze the reference).  ``None`` when the
+    baseline rounded to zero (profile too small to normalize).
+    """
+    baseline = sum(report["baseline_stages"].values())
+    if baseline <= 0:
+        return None
+    return report["stages"]["end_to_end"] / baseline
+
+
+def check_regression(
+    report: dict, reference_path: Path, max_regression: float
+) -> int:
+    reference = json.loads(reference_path.read_text(encoding="utf-8"))
+    for field in ("schema", "profile", "scale"):
+        if report.get(field) != reference.get(field):
+            print(
+                f"perf-smoke: reference {field}={reference.get(field)!r} does "
+                f"not match this run's {report.get(field)!r} — comparing "
+                "different workloads would make the gate meaningless. "
+                "Regenerate the reference with the same --profile/--scale.",
+                file=sys.stderr,
+            )
+            return 1
+    current = _normalized_wall_time(report)
+    recorded = _normalized_wall_time(reference)
+    if current is not None and recorded is not None and recorded > 0:
+        ratio = current / recorded
+        unit = "normalized end_to_end (x same-run baseline)"
+        shown_current, shown_recorded = current, recorded
+    else:  # degenerate baseline: fall back to absolute seconds
+        shown_current = report["stages"]["end_to_end"]
+        shown_recorded = reference["stages"]["end_to_end"]
+        ratio = shown_current / shown_recorded if shown_recorded > 0 else 1.0
+        unit = "end_to_end seconds (absolute; baseline too small)"
+    print(
+        f"perf-smoke: {unit}: {shown_current:.3f} vs reference "
+        f"{shown_recorded:.3f} ({ratio:.2f}x, bound {max_regression:.1f}x)"
+    )
+    if ratio > max_regression:
+        print(
+            "perf-smoke: FAIL — wall time regressed beyond the bound "
+            "(accidental quadratic blowup?)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--profile", default="rexa_dblp")
+    parser.add_argument("--scale", type=float, default=0.5)
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT)
+    parser.add_argument(
+        "--check",
+        type=Path,
+        default=None,
+        help="committed reference JSON to compare end-to-end seconds against",
+    )
+    parser.add_argument("--max-regression", type=float, default=3.0)
+    args = parser.parse_args(argv)
+
+    report = run_report(args.profile, args.scale)
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    args.out.write_text(
+        json.dumps(report, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    print(f"wrote {args.out}")
+    for stage in ("value_index", "neighbor_index"):
+        print(
+            f"  {stage}: {report['stages'][stage]:.3f}s "
+            f"(baseline {report['baseline_stages'][stage]:.3f}s, "
+            f"{report['speedup'][stage]:.2f}x)"
+        )
+    print(
+        f"  value+neighbor speedup: "
+        f"{report['speedup']['value_plus_neighbor']:.2f}x; "
+        f"end_to_end {report['stages']['end_to_end']:.3f}s; "
+        f"peak RSS {report['peak_rss_kb'] / 1024:.0f} MiB"
+    )
+    if args.check is not None:
+        return check_regression(report, args.check, args.max_regression)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -114,11 +114,11 @@ class CandidateIndex:
         self._cache1.update(built)
 
     def _cooccurring(self, uri: str, side: int) -> set[str]:
+        # The packed value index decodes a bare partner set without
+        # materializing the (uri, score) ranked row.
         if side == 1:
-            ranked = self._value_index.candidates_of_entity1(uri)
-        else:
-            ranked = self._value_index.candidates_of_entity2(uri)
-        return {candidate for candidate, _ in ranked}
+            return self._value_index.partners_of_entity1(uri)
+        return self._value_index.partners_of_entity2(uri)
 
     # ------------------------------------------------------------------
     # Reciprocity helper

@@ -9,15 +9,20 @@ index propagates the sparse value-similarity map upward: every co-occurring
 neighbor pair ``(n1, n2)`` contributes its valueSim to all entity pairs
 ``(e1, e2)`` that have ``n1`` / ``n2`` among their top neighbors.  This is
 the non-iterative, block-driven evaluation the paper advocates.
+
+Like the value index, the neighbor index is array-backed
+(:class:`~repro.core.similarity.PackedSimilarityIndex`): parent entities
+are interned to dense ids, propagation runs over packed ``int64`` keys,
+and the reverse top-neighbor indices map value-pair ids straight to
+parent ids — no string touches anywhere in the propagation loop.
 """
 
 from __future__ import annotations
 
-from typing import Mapping
-
+from ..ids import EntityInterner, PAIR_ID_BITS, PAIR_ID_MASK
 from ..kb.graph import NeighborIndex
 from ..kb.knowledge_base import KnowledgeBase
-from .similarity import Pair, ValueSimilarityIndex, apply_pair_updates
+from .similarity import PackedSimilarityIndex, ValueSimilarityIndex
 
 
 def top_neighbors(
@@ -40,7 +45,7 @@ def top_neighbors(
     return result
 
 
-class NeighborSimilarityIndex:
+class NeighborSimilarityIndex(PackedSimilarityIndex):
     """Sparse neighborNSim over entity pairs with similar top neighbors."""
 
     def __init__(
@@ -49,21 +54,12 @@ class NeighborSimilarityIndex:
         top_neighbors1: dict[str, set[str]],
         top_neighbors2: dict[str, set[str]],
     ) -> None:
-        self._sims: dict[Pair, float] = {}
-        self._by_entity1: dict[str, list[tuple[str, float]]] = {}
-        self._by_entity2: dict[str, list[tuple[str, float]]] = {}
+        self._init_store(
+            EntityInterner(top_neighbors1),
+            EntityInterner(top_neighbors2),
+        )
         self._propagate(value_index, top_neighbors1, top_neighbors2)
-        self._build_ranked_lists()
-
-    @classmethod
-    def from_pair_sums(cls, sims: dict[Pair, float]) -> "NeighborSimilarityIndex":
-        """An index over externally propagated pair sums (parallel engine)."""
-        index = cls.__new__(cls)
-        index._sims = dict(sims)
-        index._by_entity1 = {}
-        index._by_entity2 = {}
-        index._build_ranked_lists()
-        return index
+        self._build_ranked_rows()
 
     def _propagate(
         self,
@@ -71,73 +67,41 @@ class NeighborSimilarityIndex:
         top_neighbors1: dict[str, set[str]],
         top_neighbors2: dict[str, set[str]],
     ) -> None:
-        # Mirrored by repro.engine.similarity._neighbor_partial (per-chunk
-        # propagation); change the placement rule in both.
-        # Reverse indices: neighbor uri -> entities having it as top neighbor.
-        reverse1: dict[str, list[str]] = {}
+        # Mirrored by repro.engine.similarity._neighbor_partial_packed
+        # (per-chunk propagation); change the placement rule in both.
+        # Reverse indices: value-pair neighbor id -> parent entity ids.
+        value1, value2 = value_index.interners()
+        own1 = self._interner1.ids_by_uri()
+        own2 = self._interner2.ids_by_uri()
+        reverse1: dict[int, list[int]] = {}
         for uri, neighbor_set in top_neighbors1.items():
+            parent = own1[uri]
             for neighbor in neighbor_set:
-                reverse1.setdefault(neighbor, []).append(uri)
-        reverse2: dict[str, list[str]] = {}
+                neighbor_id = value1.get(neighbor)
+                if neighbor_id is not None:
+                    reverse1.setdefault(neighbor_id, []).append(parent)
+        reverse2: dict[int, list[int]] = {}
         for uri, neighbor_set in top_neighbors2.items():
+            parent = own2[uri]
             for neighbor in neighbor_set:
-                reverse2.setdefault(neighbor, []).append(uri)
+                neighbor_id = value2.get(neighbor)
+                if neighbor_id is not None:
+                    reverse2.setdefault(neighbor_id, []).append(parent)
 
-        sims = self._sims
-        for (neighbor1, neighbor2), sim in value_index.pairs().items():
-            parents1 = reverse1.get(neighbor1)
+        sims = self._packed
+        shift, mask = PAIR_ID_BITS, PAIR_ID_MASK
+        for key, sim in value_index.packed_items().items():
+            parents1 = reverse1.get(key >> shift)
             if not parents1:
                 continue
-            parents2 = reverse2.get(neighbor2)
+            parents2 = reverse2.get(key & mask)
             if not parents2:
                 continue
             for entity1 in parents1:
+                base = entity1 << shift
                 for entity2 in parents2:
-                    pair = (entity1, entity2)
+                    pair = base | entity2
                     sims[pair] = sims.get(pair, 0.0) + sim
 
-    def _build_ranked_lists(self) -> None:
-        for (uri1, uri2), sim in self._sims.items():
-            self._by_entity1.setdefault(uri1, []).append((uri2, sim))
-            self._by_entity2.setdefault(uri2, []).append((uri1, sim))
-        for ranked in self._by_entity1.values():
-            ranked.sort(key=lambda item: (-item[1], item[0]))
-        for ranked in self._by_entity2.values():
-            ranked.sort(key=lambda item: (-item[1], item[0]))
-
-    # ------------------------------------------------------------------
-    # Queries
-    # ------------------------------------------------------------------
-    def similarity(self, uri1: str, uri2: str) -> float:
-        """neighborNSim of a pair (0.0 when no top-neighbor pair co-occurs)."""
-        return self._sims.get((uri1, uri2), 0.0)
-
-    def pairs(self) -> dict[Pair, float]:
-        """The sparse pair-to-similarity map."""
-        return self._sims
-
-    def candidates_of_entity1(self, uri1: str, k: int | None = None) -> list[tuple[str, float]]:
-        """E2 entities with non-zero neighbor similarity to ``uri1``."""
-        ranked = self._by_entity1.get(uri1, [])
-        return ranked if k is None else ranked[:k]
-
-    def candidates_of_entity2(self, uri2: str, k: int | None = None) -> list[tuple[str, float]]:
-        """E1 entities with non-zero neighbor similarity to ``uri2``."""
-        ranked = self._by_entity2.get(uri2, [])
-        return ranked if k is None else ranked[:k]
-
-    def apply_pair_updates(self, updates: Mapping[Pair, float | None]) -> int:
-        """Patch pair similarities in place (``None`` deletes a pair).
-
-        Same contract as
-        :meth:`repro.core.similarity.ValueSimilarityIndex.apply_pair_updates`.
-        """
-        return apply_pair_updates(
-            self._sims, self._by_entity1, self._by_entity2, updates
-        )
-
-    def __len__(self) -> int:
-        return len(self._sims)
-
     def __repr__(self) -> str:
-        return f"NeighborSimilarityIndex({len(self._sims)} pairs)"
+        return f"NeighborSimilarityIndex({len(self._packed)} pairs)"

@@ -11,13 +11,27 @@ exclusively block statistics (e.g. block size)", as the paper puts it.
 each block's token weight to every pair it suggests.  This yields the exact
 valueSim restricted to tokens that survived purging, for precisely the
 pairs co-occurring in some block — all other pairs have similarity zero.
+
+**Representation.**  Since PR 4 the index is array-backed: both KBs' URIs
+are interned to dense ``int32`` ids (:class:`~repro.ids.EntityInterner`,
+sorted so id order equals URI order), every pair lives under one packed
+``int64`` key (``id1 << 32 | id2``) in a flat ``packed key -> float``
+map, and the per-entity ranked candidate lists are CSR-style
+offset+column arrays built by a single argsort-equivalent pass.  All
+URI-facing queries (``similarity``, ``pairs``, ``candidates_of_*``) are
+thin decode layers over the ids, so accumulation order — and with it
+every floating-point sum — is bit-identical to the previous string-dict
+construction.  See ``docs/PERFORMANCE.md``.
 """
 
 from __future__ import annotations
 
-from typing import Mapping
+from array import array
+from typing import Iterable, Mapping
 
 from ..blocking.base import BlockCollection
+from ..ids import EntityInterner, PAIR_ID_BITS, PAIR_ID_MASK
+from ..ids.arrays import numpy_enabled, numpy_module, ranked_csr
 from ..textsim.weighted import arcs_token_weight
 
 Pair = tuple[str, str]
@@ -31,15 +45,18 @@ def apply_pair_updates(
     by_entity2: RankedLists,
     updates: Mapping[Pair, float | None],
 ) -> int:
-    """Patch a sparse pair-similarity map and re-rank affected entities.
+    """Patch a string-keyed pair-similarity map and re-rank affected entities.
 
-    ``updates`` maps each pair to its new similarity, or ``None`` to
-    delete it.  Only the ranked candidate lists of entities appearing in
-    an effective update are rebuilt — and since those lists sort by
-    ``(-similarity, uri)``, a total order per entity, the rebuilt lists
-    are exactly what a cold construction over the patched map produces.
-    Shared by the value and neighbor indices (same internal layout).
-    Returns the number of pairs whose stored value actually changed.
+    The reference (pre-interning) form of the update rule: ``updates``
+    maps each pair to its new similarity, or ``None`` to delete it, and
+    only the ranked candidate lists of entities appearing in an
+    effective update are rebuilt — sorted by ``(-similarity, uri)``, a
+    total order per entity, so the rebuilt lists are exactly what a cold
+    construction over the patched map produces.  The live indices apply
+    the same rule over packed keys
+    (:meth:`ValueSimilarityIndex.apply_pair_updates`); this function is
+    kept as the executable specification the parity tests compare
+    against.  Returns the number of pairs whose stored value changed.
     """
     per_entity1: dict[str, set[str]] = {}
     per_entity2: dict[str, set[str]] = {}
@@ -83,102 +100,435 @@ def apply_pair_updates(
 
 
 def block_token_weight(n_entities1: int, n_entities2: int) -> float:
-    """Weight of one shared token given its block's side sizes."""
+    """Weight of one shared token given its block's side sizes.
+
+    Memoized per ``(n1, n2)`` shape (via :func:`arcs_token_weight`):
+    collections contain many blocks of the same shape and the log2 is
+    identical for all of them.
+    """
     return arcs_token_weight(n_entities1, n_entities2)
 
 
-class ValueSimilarityIndex:
-    """Sparse valueSim over all pairs co-occurring in the token blocks."""
+class PackedSimilarityIndex:
+    """Shared array-backed core of the value and neighbor indices.
 
-    def __init__(self, token_blocks: BlockCollection) -> None:
-        self._sims: dict[Pair, float] = {}
-        self._by_entity1: dict[str, list[tuple[str, float]]] = {}
-        self._by_entity2: dict[str, list[tuple[str, float]]] = {}
-        self._accumulate(token_blocks)
-        self._build_ranked_lists()
+    State:
 
+    - two :class:`~repro.ids.EntityInterner` maps (one per KB side);
+    - ``_packed``: the sparse ``packed int64 key -> float`` pair map —
+      the single source of truth for similarities;
+    - per side, a CSR layout of the ranked candidate lists:
+      ``_starts`` (one offset per entity id, length ``n+1``), ``_cols``
+      (counterpart ids) and ``_sims`` (their similarities), rows ordered
+      best-first with the counterpart URI breaking ties;
+    - per side, an override map ``entity id -> decoded ranked row`` for
+      the (rare) rows patched after construction by
+      :meth:`apply_pair_updates` — the CSR arrays stay immutable.
+
+    Subclasses populate ``_packed`` (block accumulation / neighbor
+    propagation) and then call :meth:`_build_ranked_rows` once.
+    """
+
+    _interner1: EntityInterner
+    _interner2: EntityInterner
+    _packed: dict[int, float]
+
+    def _init_store(
+        self, interner1: EntityInterner, interner2: EntityInterner
+    ) -> None:
+        self._interner1 = interner1
+        self._interner2 = interner2
+        self._packed = {}
+        self._pairs_cache: dict[Pair, float] | None = None
+        self._starts1 = array("q", (0,))
+        self._cols1 = array("i")
+        self._sims1 = array("d")
+        self._starts2 = array("q", (0,))
+        self._cols2 = array("i")
+        self._sims2 = array("d")
+        self._patched1: dict[int, list[tuple[str, float]]] = {}
+        self._patched2: dict[int, list[tuple[str, float]]] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
     @classmethod
-    def from_pair_sums(cls, sims: dict[Pair, float]) -> "ValueSimilarityIndex":
-        """An index over externally accumulated pair sums.
+    def from_packed_sums(
+        cls,
+        packed: dict[int, float],
+        interner1: EntityInterner,
+        interner2: EntityInterner,
+    ) -> "PackedSimilarityIndex":
+        """An index over externally accumulated packed pair sums.
 
-        The parallel engine accumulates per-shard sums and merges them
-        associatively; this constructor takes the merged map and only
-        builds the ranked candidate lists.
+        The parallel engine accumulates per-shard ``array`` columns and
+        merges them associatively; this constructor takes ownership of
+        the merged map (no copy) and only builds the ranked rows.
         """
         index = cls.__new__(cls)
-        index._sims = dict(sims)
-        index._by_entity1 = {}
-        index._by_entity2 = {}
-        index._build_ranked_lists()
+        index._init_store(interner1, interner2)
+        index._packed = packed
+        index._build_ranked_rows()
         return index
 
-    def _accumulate(self, token_blocks: BlockCollection) -> None:
-        # Mirrored by repro.engine.similarity._value_partial (per-shard
-        # accumulation); change the weighting or pair placement in both.
-        sims = self._sims
-        for block in token_blocks:
-            weight = block_token_weight(len(block.entities1), len(block.entities2))
-            for uri1 in block.entities1:
-                for uri2 in block.entities2:
-                    pair = (uri1, uri2)
-                    sims[pair] = sims.get(pair, 0.0) + weight
+    @classmethod
+    def from_pair_sums(
+        cls, sims: dict[Pair, float]
+    ) -> "PackedSimilarityIndex":
+        """An index over an externally accumulated URI-keyed pair map.
 
-    def _build_ranked_lists(self) -> None:
-        by1 = self._by_entity1
-        by2 = self._by_entity2
-        for (uri1, uri2), sim in self._sims.items():
-            by1.setdefault(uri1, []).append((uri2, sim))
-            by2.setdefault(uri2, []).append((uri1, sim))
-        # Descending similarity; URI breaks ties deterministically.
-        for ranked in by1.values():
-            ranked.sort(key=lambda item: (-item[1], item[0]))
-        for ranked in by2.values():
-            ranked.sort(key=lambda item: (-item[1], item[0]))
+        Interns the URIs appearing in ``sims`` and re-keys the map to
+        packed ids, preserving the given accumulation (insertion) order.
+        """
+        index = cls.__new__(cls)
+        index._init_store(
+            EntityInterner(uri1 for uri1, _ in sims),
+            EntityInterner(uri2 for _, uri2 in sims),
+        )
+        ids1 = index._interner1.ids_by_uri()
+        ids2 = index._interner2.ids_by_uri()
+        packed = index._packed
+        for (uri1, uri2), value in sims.items():
+            packed[(ids1[uri1] << PAIR_ID_BITS) | ids2[uri2]] = value
+        index._build_ranked_rows()
+        return index
+
+    def _build_ranked_rows(self) -> None:
+        """One argsort-equivalent pass per side over the packed map.
+
+        Each side's rows sort by ``(entity id, -similarity, counterpart
+        id)``; with sorted interners the id tie-break IS the URI
+        tie-break, so the rows equal the old per-entity
+        ``sort(key=(-sim, uri))`` lists.  Vectorized
+        (:func:`~repro.ids.arrays.ranked_csr`) when NumPy is available;
+        unsorted interners (an index grown by deltas, then rebuilt)
+        fall back to decoded-URI sort keys.
+        """
+        sortable = self._interner1.is_sorted and self._interner2.is_sorted
+        if sortable and self._packed and numpy_enabled():
+            numpy = numpy_module()
+            count = len(self._packed)
+            starts1, cols1, sims1, starts2, cols2, sims2 = ranked_csr(
+                numpy.fromiter(self._packed.keys(), numpy.int64, count),
+                numpy.fromiter(self._packed.values(), numpy.float64, count),
+                len(self._interner1),
+                len(self._interner2),
+            )
+            self._starts1 = array("q")
+            self._starts1.frombytes(starts1.tobytes())
+            self._cols1 = array("i")
+            self._cols1.frombytes(cols1.tobytes())
+            self._sims1 = array("d")
+            self._sims1.frombytes(sims1.tobytes())
+            self._starts2 = array("q")
+            self._starts2.frombytes(starts2.tobytes())
+            self._cols2 = array("i")
+            self._cols2.frombytes(cols2.tobytes())
+            self._sims2 = array("d")
+            self._sims2.frombytes(sims2.tobytes())
+            return
+        packed = self._packed
+        keys = array("q", packed.keys())
+        sims = array("d", packed.values())
+        shift, mask = PAIR_ID_BITS, PAIR_ID_MASK
+        if sortable:
+            def key1(i: int):
+                return (keys[i] >> shift, -sims[i], keys[i] & mask)
+
+            def key2(i: int):
+                return (keys[i] & mask, -sims[i], keys[i] >> shift)
+        else:  # pragma: no cover - defensive; builders pass sorted interners
+            uris1, uris2 = self._interner1.uris(), self._interner2.uris()
+
+            def key1(i: int):
+                return (keys[i] >> shift, -sims[i], uris2[keys[i] & mask])
+
+            def key2(i: int):
+                return (keys[i] & mask, -sims[i], uris1[keys[i] >> shift])
+
+        self._starts1, self._cols1, self._sims1 = self._csr_side(
+            keys, sims, sorted(range(len(keys)), key=key1),
+            len(self._interner1), own_shift=shift, other_shift=0,
+        )
+        self._starts2, self._cols2, self._sims2 = self._csr_side(
+            keys, sims, sorted(range(len(keys)), key=key2),
+            len(self._interner2), own_shift=0, other_shift=shift,
+        )
+
+    @staticmethod
+    def _csr_side(
+        keys: array,
+        sims: array,
+        order: list[int],
+        n_entities: int,
+        own_shift: int,
+        other_shift: int,
+    ) -> tuple[array, array, array]:
+        mask = PAIR_ID_MASK
+        starts = array("q", bytes(8 * (n_entities + 1)))
+        for key in keys:
+            starts[((key >> own_shift) & mask) + 1] += 1
+        for position in range(1, n_entities + 1):
+            starts[position] += starts[position - 1]
+        cols = array("i", ((keys[i] >> other_shift) & mask for i in order))
+        row_sims = array("d", (sims[i] for i in order))
+        return starts, cols, row_sims
+
+    # ------------------------------------------------------------------
+    # Row decode (the URI-facing layer)
+    # ------------------------------------------------------------------
+    def _row(
+        self, side: int, uri: str, k: int | None
+    ) -> list[tuple[str, float]]:
+        if side == 1:
+            interner, patched = self._interner1, self._patched1
+            starts, cols, sims = self._starts1, self._cols1, self._sims1
+            decode = self._interner2.uris()
+        else:
+            interner, patched = self._interner2, self._patched2
+            starts, cols, sims = self._starts2, self._cols2, self._sims2
+            decode = self._interner1.uris()
+        entity_id = interner.get(uri)
+        if entity_id is None:
+            return []
+        row = patched.get(entity_id)
+        if row is not None:
+            return row if k is None else row[:k]
+        if entity_id + 1 >= len(starts):  # interned after the CSR build
+            return []
+        start, stop = starts[entity_id], starts[entity_id + 1]
+        if k is not None:
+            stop = min(stop, start + k)
+        return [(decode[cols[j]], sims[j]) for j in range(start, stop)]
+
+    def _partner_ids(self, side: int, entity_id: int) -> Iterable[int]:
+        """Current counterpart ids of one row (patched or CSR)."""
+        if side == 1:
+            patched, starts, cols = self._patched1, self._starts1, self._cols1
+            other = self._interner2
+        else:
+            patched, starts, cols = self._patched2, self._starts2, self._cols2
+            other = self._interner1
+        row = patched.get(entity_id)
+        if row is not None:
+            return [other.id_of(uri) for uri, _ in row]
+        if entity_id + 1 >= len(starts):
+            return []
+        return cols[starts[entity_id] : starts[entity_id + 1]]
 
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
     def similarity(self, uri1: str, uri2: str) -> float:
-        """valueSim of a pair (0.0 when they share no surviving token)."""
-        return self._sims.get((uri1, uri2), 0.0)
+        """Similarity of a pair (0.0 when it never co-occurred)."""
+        id1 = self._interner1.get(uri1)
+        if id1 is None:
+            return 0.0
+        id2 = self._interner2.get(uri2)
+        if id2 is None:
+            return 0.0
+        return self._packed.get((id1 << PAIR_ID_BITS) | id2, 0.0)
 
     def pairs(self) -> dict[Pair, float]:
-        """The full sparse pair-to-similarity map (read-only by convention)."""
-        return self._sims
+        """The sparse URI-pair-to-similarity map (read-only by convention).
 
-    def candidates_of_entity1(self, uri1: str, k: int | None = None) -> list[tuple[str, float]]:
-        """Co-occurring E2 entities of ``uri1``, best first (top-k if given)."""
-        ranked = self._by_entity1.get(uri1, [])
-        return ranked if k is None else ranked[:k]
-
-    def candidates_of_entity2(self, uri2: str, k: int | None = None) -> list[tuple[str, float]]:
-        """Co-occurring E1 entities of ``uri2``, best first (top-k if given)."""
-        ranked = self._by_entity2.get(uri2, [])
-        return ranked if k is None else ranked[:k]
-
-    def best_candidate(self, uri1: str, exclude: set[str] = frozenset()) -> tuple[str, float] | None:
-        """The co-occurring E2 entity with maximum valueSim (H2's vmax).
-
-        ``exclude`` removes already-matched E2 entities from consideration.
+        A decoded snapshot of the packed map, cached until the next
+        :meth:`apply_pair_updates`; consumers that only need sizes
+        should use ``len(index)`` instead of decoding.
         """
-        for uri2, sim in self._by_entity1.get(uri1, []):
+        if self._pairs_cache is None:
+            uris1 = self._interner1.uris()
+            uris2 = self._interner2.uris()
+            shift, mask = PAIR_ID_BITS, PAIR_ID_MASK
+            self._pairs_cache = {
+                (uris1[key >> shift], uris2[key & mask]): value
+                for key, value in self._packed.items()
+            }
+        return self._pairs_cache
+
+    def packed_items(self) -> dict[int, float]:
+        """The live packed ``int64 key -> similarity`` map (do not mutate)."""
+        return self._packed
+
+    def interners(self) -> tuple[EntityInterner, EntityInterner]:
+        """The two id maps (side 1, side 2) pairs are packed with."""
+        return self._interner1, self._interner2
+
+    def candidates_of_entity1(
+        self, uri1: str, k: int | None = None
+    ) -> list[tuple[str, float]]:
+        """Counterpart E2 entities of ``uri1``, best first (top-k if given)."""
+        return self._row(1, uri1, k)
+
+    def candidates_of_entity2(
+        self, uri2: str, k: int | None = None
+    ) -> list[tuple[str, float]]:
+        """Counterpart E1 entities of ``uri2``, best first (top-k if given)."""
+        return self._row(2, uri2, k)
+
+    def partners_of_entity1(self, uri1: str) -> set[str]:
+        """The counterpart URIs of ``uri1`` as a set (no scores decoded)."""
+        id1 = self._interner1.get(uri1)
+        if id1 is None:
+            return set()
+        row = self._patched1.get(id1)
+        if row is not None:
+            return {uri for uri, _ in row}
+        decode = self._interner2.uris()
+        return {decode[col] for col in self._partner_ids(1, id1)}
+
+    def partners_of_entity2(self, uri2: str) -> set[str]:
+        """The counterpart URIs of ``uri2`` as a set (no scores decoded)."""
+        id2 = self._interner2.get(uri2)
+        if id2 is None:
+            return set()
+        row = self._patched2.get(id2)
+        if row is not None:
+            return {uri for uri, _ in row}
+        decode = self._interner1.uris()
+        return {decode[col] for col in self._partner_ids(2, id2)}
+
+    def best_candidate(
+        self, uri1: str, exclude: frozenset[str] | set[str] = frozenset()
+    ) -> tuple[str, float] | None:
+        """The counterpart E2 entity with maximum similarity (H2's vmax).
+
+        ``exclude`` removes already-matched E2 entities from
+        consideration.
+        """
+        id1 = self._interner1.get(uri1)
+        if id1 is None:
+            return None
+        row = self._patched1.get(id1)
+        if row is not None:
+            for uri2, sim in row:
+                if uri2 not in exclude:
+                    return uri2, sim
+            return None
+        starts = self._starts1
+        if id1 + 1 >= len(starts):
+            return None
+        decode = self._interner2.uris()
+        cols, sims = self._cols1, self._sims1
+        for j in range(starts[id1], starts[id1 + 1]):
+            uri2 = decode[cols[j]]
             if uri2 not in exclude:
-                return uri2, sim
+                return uri2, sims[j]
         return None
 
-    def apply_pair_updates(self, updates: Mapping[Pair, float | None]) -> int:
+    # ------------------------------------------------------------------
+    # In-place updates (the incremental subsystem's patch primitive)
+    # ------------------------------------------------------------------
+    def apply_pair_updates(
+        self, updates: Mapping[Pair, float | None]
+    ) -> int:
         """Patch pair similarities in place (``None`` deletes a pair).
 
-        Ranked candidate lists are rebuilt only for entities an update
-        touches; see :func:`apply_pair_updates`.  Returns the number of
-        pairs that changed.
+        The packed equivalent of the reference
+        :func:`apply_pair_updates`: URIs new to the index are interned
+        on the fly, the packed map is patched, and only the ranked rows
+        of entities appearing in an effective update are rebuilt — into
+        the override maps, sorted by ``(-similarity, uri)`` exactly as a
+        cold construction would.  Returns the number of pairs whose
+        stored value actually changed.
         """
-        return apply_pair_updates(
-            self._sims, self._by_entity1, self._by_entity2, updates
-        )
+        interner1, interner2 = self._interner1, self._interner2
+        packed = self._packed
+        touched1: dict[int, set[int]] = {}
+        touched2: dict[int, set[int]] = {}
+        changed = 0
+        for (uri1, uri2), value in updates.items():
+            if value is None:
+                id1 = interner1.get(uri1)
+                id2 = interner2.get(uri2)
+                if id1 is None or id2 is None:
+                    continue
+                key = (id1 << PAIR_ID_BITS) | id2
+                if key not in packed:
+                    continue
+                del packed[key]
+            else:
+                id1 = interner1.intern(uri1)
+                id2 = interner2.intern(uri2)
+                key = (id1 << PAIR_ID_BITS) | id2
+                if packed.get(key) == value:
+                    continue
+                packed[key] = value
+            changed += 1
+            touched1.setdefault(id1, set()).add(id2)
+            touched2.setdefault(id2, set()).add(id1)
+        if changed:
+            self._pairs_cache = None
+            self._rebuild_patched_rows(1, touched1)
+            self._rebuild_patched_rows(2, touched2)
+        return changed
+
+    def _rebuild_patched_rows(
+        self, side: int, touched: dict[int, set[int]]
+    ) -> None:
+        packed = self._packed
+        if side == 1:
+            patched, decode = self._patched1, self._interner2.uris()
+
+            def key_of(own: int, other: int) -> int:
+                return (own << PAIR_ID_BITS) | other
+        else:
+            patched, decode = self._patched2, self._interner1.uris()
+
+            def key_of(own: int, other: int) -> int:
+                return (other << PAIR_ID_BITS) | own
+
+        for entity_id, counterparts in touched.items():
+            partners = set(self._partner_ids(side, entity_id))
+            for other in counterparts:
+                if key_of(entity_id, other) in packed:
+                    partners.add(other)
+                else:
+                    partners.discard(other)
+            rebuilt = [
+                (decode[other], packed[key_of(entity_id, other)])
+                for other in partners
+            ]
+            rebuilt.sort(key=lambda item: (-item[1], item[0]))
+            # An emptied row must shadow the stale CSR slice too, so the
+            # override stays even when empty.
+            patched[entity_id] = rebuilt
 
     def __len__(self) -> int:
-        return len(self._sims)
+        return len(self._packed)
+
+
+class ValueSimilarityIndex(PackedSimilarityIndex):
+    """Sparse valueSim over all pairs co-occurring in the token blocks."""
+
+    def __init__(self, token_blocks: BlockCollection) -> None:
+        self._init_store(
+            EntityInterner(
+                uri for block in token_blocks for uri in block.entities1
+            ),
+            EntityInterner(
+                uri for block in token_blocks for uri in block.entities2
+            ),
+        )
+        self._accumulate(token_blocks)
+        self._build_ranked_rows()
+
+    def _accumulate(self, token_blocks: BlockCollection) -> None:
+        # Mirrored by repro.engine.similarity._value_partial_packed
+        # (per-shard accumulation); change the weighting or pair
+        # placement in both.
+        sims = self._packed
+        ids1 = self._interner1.ids_by_uri()
+        ids2 = self._interner2.ids_by_uri()
+        for block in token_blocks:
+            weight = block_token_weight(
+                len(block.entities1), len(block.entities2)
+            )
+            for uri1 in block.entities1:
+                base = ids1[uri1] << PAIR_ID_BITS
+                for uri2 in block.entities2:
+                    key = base | ids2[uri2]
+                    sims[key] = sims.get(key, 0.0) + weight
 
     def __repr__(self) -> str:
-        return f"ValueSimilarityIndex({len(self._sims)} co-occurring pairs)"
+        return f"ValueSimilarityIndex({len(self._packed)} co-occurring pairs)"

@@ -26,8 +26,10 @@ from .matching import (
     h3_rank_aggregation_matches_engine,
 )
 from .partitioner import (
+    PackedPairHasher,
     chunk_evenly,
     hash_partitions,
+    hash_partitions_packed,
     partition_blocks,
     partition_count,
     partition_entities,
@@ -38,6 +40,7 @@ from .similarity import build_neighbor_index, build_value_index
 __all__ = [
     "EXECUTOR_NAMES",
     "Executor",
+    "PackedPairHasher",
     "ProcessExecutor",
     "SerialExecutor",
     "ThreadExecutor",
@@ -49,6 +52,7 @@ __all__ = [
     "h2_value_matches_engine",
     "h3_rank_aggregation_matches_engine",
     "hash_partitions",
+    "hash_partitions_packed",
     "name_blocking_engine",
     "partition_blocks",
     "partition_count",

@@ -21,9 +21,11 @@ partitions are scheduled.
 from __future__ import annotations
 
 import zlib
+from array import array
 from typing import Callable, Iterable, Sequence, TypeVar
 
 from ..blocking.base import Block, BlockCollection
+from ..ids import EntityInterner, PAIR_ID_BITS, PAIR_ID_MASK
 from ..kb.entity import EntityDescription
 from ..kb.knowledge_base import KnowledgeBase
 
@@ -72,6 +74,96 @@ def hash_partitions(
     shards: list[list[T]] = [[] for _ in range(n_partitions)]
     for item in items:
         shards[stable_hash(key(item)) % n_partitions].append(item)
+    return shards
+
+
+class PackedPairHasher:
+    """:func:`stable_hash` of a *packed* pair key, without decoding.
+
+    Shard keys stay **string-stable**: the hash of a packed ``id1 << 32
+    | id2`` key is, by construction, exactly
+    ``stable_hash(uri1 + separator + uri2)`` — the key the string-keyed
+    path sharded value pairs by — so the packed hot path reproduces the
+    identical shard assignment (and with it the identical float
+    accumulation grouping) while never materializing a key string.
+
+    CRC32 streams: ``crc32(a + b) == crc32(b, crc32(a))``.  The hasher
+    precomputes, per side-1 id, the CRC of ``uri1 + separator`` and, per
+    side-2 id, the encoded URI bytes; hashing one pair is then a single
+    C-level ``crc32`` call over cached bytes.
+    """
+
+    __slots__ = ("_prefix_crcs", "_suffix_bytes", "_bulk_tables")
+
+    def __init__(
+        self,
+        interner1: EntityInterner,
+        interner2: EntityInterner,
+        separator: str,
+    ) -> None:
+        self._prefix_crcs = array(
+            "Q",
+            (
+                zlib.crc32((uri + separator).encode("utf-8"))
+                for uri in interner1.uris()
+            ),
+        )
+        self._suffix_bytes = [
+            uri.encode("utf-8") for uri in interner2.uris()
+        ]
+        self._bulk_tables = None
+
+    def __call__(self, key: int) -> int:
+        return zlib.crc32(
+            self._suffix_bytes[key & PAIR_ID_MASK],
+            self._prefix_crcs[key >> PAIR_ID_BITS],
+        )
+
+    def hash_many(self, keys):
+        """Hashes of a NumPy column of packed keys (vectorized CRC32).
+
+        Bit-identical to calling the hasher per key — the vectorized
+        CRC (:func:`~repro.ids.arrays.crc32_rows`) is zlib-compatible.
+        Caller must hold the NumPy gate
+        (:func:`~repro.ids.arrays.numpy_enabled`).
+        """
+        from ..ids.arrays import byte_table, crc32_rows, numpy_module
+
+        numpy = numpy_module()
+        if self._bulk_tables is None:
+            matrix, lengths = byte_table(self._suffix_bytes)
+            self._bulk_tables = (
+                numpy.frombuffer(self._prefix_crcs, dtype=numpy.uint64),
+                matrix,
+                lengths,
+            )
+        prefixes, matrix, lengths = self._bulk_tables
+        id1 = keys >> PAIR_ID_BITS
+        id2 = keys & PAIR_ID_MASK
+        return crc32_rows(prefixes[id1], matrix[id2], lengths[id2])
+
+
+def hash_partitions_packed(
+    keys: Iterable[int],
+    values: Iterable[float],
+    n_partitions: int,
+    hasher: PackedPairHasher,
+) -> list[tuple[array, array]]:
+    """Shard parallel ``(packed key, value)`` columns by ``hasher(key)``.
+
+    The packed analogue of :func:`hash_partitions` for the similarity
+    stages: each shard is a pair of flat ``array('q')`` / ``array('d')``
+    columns (keys keep their relative input order within a shard), which
+    process executors serialize as raw buffers instead of pickling a
+    string-keyed dict per shard.
+    """
+    if n_partitions < 1:
+        raise ValueError("n_partitions must be >= 1")
+    shards = [(array("q"), array("d")) for _ in range(n_partitions)]
+    for key, value in zip(keys, values):
+        shard_keys, shard_values = shards[hasher(key) % n_partitions]
+        shard_keys.append(key)
+        shard_values.append(value)
     return shards
 
 

@@ -13,25 +13,50 @@ worker counts — and, because a contribution's shard is a function of its
 key alone (never of its position), the incremental subsystem can replay
 the exact accumulation order of any single pair with
 :func:`shard_merged_sum` instead of rebuilding the whole index.
+
+**Packed hot path.**  The builders run entirely on interned ids: blocks
+are encoded once into sorted ``array('i')`` id columns, shard partials
+accumulate under packed ``int64`` pair keys and return flat
+``array('q')``/``array('d')`` columns (raw buffers across process
+boundaries, not string-keyed dicts), and value pairs are sharded by
+:class:`~repro.engine.partitioner.PackedPairHasher` — which reproduces
+the string-stable :func:`value_pair_key` shard assignment bit-for-bit.
+The string-keyed forms (:func:`_value_partial`, :func:`merge_pair_sums`,
+:func:`shard_merged_sum`) remain as the executable specification the
+parity tests and the incremental replay primitive build on.
 """
 
 from __future__ import annotations
 
+from array import array
 from functools import partial
 from typing import Iterable
 
 from ..blocking.base import Block, BlockCollection
 from ..core.neighbors import NeighborSimilarityIndex
 from ..core.similarity import Pair, ValueSimilarityIndex, block_token_weight
+from ..ids import EntityInterner, PAIR_ID_BITS, PAIR_ID_MASK
+from ..ids.arrays import (
+    numpy_enabled,
+    numpy_module,
+    ragged_cross_products,
+    sequential_unique_sums,
+)
 from .executor import Executor, SerialExecutor
 from .partitioner import (
-    hash_partitions,
-    partition_blocks,
+    PackedPairHasher,
+    hash_partitions_packed,
     partition_count,
     stable_hash,
 )
 
 PairSums = dict[Pair, float]
+
+#: A shard partial / merged total over packed ``int64`` pair keys.
+PackedSums = dict[int, float]
+
+#: Flat per-shard output columns: parallel (packed keys, partial sums).
+PackedColumns = tuple[array, array]
 
 #: Separator of the two URIs inside a value-pair shard key.  Any fixed
 #: byte works: the key only feeds CRC32, never an ordering comparison.
@@ -41,6 +66,15 @@ _PAIR_KEY_SEPARATOR = "\x1f"
 def value_pair_key(pair: Pair) -> str:
     """The shard key of one value pair (stable across runs/processes)."""
     return pair[0] + _PAIR_KEY_SEPARATOR + pair[1]
+
+
+def packed_pair_hasher(
+    interner1: EntityInterner, interner2: EntityInterner
+) -> PackedPairHasher:
+    """A hasher whose hash of a packed key equals
+    ``stable_hash(value_pair_key(decoded pair))`` — the string-stable
+    shard assignment, computed without building key strings."""
+    return PackedPairHasher(interner1, interner2, _PAIR_KEY_SEPARATOR)
 
 
 def shard_merged_sum(
@@ -67,6 +101,28 @@ def shard_merged_sum(
     return total
 
 
+def shard_merged_sum_packed(
+    contributions: Iterable[tuple[int, float]],
+    n_shards: int,
+    hasher: PackedPairHasher,
+) -> float:
+    """:func:`shard_merged_sum` over packed value-pair keys.
+
+    ``hasher`` must come from :func:`packed_pair_hasher` over the value
+    index's interners, so each packed key lands in the shard its
+    :func:`value_pair_key` string would have — making the replayed float
+    identical to the string-keyed replay, without decoding a single URI.
+    """
+    subtotals: dict[int, float] = {}
+    for key, weight in contributions:
+        shard = hasher(key) % n_shards
+        subtotals[shard] = subtotals.get(shard, 0.0) + weight
+    total = 0.0
+    for shard in sorted(subtotals):
+        total += subtotals[shard]
+    return total
+
+
 def merge_pair_sums(accumulated: PairSums, partial_sums: PairSums) -> PairSums:
     """Fold one shard's partial sums into the running total (associative)."""
     for pair, value in partial_sums.items():
@@ -74,11 +130,28 @@ def merge_pair_sums(accumulated: PairSums, partial_sums: PairSums) -> PairSums:
     return accumulated
 
 
+def merge_packed_columns(
+    accumulated: PackedSums, columns: PackedColumns
+) -> PackedSums:
+    """Fold one shard's packed partial columns into the running total.
+
+    The packed analogue of :func:`merge_pair_sums`: per pair, each
+    shard's subtotal is added in shard order, so the final float of
+    every pair is the identical left-to-right sum.
+    """
+    keys, values = columns
+    for key, value in zip(keys, values):
+        accumulated[key] = accumulated.get(key, 0.0) + value
+    return accumulated
+
+
 def _value_partial(blocks: list[Block]) -> PairSums:
-    """valueSim contributions of one block shard.
+    """valueSim contributions of one block shard (string-keyed reference).
 
     Entities are scanned in sorted order so the shard's output — dict
     order included — does not depend on the interpreter's set-hash seed.
+    Kept as the executable specification of the per-shard scan order;
+    the live builder runs :func:`_value_partial_packed`.
     """
     sums: PairSums = {}
     for block in blocks:
@@ -90,51 +163,313 @@ def _value_partial(blocks: list[Block]) -> PairSums:
     return sums
 
 
+def _value_partial_packed(
+    blocks: list[tuple[float, array, array]]
+) -> PackedColumns:
+    """valueSim contributions of one encoded block shard.
+
+    Each block arrives as ``(token weight, sorted id1s, sorted id2s)``;
+    because ids are assigned in sorted-URI order, scanning the id
+    columns ascending reproduces :func:`_value_partial`'s sorted-URI
+    scan — same first-seen pair order, same per-pair accumulation order.
+    """
+    sums: PackedSums = {}
+    for weight, ids1, ids2 in blocks:
+        for id1 in ids1:
+            base = id1 << PAIR_ID_BITS
+            for id2 in ids2:
+                key = base | id2
+                sums[key] = sums.get(key, 0.0) + weight
+    return array("q", sums.keys()), array("d", sums.values())
+
+
+def _encoded_block_shards(
+    token_blocks: BlockCollection,
+    interner1: EntityInterner,
+    interner2: EntityInterner,
+    n_partitions: int,
+) -> list[list[tuple[float, array, array]]]:
+    """Hash-by-block-key shards of id-encoded blocks.
+
+    The same layout as :func:`~repro.engine.partitioner.partition_blocks`
+    — blocks sorted by key, sharded by ``stable_hash(block key)`` — with
+    each block encoded once into its token weight plus two sorted
+    ``array('i')`` id columns, so workers receive compact buffers
+    instead of URI-string sets.
+    """
+    ids1 = interner1.ids_by_uri()
+    ids2 = interner2.ids_by_uri()
+    shards: list[list[tuple[float, array, array]]] = [
+        [] for _ in range(n_partitions)
+    ]
+    for block in sorted(token_blocks, key=lambda block: block.key):
+        shards[stable_hash(block.key) % n_partitions].append(
+            (
+                block_token_weight(len(block.entities1), len(block.entities2)),
+                array("i", sorted(ids1[uri] for uri in block.entities1)),
+                array("i", sorted(ids2[uri] for uri in block.entities2)),
+            )
+        )
+    return shards
+
+
+def _cumulative_starts(counts):
+    """Exclusive prefix sums of a NumPy count column (CSR starts)."""
+    numpy = numpy_module()
+    starts = numpy.zeros(len(counts), dtype=numpy.int64)
+    if len(counts) > 1:
+        numpy.cumsum(counts[:-1], out=starts[1:])
+    return starts
+
+
+def _value_partial_vectorized(shard) -> tuple:
+    """:func:`_value_partial_packed` vectorized over flat id columns.
+
+    ``shard`` is ``(weights, ids1 flat, ids1 counts, ids2 flat, ids2
+    counts)``; the ragged expansion emits pairs in exactly the sorted
+    nested-loop scan order and the unbuffered per-key summation adds
+    them in that order, so the per-shard subtotals are bit-identical.
+    Returns ``(unique packed keys ascending, subtotals)``.
+    """
+    weights, ids1_flat, ids1_counts, ids2_flat, ids2_counts = shard
+    keys, values = ragged_cross_products(
+        ids1_flat,
+        _cumulative_starts(ids1_counts),
+        ids1_counts,
+        ids2_flat,
+        _cumulative_starts(ids2_counts),
+        ids2_counts,
+        weights,
+    )
+    return sequential_unique_sums(keys, values)
+
+
+def _encoded_block_columns(
+    token_blocks: BlockCollection,
+    interner1: EntityInterner,
+    interner2: EntityInterner,
+    n_partitions: int,
+) -> list[tuple]:
+    """Per-shard flat NumPy columns of the id-encoded blocks.
+
+    A pure layout change over :func:`_encoded_block_shards` — the
+    single home of the sort/shard/encode placement rule — flattening
+    each shard into parallel ``(weights, ids1 flat, ids1 counts, ids2
+    flat, ids2 counts)`` columns for the vectorized worker.
+    """
+    numpy = numpy_module()
+
+    def _flat(shard: list[tuple[float, array, array]], side: int):
+        if not shard:
+            return numpy.empty(0, dtype=numpy.int32)
+        return numpy.concatenate(
+            [numpy.frombuffer(block[side], dtype=numpy.int32) for block in shard]
+        )
+
+    return [
+        (
+            numpy.asarray([weight for weight, _, _ in shard], numpy.float64),
+            _flat(shard, 1),
+            numpy.asarray([len(ids1) for _, ids1, _ in shard], numpy.int64),
+            _flat(shard, 2),
+            numpy.asarray([len(ids2) for _, _, ids2 in shard], numpy.int64),
+        )
+        for shard in _encoded_block_shards(
+            token_blocks, interner1, interner2, n_partitions
+        )
+    ]
+
+
+def _merge_partial_columns(partials) -> PackedSums:
+    """Merge per-shard ``(keys, subtotals)`` NumPy columns, in shard order.
+
+    Concatenating the shard columns in shard order and summing
+    duplicates unbuffered adds each pair's subtotals left-to-right in
+    shard order — the identical float fold :func:`merge_packed_columns`
+    computes.
+    """
+    numpy = numpy_module()
+    keys, totals = sequential_unique_sums(
+        numpy.concatenate([partial[0] for partial in partials]),
+        numpy.concatenate([partial[1] for partial in partials]),
+    )
+    return dict(zip(keys.tolist(), totals.tolist()))
+
+
 def build_value_index(
     token_blocks: BlockCollection, engine: Executor | None = None
 ) -> ValueSimilarityIndex:
     """The :class:`ValueSimilarityIndex` of ``token_blocks``, partitioned.
 
-    Shards the blocks by key (hash-by-block-key), accumulates per-shard
-    pair sums, merges them in shard order.
+    Interns both sides' URIs, shards the id-encoded blocks by key
+    (hash-by-block-key), accumulates per-shard packed pair columns,
+    merges them in shard order.  Vectorized when NumPy is available;
+    both paths are bit-identical.
     """
     engine = engine or SerialExecutor()
-    partials = engine.map_partitions(_value_partial, partition_blocks(token_blocks))
-    return ValueSimilarityIndex.from_pair_sums(
-        engine.reduce(merge_pair_sums, partials, {})
+    interner1 = EntityInterner(
+        uri for block in token_blocks for uri in block.entities1
     )
+    interner2 = EntityInterner(
+        uri for block in token_blocks for uri in block.entities2
+    )
+    n_partitions = partition_count(len(token_blocks))
+    if numpy_enabled():
+        partials = engine.map_partitions(
+            _value_partial_vectorized,
+            _encoded_block_columns(
+                token_blocks, interner1, interner2, n_partitions
+            ),
+        )
+        merged = _merge_partial_columns(partials)
+    else:
+        partials = engine.map_partitions(
+            _value_partial_packed,
+            _encoded_block_shards(
+                token_blocks, interner1, interner2, n_partitions
+            ),
+        )
+        merged = engine.reduce(merge_packed_columns, partials, {})
+    return ValueSimilarityIndex.from_packed_sums(merged, interner1, interner2)
 
 
-def _reverse_index(top_neighbors: dict[str, set[str]]) -> dict[str, list[str]]:
-    """neighbor uri -> sorted entities having it among their top neighbors."""
-    reverse: dict[str, list[str]] = {}
+def _packed_reverse_index(
+    top_neighbors: dict[str, set[str]],
+    parents: EntityInterner,
+    value_entities: EntityInterner,
+) -> dict[int, array]:
+    """value-pair neighbor id -> sorted parent ids having it as top neighbor.
+
+    Neighbors absent from the value index can never receive a value-pair
+    contribution, so they are dropped here — exactly the pairs the
+    string-keyed reverse index would have missed on lookup.
+    """
+    ids = parents.ids_by_uri()
+    reverse: dict[int, list[int]] = {}
     for uri, neighbor_set in top_neighbors.items():
+        parent = ids[uri]
         for neighbor in neighbor_set:
-            reverse.setdefault(neighbor, []).append(uri)
-    for parents in reverse.values():
-        parents.sort()
-    return reverse
+            neighbor_id = value_entities.get(neighbor)
+            if neighbor_id is not None:
+                reverse.setdefault(neighbor_id, []).append(parent)
+    return {
+        neighbor_id: array("i", sorted(parent_ids))
+        for neighbor_id, parent_ids in reverse.items()
+    }
 
 
-def _neighbor_partial(
-    value_items: list[tuple[Pair, float]],
-    reverse1: dict[str, list[str]],
-    reverse2: dict[str, list[str]],
-) -> PairSums:
-    """neighborNSim contributions of one chunk of value pairs."""
-    sums: PairSums = {}
-    for (neighbor1, neighbor2), sim in value_items:
-        parents1 = reverse1.get(neighbor1)
+def _neighbor_partial_packed(
+    columns: PackedColumns,
+    reverse1: dict[int, array],
+    reverse2: dict[int, array],
+) -> PackedColumns:
+    """neighborNSim contributions of one shard of packed value pairs.
+
+    Parent ids are pre-sorted (and sorted parent-id order is sorted
+    parent-URI order), so per output pair the contribution order equals
+    the string-keyed propagation's.
+    """
+    value_keys, value_sims = columns
+    sums: PackedSums = {}
+    shift, mask = PAIR_ID_BITS, PAIR_ID_MASK
+    for key, sim in zip(value_keys, value_sims):
+        parents1 = reverse1.get(key >> shift)
         if not parents1:
             continue
-        parents2 = reverse2.get(neighbor2)
+        parents2 = reverse2.get(key & mask)
         if not parents2:
             continue
         for entity1 in parents1:
+            base = entity1 << shift
             for entity2 in parents2:
-                pair = (entity1, entity2)
+                pair = base | entity2
                 sums[pair] = sums.get(pair, 0.0) + sim
-    return sums
+    return array("q", sums.keys()), array("d", sums.values())
+
+
+def _dense_reverse_columns(
+    top_neighbors: dict[str, set[str]],
+    parents: EntityInterner,
+    value_entities: EntityInterner,
+) -> tuple:
+    """:func:`_packed_reverse_index` as dense CSR NumPy columns.
+
+    ``(starts, counts, flat sorted parent ids)`` indexed by value id —
+    O(1) gatherable by the vectorized worker.
+    """
+    numpy = numpy_module()
+    reverse = _packed_reverse_index(top_neighbors, parents, value_entities)
+    n_value_ids = len(value_entities)
+    counts = numpy.zeros(n_value_ids, dtype=numpy.int64)
+    for value_id, parent_ids in reverse.items():
+        counts[value_id] = len(parent_ids)
+    starts = _cumulative_starts(counts)
+    flat = numpy.zeros(int(counts.sum()), dtype=numpy.int64)
+    for value_id, parent_ids in reverse.items():
+        start = starts[value_id]
+        flat[start : start + len(parent_ids)] = parent_ids
+    return starts, counts, flat
+
+
+def _neighbor_partial_vectorized(columns, reverse1, reverse2) -> tuple:
+    """:func:`_neighbor_partial_packed` vectorized over one shard.
+
+    ``columns`` are the shard's ``(packed value keys, sims)`` NumPy
+    columns in scan order; ``reverse1``/``reverse2`` the dense CSR
+    reverse indices.  The ragged expansion emits, per value pair, the
+    sorted parents1 × parents2 products in nested-loop order; the
+    unbuffered summation then matches the dict accumulation float for
+    float.  Returns ``(unique packed keys ascending, subtotals)``.
+    """
+    value_keys, value_sims = columns
+    starts1, counts1, flat1 = reverse1
+    starts2, counts2, flat2 = reverse2
+    vids1 = value_keys >> PAIR_ID_BITS
+    vids2 = value_keys & PAIR_ID_MASK
+    fan1 = counts1[vids1]
+    fan2 = counts2[vids2]
+    keep = (fan1 > 0) & (fan2 > 0)
+    keys, values = ragged_cross_products(
+        flat1,
+        starts1[vids1[keep]],
+        fan1[keep],
+        flat2,
+        starts2[vids2[keep]],
+        fan2[keep],
+        value_sims[keep],
+    )
+    return sequential_unique_sums(keys, values)
+
+
+def _vectorized_value_shards(
+    packed: PackedSums, n_partitions: int, hasher: PackedPairHasher
+) -> list[tuple]:
+    """Sorted value pairs grouped into shards, as NumPy column pairs.
+
+    Keys sort ascending (the scan order), hash via the vectorized
+    zlib-compatible CRC, and group stably — each shard keeps its keys
+    in ascending order, exactly as :func:`hash_partitions_packed` over
+    the sorted sequence would.
+    """
+    numpy = numpy_module()
+    count = len(packed)
+    keys = numpy.fromiter(packed.keys(), numpy.int64, count)
+    sims = numpy.fromiter(packed.values(), numpy.float64, count)
+    order = numpy.argsort(keys)
+    keys = keys[order]
+    sims = sims[order]
+    shard_ids = hasher.hash_many(keys).astype(numpy.int64) % n_partitions
+    grouping = numpy.argsort(shard_ids, kind="stable")
+    keys = keys[grouping]
+    sims = sims[grouping]
+    bounds = numpy.zeros(n_partitions + 1, dtype=numpy.int64)
+    numpy.cumsum(
+        numpy.bincount(shard_ids, minlength=n_partitions), out=bounds[1:]
+    )
+    return [
+        (keys[bounds[i] : bounds[i + 1]], sims[bounds[i] : bounds[i + 1]])
+        for i in range(n_partitions)
+    ]
 
 
 def build_neighbor_index(
@@ -145,25 +480,65 @@ def build_neighbor_index(
 ) -> NeighborSimilarityIndex:
     """The :class:`NeighborSimilarityIndex`, propagated shard by shard.
 
-    The sparse value-pair map is sorted, then sharded by the stable hash
-    of each pair's key (not by position, so a pair's shard survives
-    insertions elsewhere — the property delta updates rely on); every
-    shard propagates its pairs up to the entities listing them as top
-    neighbors, against read-only reverse indices.
+    The packed value-pair map is sorted (ascending packed key — which is
+    ascending ``(uri1, uri2)`` while the interners are sort-stable),
+    then sharded by the stable hash of each pair's *string* key via
+    :class:`~repro.engine.partitioner.PackedPairHasher` (not by
+    position, so a pair's shard survives insertions elsewhere — the
+    property delta updates rely on); every shard propagates its pairs up
+    to the entities listing them as top neighbors, against read-only
+    id-level reverse indices.  Vectorized when NumPy is available; both
+    paths are bit-identical.
     """
     engine = engine or SerialExecutor()
-    items = sorted(value_index.pairs().items())
+    value1, value2 = value_index.interners()
+    parents1 = EntityInterner(top_neighbors1)
+    parents2 = EntityInterner(top_neighbors2)
+    packed = value_index.packed_items()
+    n_partitions = partition_count(len(packed))
+    sort_stable = value1.is_sorted and value2.is_sorted
+    if numpy_enabled() and sort_stable:
+        worker = partial(
+            _neighbor_partial_vectorized,
+            reverse1=_dense_reverse_columns(top_neighbors1, parents1, value1),
+            reverse2=_dense_reverse_columns(top_neighbors2, parents2, value2),
+        )
+        shards = _vectorized_value_shards(
+            packed, n_partitions, packed_pair_hasher(value1, value2)
+        )
+        partials = engine.map_partitions(worker, shards)
+        merged = _merge_partial_columns(partials)
+        return NeighborSimilarityIndex.from_packed_sums(
+            merged, parents1, parents2
+        )
+    if sort_stable:
+        ordered_keys = sorted(packed)
+    else:
+        # ids appended by deltas broke the id-order == URI-order
+        # coincidence: sort by decoded URIs to keep the scan order the
+        # string-keyed path used.
+        uris1, uris2 = value1.uris(), value2.uris()
+        ordered_keys = sorted(
+            packed,
+            key=lambda key: (
+                uris1[key >> PAIR_ID_BITS],
+                uris2[key & PAIR_ID_MASK],
+            ),
+        )
     worker = partial(
-        _neighbor_partial,
-        reverse1=_reverse_index(top_neighbors1),
-        reverse2=_reverse_index(top_neighbors2),
+        _neighbor_partial_packed,
+        reverse1=_packed_reverse_index(top_neighbors1, parents1, value1),
+        reverse2=_packed_reverse_index(top_neighbors2, parents2, value2),
     )
-    shards = hash_partitions(
-        items,
-        partition_count(len(items)),
-        key=lambda item: value_pair_key(item[0]),
+    shards = hash_partitions_packed(
+        ordered_keys,
+        (packed[key] for key in ordered_keys),
+        n_partitions,
+        packed_pair_hasher(value1, value2),
     )
     partials = engine.map_partitions(worker, shards)
-    return NeighborSimilarityIndex.from_pair_sums(
-        engine.reduce(merge_pair_sums, partials, {})
+    return NeighborSimilarityIndex.from_packed_sums(
+        engine.reduce(merge_packed_columns, partials, {}),
+        parents1,
+        parents2,
     )

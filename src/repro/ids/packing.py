@@ -1,0 +1,36 @@
+"""Packed ``int64`` keys for cross-KB entity pairs.
+
+A pair ``(id1, id2)`` of dense entity ids becomes the single integer
+``id1 << 32 | id2``.  Packed keys hash as machine words (no per-lookup
+string hashing), sort as integers, and serialize as flat ``array('q')``
+columns — the representation every shard partial and every CSR ranked
+list in the similarity core uses.
+
+Because ids are assigned in sorted-URI order (see
+:class:`~repro.ids.interner.EntityInterner`), ascending packed keys
+enumerate pairs in ascending ``(uri1, uri2)`` order — the property that
+lets one integer sort replace the string-tuple sorts of the old
+dict-backed hot path without changing any scan order.
+"""
+
+from __future__ import annotations
+
+#: Bits reserved for each side's id inside a packed pair key.
+PAIR_ID_BITS = 32
+
+#: Mask extracting the low (second-KB) id from a packed key.
+PAIR_ID_MASK = (1 << PAIR_ID_BITS) - 1
+
+#: Largest id that still packs into a non-negative signed int64 pair key
+#: (``array('q')`` storage is signed).
+MAX_ENTITY_ID = (1 << (PAIR_ID_BITS - 1)) - 1
+
+
+def pack_pair(id1: int, id2: int) -> int:
+    """The single ``int64`` key of an ``(id1, id2)`` cross-KB pair."""
+    return (id1 << PAIR_ID_BITS) | id2
+
+
+def unpack_pair(key: int) -> tuple[int, int]:
+    """The ``(id1, id2)`` pair a packed key encodes."""
+    return key >> PAIR_ID_BITS, key & PAIR_ID_MASK

@@ -49,9 +49,11 @@ from ..engine.partitioner import hash_partitions, partition_count
 from ..engine.similarity import (
     build_neighbor_index,
     build_value_index,
+    packed_pair_hasher,
     shard_merged_sum,
-    value_pair_key,
+    shard_merged_sum_packed,
 )
+from ..ids import PAIR_ID_BITS
 from ..kb.graph import inverse
 from ..kb.tokenizer import Tokenizer
 from ..pipeline.context import PipelineContext
@@ -144,6 +146,9 @@ class IncrementalMatcher:
         self._purged_keys: set[str] = set()
         self._pending = False
         self._stage_seconds: dict[str, tuple[float, bool]] = {}
+        #: (interners + sizes, hasher) cache — rebuilding the packed
+        #: pair hasher costs O(value-index URIs), far too much per delta.
+        self._hasher_cache: tuple | None = None
         self._bootstrap()
 
     # ------------------------------------------------------------------
@@ -213,9 +218,7 @@ class IncrementalMatcher:
                 self._top_nbrs[1],
                 engine,
             )
-            self._neighbor_shards = partition_count(
-                len(self._value_index.pairs())
-            )
+            self._neighbor_shards = partition_count(len(self._value_index))
             if self._has_names:
                 self._name_blocks = self._names.assemble()
                 self._count(self.stage_recomputes, "name_blocking")
@@ -371,6 +374,31 @@ class IncrementalMatcher:
     # ------------------------------------------------------------------
     # Refresh: propagate pending deltas through the evidence
     # ------------------------------------------------------------------
+    def _pair_hasher(self):
+        """The packed pair hasher of the current value index, cached.
+
+        A hasher's per-id CRC tables are only valid while the value
+        interners keep their ids, so the cache keys on the interner
+        *objects* (a rebuilt index starts over with fresh interners)
+        and their sizes (ids are append-only within one interner).
+        """
+        value1, value2 = self._value_index.interners()
+        cached = self._hasher_cache
+        if (
+            cached is None
+            or cached[0] is not value1
+            or cached[1] is not value2
+            or cached[2] != (len(value1), len(value2))
+        ):
+            cached = (
+                value1,
+                value2,
+                (len(value1), len(value2)),
+                packed_pair_hasher(value1, value2),
+            )
+            self._hasher_cache = cached
+        return cached[3]
+
     def _purge_decision(self) -> tuple[set[str], PurgingReport | None]:
         """The surviving token keys (and report) for the current state.
 
@@ -461,12 +489,11 @@ class IncrementalMatcher:
 
         started = time.perf_counter()
         n_shards = partition_count(len(self._purged_keys))
-        old_sims = self._value_index.pairs()
         if n_shards != self._value_shards:
             # The shard layout moved with the block count: per-pair
             # accumulation grouping changed globally, so only a full
             # rebuild reproduces the batch floats.
-            retained = dict(old_sims)
+            retained = dict(self._value_index.pairs())
             self._value_index = build_value_index(self._token_blocks, engine)
             self._value_shards = n_shards
             new_sims = self._value_index.pairs()
@@ -478,6 +505,21 @@ class IncrementalMatcher:
             self._count(self.stage_recomputes, "value_index")
             self._timed("value_index", started, True)
             return changes
+
+        # Delta path: look affected pairs up in the packed map directly
+        # (missing interner id == missing pair == None) — decoding the
+        # whole map via pairs() would cost O(total pairs) per delta.
+        value1, value2 = self._value_index.interners()
+        packed_sims = self._value_index.packed_items()
+
+        def current_sim(uri1: str, uri2: str) -> float | None:
+            id1 = value1.get(uri1)
+            if id1 is None:
+                return None
+            id2 = value2.get(uri2)
+            if id2 is None:
+                return None
+            return packed_sims.get((id1 << PAIR_ID_BITS) | id2)
 
         affected: set[Pair] = set()
         for key, (old1, old2) in dirty.items():
@@ -516,7 +558,7 @@ class IncrementalMatcher:
         changes = {
             pair: value
             for pair, value in updates.items()
-            if old_sims.get(pair) != value
+            if current_sim(*pair) != value
         }
         self._value_index.apply_pair_updates(changes)
         self._count(self.delta_updates, "value_index")
@@ -566,7 +608,7 @@ class IncrementalMatcher:
                 else:
                     neighbors.pop(uri, None)
 
-        n_shards = partition_count(len(self._value_index.pairs()))
+        n_shards = partition_count(len(self._value_index))
         if rebuild or n_shards != self._neighbor_shards:
             self._neighbor_index = build_neighbor_index(
                 self._value_index,
@@ -620,19 +662,30 @@ class IncrementalMatcher:
                     partners.update(rev1.get(neighbor1, ()))
             affected.update((uri1, entity2) for uri1 in partners)
 
-        value_sims = self._value_index.pairs()
+        # Replay affected pairs over packed keys: the hasher reproduces
+        # the string-stable value_pair_key shard assignment, so the
+        # replayed floats equal the string-keyed replay's bit-for-bit —
+        # without decoding the value map or building key strings.
+        value_sims = self._value_index.packed_items()
+        value1, value2 = self._value_index.interners()
+        hasher = self._pair_hasher() if affected else None
         updates: dict[Pair, float | None] = {}
         for entity1, entity2 in affected:
             contributions = []
             for neighbor1 in sorted(self._top_nbrs[0].get(entity1, ())):
+                neighbor_id1 = value1.get(neighbor1)
+                if neighbor_id1 is None:  # never co-occurs: no value pair
+                    continue
+                base = neighbor_id1 << PAIR_ID_BITS
                 for neighbor2 in sorted(self._top_nbrs[1].get(entity2, ())):
-                    sim = value_sims.get((neighbor1, neighbor2))
+                    neighbor_id2 = value2.get(neighbor2)
+                    if neighbor_id2 is None:
+                        continue
+                    sim = value_sims.get(base | neighbor_id2)
                     if sim is not None:
-                        contributions.append(
-                            (value_pair_key((neighbor1, neighbor2)), sim)
-                        )
+                        contributions.append((base | neighbor_id2, sim))
             updates[(entity1, entity2)] = (
-                shard_merged_sum(contributions, n_shards)
+                shard_merged_sum_packed(contributions, n_shards, hasher)
                 if contributions
                 else None
             )

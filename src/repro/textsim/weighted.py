@@ -11,15 +11,23 @@ similarity measures.
 from __future__ import annotations
 
 import math
+from functools import lru_cache
 from typing import Iterable, Mapping
 
 
+@lru_cache(maxsize=None)
 def arcs_token_weight(ef1: int, ef2: int) -> float:
     """Contribution of one shared token under the paper's valueSim.
 
     A token unique in both KBs (``EF = 1`` on both sides) contributes
     ``1 / log2(2) = 1.0`` — which is exactly why H2's threshold-free rule
     "match if vmax >= 1" fires for pairs sharing even one such token.
+
+    Memoized per ``(ef1, ef2)``: block collections repeat the same side
+    sizes thousands of times, and the cached float is byte-identical to
+    a recomputation, so the cache never moves a result.  The number of
+    distinct observed shapes is bounded by the square of the largest
+    block side — small change, unbounded cache is safe.
     """
     if ef1 < 1 or ef2 < 1:
         raise ValueError("entity frequencies must be >= 1 for observed tokens")

@@ -1,0 +1,227 @@
+"""Array-backed similarity core vs the pre-refactor dict construction.
+
+Rebuilds both similarity indices the way the repo built them before the
+integer-interned core — string-tuple pair dicts accumulated in the same
+scan order, per-entity candidate lists sorted by ``(-sim, uri)`` — on
+the committed golden fixture, and asserts the packed indices return
+**identical** (``==``, not approx) ``pairs()`` maps and ranked lists.
+
+Each packed construction is held against its own reference: the serial
+constructors against the plain-scan dict accumulation, the engine
+builders against the sharded string-keyed accumulation (the two
+legitimately group float additions differently, exactly as before the
+refactor).  The comparison runs for both the NumPy-vectorized path and
+the stdlib fallback (``REPRO_DISABLE_NUMPY=1``), so neither can drift.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.core import MinoanER, MinoanERConfig
+from repro.core.neighbors import NeighborSimilarityIndex, top_neighbors
+from repro.core.similarity import ValueSimilarityIndex, block_token_weight
+from repro.core.statistics import top_relations
+from repro.engine import (
+    build_neighbor_index,
+    build_value_index,
+    hash_partitions,
+    partition_blocks,
+    partition_count,
+)
+from repro.engine.similarity import (
+    _value_partial,
+    merge_pair_sums,
+    value_pair_key,
+)
+from repro.ids.arrays import numpy_enabled
+from repro.kb.io_ntriples import read_ntriples
+
+GOLDEN = Path(__file__).parent / "golden"
+
+
+# ----------------------------------------------------------------------
+# Reference (pre-refactor) constructions, kept as plain dict code
+# ----------------------------------------------------------------------
+def reference_value_scan(token_blocks):
+    """The serial constructor's accumulation: one scan, string tuples."""
+    sims = {}
+    for block in token_blocks:
+        weight = block_token_weight(len(block.entities1), len(block.entities2))
+        for uri1 in block.entities1:
+            for uri2 in block.entities2:
+                pair = (uri1, uri2)
+                sims[pair] = sims.get(pair, 0.0) + weight
+    return sims
+
+
+def reference_value_engine(token_blocks):
+    """The pre-refactor engine build: sharded string-keyed partials."""
+    merged = {}
+    for shard in partition_blocks(token_blocks):
+        merged = merge_pair_sums(merged, _value_partial(shard))
+    return merged
+
+
+def _reference_reverse(top_neighbor_map, sort_parents):
+    reverse = {}
+    for uri, neighbor_set in top_neighbor_map.items():
+        for neighbor in neighbor_set:
+            reverse.setdefault(neighbor, []).append(uri)
+    if sort_parents:
+        for parents in reverse.values():
+            parents.sort()
+    return reverse
+
+
+def _propagate_into(sums, value_items, reverse1, reverse2):
+    for (neighbor1, neighbor2), sim in value_items:
+        parents1 = reverse1.get(neighbor1)
+        if not parents1:
+            continue
+        parents2 = reverse2.get(neighbor2)
+        if not parents2:
+            continue
+        for entity1 in parents1:
+            for entity2 in parents2:
+                pair = (entity1, entity2)
+                sums[pair] = sums.get(pair, 0.0) + sim
+    return sums
+
+
+def reference_neighbor_scan(value_sims, top_neighbors1, top_neighbors2):
+    """The serial constructor's propagation: one pass, insertion order."""
+    return _propagate_into(
+        {},
+        value_sims.items(),
+        _reference_reverse(top_neighbors1, sort_parents=False),
+        _reference_reverse(top_neighbors2, sort_parents=False),
+    )
+
+
+def reference_neighbor_engine(value_sims, top_neighbors1, top_neighbors2):
+    """The pre-refactor engine build: sorted pairs, sharded by pair key."""
+    reverse1 = _reference_reverse(top_neighbors1, sort_parents=True)
+    reverse2 = _reference_reverse(top_neighbors2, sort_parents=True)
+    items = sorted(value_sims.items())
+    merged = {}
+    for shard in hash_partitions(
+        items,
+        partition_count(len(items)),
+        key=lambda item: value_pair_key(item[0]),
+    ):
+        merged = merge_pair_sums(
+            merged, _propagate_into({}, shard, reverse1, reverse2)
+        )
+    return merged
+
+
+def reference_ranked_lists(sims):
+    by_entity1, by_entity2 = {}, {}
+    for (uri1, uri2), sim in sims.items():
+        by_entity1.setdefault(uri1, []).append((uri2, sim))
+        by_entity2.setdefault(uri2, []).append((uri1, sim))
+    for ranked in by_entity1.values():
+        ranked.sort(key=lambda item: (-item[1], item[0]))
+    for ranked in by_entity2.values():
+        ranked.sort(key=lambda item: (-item[1], item[0]))
+    return by_entity1, by_entity2
+
+
+@pytest.fixture(scope="module")
+def golden_evidence():
+    kb1 = read_ntriples(GOLDEN / "kb1.nt", name="golden1")
+    kb2 = read_ntriples(GOLDEN / "kb2.nt", name="golden2")
+    config = MinoanERConfig()
+    blocks, _ = MinoanER().build_token_blocks(kb1, kb2)
+    relations1 = top_relations(
+        kb1, config.top_n_relations, config.include_incoming_edges
+    )
+    relations2 = top_relations(
+        kb2, config.top_n_relations, config.include_incoming_edges
+    )
+    neighbors1 = top_neighbors(kb1, relations1, config.include_incoming_edges)
+    neighbors2 = top_neighbors(kb2, relations2, config.include_incoming_edges)
+    return blocks, neighbors1, neighbors2
+
+
+def assert_index_equals_reference(index, sims):
+    assert index.pairs() == sims  # exact floats, not approx
+    assert len(index) == len(sims)
+    by_entity1, by_entity2 = reference_ranked_lists(sims)
+    for uri1 in {uri1 for uri1, _ in sims}:
+        assert index.candidates_of_entity1(uri1) == by_entity1[uri1]
+        assert index.candidates_of_entity1(uri1, 3) == by_entity1[uri1][:3]
+    for uri2 in {uri2 for _, uri2 in sims}:
+        assert index.candidates_of_entity2(uri2) == by_entity2[uri2]
+    assert index.candidates_of_entity1("urn:absent") == []
+    assert index.candidates_of_entity2("urn:absent") == []
+
+
+def numpy_modes():
+    modes = [pytest.param(True, id="stdlib")]
+    if numpy_enabled():
+        modes.append(pytest.param(False, id="numpy"))
+    return modes
+
+
+@pytest.fixture(params=numpy_modes())
+def toggled_numpy(request, monkeypatch):
+    if request.param:
+        monkeypatch.setenv("REPRO_DISABLE_NUMPY", "1")
+    return request.param
+
+
+def test_value_indices_equal_references(golden_evidence, toggled_numpy):
+    blocks, _, _ = golden_evidence
+    assert_index_equals_reference(
+        ValueSimilarityIndex(blocks), reference_value_scan(blocks)
+    )
+    assert_index_equals_reference(
+        build_value_index(blocks), reference_value_engine(blocks)
+    )
+
+
+def test_neighbor_indices_equal_references(golden_evidence, toggled_numpy):
+    blocks, neighbors1, neighbors2 = golden_evidence
+    value_index = build_value_index(blocks)
+    value_sims = value_index.pairs()
+    assert_index_equals_reference(
+        NeighborSimilarityIndex(value_index, neighbors1, neighbors2),
+        reference_neighbor_scan(value_sims, neighbors1, neighbors2),
+    )
+    assert_index_equals_reference(
+        build_neighbor_index(value_index, neighbors1, neighbors2),
+        reference_neighbor_engine(value_sims, neighbors1, neighbors2),
+    )
+
+
+def test_from_pair_sums_matches_block_construction(golden_evidence):
+    """The URI-keyed compatibility constructor equals the packed build."""
+    blocks, _, _ = golden_evidence
+    built = ValueSimilarityIndex(blocks)
+    adopted = ValueSimilarityIndex.from_pair_sums(built.pairs())
+    assert adopted.pairs() == built.pairs()
+    for uri1 in {uri1 for uri1, _ in built.pairs()}:
+        assert adopted.candidates_of_entity1(
+            uri1
+        ) == built.candidates_of_entity1(uri1)
+    some_pair = next(iter(built.pairs()))
+    assert adopted.similarity(*some_pair) == built.similarity(*some_pair)
+
+
+def test_best_candidate_accepts_frozenset_and_set(golden_evidence):
+    blocks, neighbors1, neighbors2 = golden_evidence
+    value_index = build_value_index(blocks)
+    neighbor_index = build_neighbor_index(value_index, neighbors1, neighbors2)
+    for index in (value_index, neighbor_index):
+        some_uri1 = next(uri1 for uri1, _ in index.pairs())
+        unrestricted = index.best_candidate(some_uri1)
+        assert unrestricted is not None
+        assert (
+            index.best_candidate(some_uri1, exclude=frozenset())
+            == unrestricted
+        )
+        best_uri, _ = unrestricted
+        narrowed = index.best_candidate(some_uri1, exclude={best_uri})
+        assert narrowed is None or narrowed[0] != best_uri

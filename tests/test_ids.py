@@ -1,0 +1,153 @@
+"""The interning layer: round-trips, determinism, packed keys.
+
+Property tests (hypothesis) for :class:`repro.ids.EntityInterner` and
+the packed-pair encode/decode, plus exact checks of the vectorized
+kernels' contracts (zlib-compatible CRC, order-preserving summation).
+"""
+
+import zlib
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ids import (
+    MAX_ENTITY_ID,
+    PAIR_ID_BITS,
+    PAIR_ID_MASK,
+    EntityInterner,
+    pack_pair,
+    unpack_pair,
+)
+from repro.ids.arrays import numpy_enabled
+
+uri_sets = st.sets(st.text(min_size=1, max_size=30), min_size=0, max_size=40)
+entity_ids = st.integers(min_value=0, max_value=MAX_ENTITY_ID)
+
+
+class TestEntityInterner:
+    @given(uri_sets)
+    def test_round_trip_every_uri(self, uris):
+        interner = EntityInterner(uris)
+        assert len(interner) == len(uris)
+        for uri in uris:
+            assert interner.uri_of(interner.id_of(uri)) == uri
+
+    @given(st.lists(st.text(min_size=1, max_size=30), max_size=40))
+    def test_ids_independent_of_input_order_and_duplicates(self, uris):
+        forward = EntityInterner(uris)
+        backward = EntityInterner(reversed(uris + uris))
+        assert forward.uris() == backward.uris()
+        assert forward.ids_by_uri() == backward.ids_by_uri()
+
+    @given(uri_sets)
+    def test_id_order_is_uri_order(self, uris):
+        interner = EntityInterner(uris)
+        assert interner.is_sorted
+        assert interner.uris() == sorted(uris)
+
+    def test_unknown_uri(self):
+        interner = EntityInterner(["a"])
+        assert interner.get("missing") is None
+        with pytest.raises(KeyError):
+            interner.id_of("missing")
+
+    def test_intern_appends_and_tracks_sortedness(self):
+        interner = EntityInterner(["b", "d"])
+        assert interner.intern("b") == 0  # existing: id unchanged
+        assert interner.intern("e") == 2  # appended in order: still sorted
+        assert interner.is_sorted
+        assert interner.intern("a") == 3  # out of order
+        assert not interner.is_sorted
+        assert interner.uri_of(3) == "a"
+        assert interner.get("a") == 3
+
+    def test_membership_and_iteration(self):
+        interner = EntityInterner(["y", "x"])
+        assert "x" in interner and "z" not in interner
+        assert list(interner) == ["x", "y"]
+
+
+class TestPackedPairKeys:
+    @given(entity_ids, entity_ids)
+    def test_pack_unpack_round_trip(self, id1, id2):
+        assert unpack_pair(pack_pair(id1, id2)) == (id1, id2)
+
+    @given(entity_ids, entity_ids)
+    def test_packed_key_fits_signed_int64(self, id1, id2):
+        key = pack_pair(id1, id2)
+        assert 0 <= key < 2**63
+
+    @given(st.tuples(entity_ids, entity_ids), st.tuples(entity_ids, entity_ids))
+    def test_packing_is_injective_and_order_preserving(self, pair_a, pair_b):
+        key_a = pack_pair(*pair_a)
+        key_b = pack_pair(*pair_b)
+        assert (key_a == key_b) == (pair_a == pair_b)
+        # ascending packed keys == ascending (id1, id2) tuples
+        assert (key_a < key_b) == (pair_a < pair_b)
+
+    def test_mask_and_bits_are_consistent(self):
+        assert PAIR_ID_MASK == (1 << PAIR_ID_BITS) - 1
+        assert MAX_ENTITY_ID == (1 << (PAIR_ID_BITS - 1)) - 1
+
+    def test_interner_refuses_ids_beyond_packing_range(self):
+        class HugeLength(list):
+            """Pretends to already hold every representable id."""
+
+            def __len__(self):
+                return MAX_ENTITY_ID + 1
+
+        interner = EntityInterner(["a"])
+        interner._uris = HugeLength(["a"])
+        with pytest.raises(OverflowError):
+            interner.intern("one-too-many")
+
+
+@pytest.mark.skipif(not numpy_enabled(), reason="NumPy unavailable/disabled")
+class TestVectorizedKernels:
+    @given(
+        st.lists(
+            st.tuples(st.binary(min_size=0, max_size=24), st.integers(0, 2**32 - 1)),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    def test_crc32_rows_matches_zlib(self, rows):
+        import numpy
+
+        from repro.ids.arrays import byte_table, crc32_rows
+
+        suffixes = [suffix for suffix, _ in rows]
+        prefixes = numpy.array(
+            [prefix for _, prefix in rows], dtype=numpy.uint32
+        )
+        matrix, lengths = byte_table(suffixes)
+        hashes = crc32_rows(prefixes, matrix, lengths)
+        for position, (suffix, prefix) in enumerate(rows):
+            assert int(hashes[position]) == zlib.crc32(suffix, prefix)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(0, 20),
+                st.floats(
+                    min_value=1e-6, max_value=1e6, allow_nan=False
+                ),
+            ),
+            max_size=200,
+        )
+    )
+    def test_sequential_unique_sums_matches_dict_fold(self, contributions):
+        import numpy
+
+        from repro.ids.arrays import sequential_unique_sums
+
+        reference: dict[int, float] = {}
+        for key, weight in contributions:
+            reference[key] = reference.get(key, 0.0) + weight
+        keys = numpy.array([k for k, _ in contributions], dtype=numpy.int64)
+        weights = numpy.array(
+            [w for _, w in contributions], dtype=numpy.float64
+        )
+        unique, sums = sequential_unique_sums(keys, weights)
+        assert {int(k): float(v) for k, v in zip(unique, sums)} == reference
