@@ -65,8 +65,10 @@ from repro.engine.similarity import (  # noqa: E402
 )
 
 DEFAULT_OUT = Path(__file__).parent / "results" / "BENCH_similarity.json"
+DEFAULT_BLOCKING_OUT = Path(__file__).parent / "results" / "BENCH_blocking.json"
 
 SCHEMA = "repro-bench-similarity/1"
+BLOCKING_SCHEMA = "repro-bench-blocking/1"
 
 
 # ----------------------------------------------------------------------
@@ -216,6 +218,76 @@ def run_report(profile: str, scale: float) -> dict:
     }
 
 
+def run_blocking_report(profile: str, scale: float) -> dict:
+    """Blocking + warm-start sections (``repro-bench-blocking/1``).
+
+    Times, in the same run: token blocking on the id-column path vs the
+    string-keyed reference engine (verifying both produce identical
+    collections), and a cold session bootstrap vs saving + loading a
+    columnar snapshot and replaying from it.
+    """
+    import shutil
+    import tempfile
+
+    from repro.engine import (
+        token_blocking_engine,
+        token_blocking_packed_engine,
+    )
+    from repro.pipeline import MatchSession
+
+    data = generate_benchmark(profile, scale=scale)
+
+    string_blocks, string_s = _timed(
+        token_blocking_engine, data.kb1, data.kb2
+    )
+    packed_blocks, packed_s = _timed(
+        token_blocking_packed_engine, data.kb1, data.kb2
+    )
+    if packed_blocks.keys() != string_blocks.keys() or any(
+        packed_blocks[key].entities1 != string_blocks[key].entities1
+        or packed_blocks[key].entities2 != string_blocks[key].entities2
+        for key in string_blocks.keys()
+    ):
+        raise AssertionError(
+            "packed token blocking diverged from the string engine"
+        )
+
+    cold_session = MatchSession(data.kb1, data.kb2)
+    _, cold_bootstrap_s = _timed(cold_session.match)
+    snapshot_dir = Path(tempfile.mkdtemp(prefix="repro-bench-")) / "session"
+    try:
+        _, save_s = _timed(cold_session.save, snapshot_dir)
+        loaded, load_s = _timed(MatchSession.load, snapshot_dir)
+        _, warm_match_s = _timed(loaded.match)
+    finally:
+        shutil.rmtree(snapshot_dir.parent, ignore_errors=True)
+    warm_total_s = load_s + warm_match_s
+
+    def _ratio(baseline: float, current: float) -> float | None:
+        return round(baseline / current, 2) if current > 0 else None
+
+    return {
+        "schema": BLOCKING_SCHEMA,
+        "profile": profile,
+        "scale": scale,
+        "python": platform.python_version(),
+        "entities": [len(data.kb1), len(data.kb2)],
+        "blocks": len(packed_blocks),
+        "blocking": {
+            "string_engine_s": round(string_s, 4),
+            "id_column_s": round(packed_s, 4),
+            "speedup": _ratio(string_s, packed_s),
+        },
+        "warm_start": {
+            "cold_bootstrap_s": round(cold_bootstrap_s, 4),
+            "snapshot_save_s": round(save_s, 4),
+            "snapshot_load_s": round(load_s, 4),
+            "warm_match_s": round(warm_match_s, 4),
+            "speedup_vs_cold": _ratio(cold_bootstrap_s, warm_total_s),
+        },
+    }
+
+
 def _normalized_wall_time(report: dict) -> float | None:
     """End-to-end seconds per second of same-run baseline index work.
 
@@ -282,6 +354,18 @@ def main(argv: list[str] | None = None) -> int:
         help="committed reference JSON to compare end-to-end seconds against",
     )
     parser.add_argument("--max-regression", type=float, default=3.0)
+    parser.add_argument(
+        "--blocking-out",
+        type=Path,
+        default=DEFAULT_BLOCKING_OUT,
+        help="where the blocking + warm-start report is written "
+        "(uncommitted, like every BENCH_*.json)",
+    )
+    parser.add_argument(
+        "--skip-blocking",
+        action="store_true",
+        help="skip the blocking + warm-start sections",
+    )
     args = parser.parse_args(argv)
 
     report = run_report(args.profile, args.scale)
@@ -302,6 +386,27 @@ def main(argv: list[str] | None = None) -> int:
         f"end_to_end {report['stages']['end_to_end']:.3f}s; "
         f"peak RSS {report['peak_rss_kb'] / 1024:.0f} MiB"
     )
+    if not args.skip_blocking:
+        blocking = run_blocking_report(args.profile, args.scale)
+        args.blocking_out.parent.mkdir(parents=True, exist_ok=True)
+        args.blocking_out.write_text(
+            json.dumps(blocking, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"wrote {args.blocking_out}")
+        section = blocking["blocking"]
+        print(
+            f"  token blocking: id-column {section['id_column_s']:.3f}s "
+            f"(string engine {section['string_engine_s']:.3f}s, "
+            f"{section['speedup']}x)"
+        )
+        warm = blocking["warm_start"]
+        print(
+            f"  warm start: load+match "
+            f"{warm['snapshot_load_s'] + warm['warm_match_s']:.3f}s "
+            f"(cold bootstrap {warm['cold_bootstrap_s']:.3f}s, "
+            f"{warm['speedup_vs_cold']}x; save {warm['snapshot_save_s']:.3f}s)"
+        )
     if args.check is not None:
         return check_regression(report, args.check, args.max_regression)
     return 0

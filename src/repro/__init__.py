@@ -35,6 +35,7 @@ from .pipeline import (
     Stage,
     StageGraph,
 )
+from .store import Snapshot, SnapshotError, load_session, verify_snapshot
 from .datasets.generator import GeneratedDataset
 from .datasets.ground_truth import GroundTruth
 from .datasets.profiles import PROFILE_ORDER, generate_benchmark
@@ -65,6 +66,8 @@ __all__ = [
     "PipelineContext",
     "ProcessExecutor",
     "SerialExecutor",
+    "Snapshot",
+    "SnapshotError",
     "Stage",
     "StageGraph",
     "ThreadExecutor",
@@ -74,6 +77,8 @@ __all__ = [
     "create_executor",
     "evaluate_matching",
     "generate_benchmark",
+    "load_session",
     "match_kbs",
+    "verify_snapshot",
     "__version__",
 ]

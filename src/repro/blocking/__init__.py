@@ -15,6 +15,7 @@ from .metablocking import (
     prune_edges,
 )
 from .metrics import BlockingQuality, blocking_quality, union_quality
+from .packed import PackedBlockCollection
 from .name_blocking import (
     AttributeNameExtractor,
     NameExtractor,
@@ -43,6 +44,7 @@ __all__ = [
     "meta_blocking_pairs",
     "prune_edges",
     "NameExtractor",
+    "PackedBlockCollection",
     "PurgingReport",
     "blocking_quality",
     "cardinality_threshold",

@@ -1,0 +1,174 @@
+"""Columnar (id-column CSR) block collections.
+
+A :class:`PackedBlockCollection` holds a two-sided block collection the
+way the similarity core holds pair maps: block keys as one sorted string
+column, each side's membership as an :class:`~repro.ids.EntityInterner`
+over exactly the member URIs plus a CSR layout (``starts`` offsets into
+a flat, per-row-sorted ``array('i')`` id column).  The familiar
+string-keyed :class:`~repro.blocking.base.BlockCollection` surface is a
+*decode view* over those columns — the packed columns stay authoritative
+for the engine (shard encoding without re-interning), for process
+workers (raw buffers instead of string sets) and for the snapshot store
+(the columns dump to disk verbatim).
+
+Because member interners assign ids in sorted-URI order and every CSR
+row is sorted ascending, scanning a row in id order reproduces exactly
+the sorted-URI scans of the string-keyed builders — the same property
+PR 4's similarity indices rely on.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Iterable
+
+from ..ids import EntityInterner
+from .base import Block, BlockCollection
+
+
+class PackedBlockCollection(BlockCollection):
+    """A block collection whose canonical form is id-column CSR.
+
+    Parameters
+    ----------
+    name:
+        Collection label (``"BT"`` for token blocks).
+    keys:
+        Block keys in **sorted** order; row ``i`` of both CSR layouts
+        belongs to ``keys[i]``.
+    interner1 / interner2:
+        Id maps over exactly the member URIs of each side.
+    starts1 / ids1, starts2 / ids2:
+        CSR columns per side: ``starts`` has ``len(keys) + 1`` offsets
+        into the flat ``ids`` column; each row's ids sort ascending.
+
+    The constructor materializes the string-keyed ``Block`` view eagerly
+    (downstream purging/metrics/digest code keeps working unchanged);
+    the columns remain accessible via :meth:`packed_columns` and
+    :meth:`csr`.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        keys: Iterable[str],
+        interner1: EntityInterner,
+        interner2: EntityInterner,
+        starts1: array,
+        ids1: array,
+        starts2: array,
+        ids2: array,
+    ) -> None:
+        self._keys = tuple(keys)
+        if any(
+            later <= earlier
+            for earlier, later in zip(self._keys, self._keys[1:])
+        ):
+            raise ValueError("block keys must be strictly ascending")
+        for starts, ids in ((starts1, ids1), (starts2, ids2)):
+            if len(starts) != len(self._keys) + 1:
+                raise ValueError("starts column must have len(keys)+1 offsets")
+            if starts[0] != 0 or starts[-1] != len(ids):
+                raise ValueError("starts column does not span the id column")
+        self._interner1 = interner1
+        self._interner2 = interner2
+        self._starts1, self._ids1 = starts1, ids1
+        self._starts2, self._ids2 = starts2, ids2
+        uris1 = interner1.uris()
+        uris2 = interner2.uris()
+        super().__init__(
+            name,
+            (
+                Block(
+                    key,
+                    {uris1[i] for i in ids1[starts1[row] : starts1[row + 1]]},
+                    {uris2[i] for i in ids2[starts2[row] : starts2[row + 1]]},
+                )
+                for row, key in enumerate(self._keys)
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # Construction from the string-keyed form
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_collection(
+        cls, blocks: BlockCollection, name: str | None = None
+    ) -> "PackedBlockCollection":
+        """Encode an existing collection into its columnar form.
+
+        The decode view of the result equals ``blocks`` exactly (same
+        keys, same membership sets); one-sided blocks are rejected —
+        they carry no comparison and the columnar form has no place for
+        them.
+        """
+        ordered = sorted(blocks, key=lambda block: block.key)
+        for block in ordered:
+            if block.is_empty():
+                raise ValueError(
+                    f"cannot pack one-sided block {block.key!r}; "
+                    "drop_empty() first"
+                )
+        interner1 = EntityInterner(
+            uri for block in ordered for uri in block.entities1
+        )
+        interner2 = EntityInterner(
+            uri for block in ordered for uri in block.entities2
+        )
+        ids_by_uri1 = interner1.ids_by_uri()
+        ids_by_uri2 = interner2.ids_by_uri()
+        starts1, ids1 = array("q", (0,)), array("i")
+        starts2, ids2 = array("q", (0,)), array("i")
+        for block in ordered:
+            ids1.extend(sorted(ids_by_uri1[uri] for uri in block.entities1))
+            starts1.append(len(ids1))
+            ids2.extend(sorted(ids_by_uri2[uri] for uri in block.entities2))
+            starts2.append(len(ids2))
+        return cls(
+            name or blocks.name,
+            (block.key for block in ordered),
+            interner1,
+            interner2,
+            starts1,
+            ids1,
+            starts2,
+            ids2,
+        )
+
+    # ------------------------------------------------------------------
+    # Columnar access
+    # ------------------------------------------------------------------
+    @property
+    def block_keys(self) -> tuple[str, ...]:
+        """All block keys, ascending (row order of the CSR columns)."""
+        return self._keys
+
+    def interners(self) -> tuple[EntityInterner, EntityInterner]:
+        """The member-URI id maps (side 1, side 2) the CSR ids index."""
+        return self._interner1, self._interner2
+
+    def csr(self, side: int) -> tuple[array, array]:
+        """One side's ``(starts, ids)`` CSR columns (do not mutate)."""
+        if side == 1:
+            return self._starts1, self._ids1
+        if side == 2:
+            return self._starts2, self._ids2
+        raise ValueError("side must be 1 or 2")
+
+    def row_ids(self, row: int, side: int) -> array:
+        """The sorted member ids of one block row on one side."""
+        starts, ids = self.csr(side)
+        return ids[starts[row] : starts[row + 1]]
+
+    def row_sizes(self, row: int) -> tuple[int, int]:
+        """``(|b1|, |b2|)`` of one block row, from the offsets alone."""
+        return (
+            self._starts1[row + 1] - self._starts1[row],
+            self._starts2[row + 1] - self._starts2[row],
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"PackedBlockCollection({self.name!r}, {len(self)} blocks, "
+            f"{len(self._ids1)}+{len(self._ids2)} placements)"
+        )

@@ -7,6 +7,9 @@ Subcommands::
 
     repro-er match <kb1.nt> <kb2.nt> [--output links.nt] [--theta T] ...
         Match two N-Triples KBs with MinoanER and write owl:sameAs links.
+        --save-session DIR snapshots the bootstrapped session;
+        --load-session DIR warm-starts from such a snapshot (composes
+        with --apply-delta for incremental updates).
 
     repro-er evaluate <links.nt|csv> <ground_truth.csv>
         Score predicted links against a ground-truth CSV.
@@ -82,6 +85,23 @@ def build_parser() -> argparse.ArgumentParser:
         "and report the final matches: 'add:kb1:more.nt' (N-Triples of new "
         "entities) or 'remove:kb2:uris.txt' (one URI per line); repeatable, "
         "applied in order",
+    )
+    match.add_argument(
+        "--save-session",
+        default=None,
+        metavar="DIR",
+        help="after matching, snapshot the bootstrapped session (KBs, "
+        "blocking placements, packed indices, decisions) to DIR for later "
+        "warm starts",
+    )
+    match.add_argument(
+        "--load-session",
+        default=None,
+        metavar="DIR",
+        help="warm-start from a snapshot directory instead of KB files: "
+        "the matching configuration comes from the snapshot (only "
+        "--engine/--workers apply); composes with --apply-delta for "
+        "incremental updates without re-bootstrapping",
     )
     match.add_argument("--theta", type=float, default=0.6)
     match.add_argument("--top-k", type=int, default=15)
@@ -200,19 +220,24 @@ def _parse_delta_spec(spec: str) -> tuple[str, str, str]:
     return parts[0], parts[1], parts[2]
 
 
-def _run_deltas(builder, kb1, kb2, specs: list[str], engine: str):
+def _parse_delta_specs(specs: list[str]) -> list[tuple[str, str, str]]:
+    """Parse and validate every ``--apply-delta`` value up front.
+
+    Fails before the (possibly expensive) initial match or snapshot
+    load, not after.
+    """
+    parsed = [_parse_delta_spec(spec) for spec in specs]
+    for _, _, path in parsed:
+        if not Path(path).is_file():
+            raise _UsageError(f"error: delta file not found: {path}")
+    return parsed
+
+
+def _run_deltas(matcher, parsed: list[tuple[str, str, str]], engine: str):
     """Match incrementally: initial run, then each delta, then the final.
 
     Returns the final :class:`~repro.core.pipeline.MatchResult`.
     """
-    from .incremental import IncrementalMatcher
-
-    parsed = [_parse_delta_spec(spec) for spec in specs]
-    for _, _, path in parsed:
-        # Fail before the (possibly expensive) initial match, not after.
-        if not Path(path).is_file():
-            raise _UsageError(f"error: delta file not found: {path}")
-    matcher = IncrementalMatcher(builder.session(kb1, kb2))
     initial = matcher.match()
     print(
         f"initial match: {len(initial.matches)} pairs in "
@@ -249,6 +274,64 @@ def _run_deltas(builder, kb1, kb2, specs: list[str], engine: str):
     return final
 
 
+def _matched_result(args: argparse.Namespace, builder):
+    """Produce the final MatchResult for ``match`` (cold or warm start),
+    honouring --apply-delta and --save-session/--load-session."""
+    from .incremental import IncrementalMatcher
+    from .pipeline import MatchSession
+    from .store import SnapshotError
+
+    parsed = _parse_delta_specs(args.apply_delta) if args.apply_delta else None
+    saver = None
+    if args.load_session:
+        if args.kb1 is not None or args.kb2 is not None:
+            raise _UsageError(
+                "error: --load-session replaces the KB file arguments"
+            )
+        try:
+            if parsed is not None:
+                matcher = IncrementalMatcher.from_snapshot(
+                    args.load_session, engine=args.engine, workers=args.workers
+                )
+                print(f"warm start from {args.load_session}")
+                result = _run_deltas(matcher, parsed, args.engine)
+                saver = matcher.save
+            else:
+                session = MatchSession.load(
+                    args.load_session, engine=args.engine, workers=args.workers
+                )
+                print(f"warm start from {args.load_session}")
+                result = session.match()
+                saver = session.save
+        except SnapshotError as error:
+            raise _UsageError(f"error: cannot load session: {error}")
+    else:
+        if args.kb1 is None or args.kb2 is None:
+            raise _UsageError(
+                "error: match needs two KB files "
+                "(or --list-stages / --load-session)"
+            )
+        kb1 = read_ntriples(args.kb1, name=Path(args.kb1).stem)
+        kb2 = read_ntriples(args.kb2, name=Path(args.kb2).stem)
+        if parsed is not None:
+            matcher = IncrementalMatcher(builder.session(kb1, kb2))
+            result = _run_deltas(matcher, parsed, args.engine)
+            saver = matcher.save
+        elif args.save_session:
+            session = builder.session(kb1, kb2)
+            result = session.match()
+            saver = session.save
+        else:
+            result = builder.build().match(kb1, kb2)
+    if args.save_session:
+        try:
+            target = saver(args.save_session)
+        except SnapshotError as error:
+            raise _UsageError(f"error: cannot save session: {error}")
+        print(f"saved session snapshot to {target}")
+    return result
+
+
 def cmd_match(args: argparse.Namespace) -> int:
     if args.engine == "serial" and args.workers is not None:
         print(
@@ -276,21 +359,11 @@ def cmd_match(args: argparse.Namespace) -> int:
     if args.list_stages:
         _print_stage_list(builder)
         return 0
-    if args.kb1 is None or args.kb2 is None:
-        print("error: match needs two KB files (or --list-stages)", file=sys.stderr)
+    try:
+        result = _matched_result(args, builder)
+    except _UsageError as error:
+        print(error, file=sys.stderr)
         return 2
-    kb1 = read_ntriples(args.kb1, name=Path(args.kb1).stem)
-    kb2 = read_ntriples(args.kb2, name=Path(args.kb2).stem)
-    if args.apply_delta:
-        try:
-            result = _run_deltas(
-                builder, kb1, kb2, args.apply_delta, args.engine
-            )
-        except _UsageError as error:
-            print(error, file=sys.stderr)
-            return 2
-    else:
-        result = builder.build().match(kb1, kb2)
     print(
         f"matched {len(result.matches)} pairs in {result.seconds:.2f}s "
         f"[{args.engine}] ({result.by_heuristic()})"

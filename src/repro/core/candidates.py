@@ -63,6 +63,24 @@ class CandidateIndex:
         self._cache2: dict[str, CandidateLists] = {}
 
     # ------------------------------------------------------------------
+    # Read-only structure (the engine's packed gather reads these)
+    # ------------------------------------------------------------------
+    @property
+    def value_index(self) -> ValueSimilarityIndex:
+        """The value-similarity evidence the lists are drawn from."""
+        return self._value_index
+
+    @property
+    def neighbor_index(self) -> NeighborSimilarityIndex:
+        """The neighbor-similarity evidence the lists are drawn from."""
+        return self._neighbor_index
+
+    @property
+    def restrict_neighbors(self) -> bool:
+        """Whether neighbor candidates must co-occur in the token blocks."""
+        return self._restrict
+
+    # ------------------------------------------------------------------
     # Lookup (lazy, cached)
     # ------------------------------------------------------------------
     def of_entity1(self, uri1: str) -> CandidateLists:

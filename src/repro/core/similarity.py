@@ -27,12 +27,13 @@ construction.  See ``docs/PERFORMANCE.md``.
 from __future__ import annotations
 
 from array import array
+from functools import lru_cache
 from typing import Iterable, Mapping
 
 from ..blocking.base import BlockCollection
 from ..ids import EntityInterner, PAIR_ID_BITS, PAIR_ID_MASK
 from ..ids.arrays import numpy_enabled, numpy_module, ranked_csr
-from ..textsim.weighted import arcs_token_weight
+from ..textsim.weighted import WEIGHT_CACHE_SHAPES, arcs_token_weight
 
 Pair = tuple[str, str]
 
@@ -99,12 +100,16 @@ def apply_pair_updates(
     return changed
 
 
+@lru_cache(maxsize=WEIGHT_CACHE_SHAPES)
 def block_token_weight(n_entities1: int, n_entities2: int) -> float:
     """Weight of one shared token given its block's side sizes.
 
-    Memoized per ``(n1, n2)`` shape (via :func:`arcs_token_weight`):
-    collections contain many blocks of the same shape and the log2 is
-    identical for all of them.
+    Memoized per ``(n1, n2)`` shape, bounded like
+    :func:`~repro.textsim.weighted.arcs_token_weight` (which it wraps)
+    so a long-running warm-started service cannot grow the memo without
+    limit: collections contain many blocks of the same shape and the
+    log2 is identical for all of them, and an evicted-then-recomputed
+    weight is byte-identical to the cached one.
     """
     return arcs_token_weight(n_entities1, n_entities2)
 
@@ -314,6 +319,30 @@ class PackedSimilarityIndex:
             return [other.id_of(uri) for uri, _ in row]
         if entity_id + 1 >= len(starts):
             return []
+        return cols[starts[entity_id] : starts[entity_id + 1]]
+
+    def csr_row_ids(self, side: int, uri: str) -> array | None:
+        """One row's full ranked counterpart-id column, undecoded.
+
+        The packed form of ``candidates_of_entity{side}(uri)`` for bulk
+        consumers (the H3 candidate gather ships these slices to workers
+        instead of the whole index): counterpart ids in ranked order, in
+        the *other* side's interner space.  Returns an empty column for
+        URIs the index never saw, and ``None`` when the row was patched
+        after construction (or lies beyond the CSR build) — callers must
+        fall back to the decoded row for those.
+        """
+        if side == 1:
+            interner, patched = self._interner1, self._patched1
+            starts, cols = self._starts1, self._cols1
+        else:
+            interner, patched = self._interner2, self._patched2
+            starts, cols = self._starts2, self._cols2
+        entity_id = interner.get(uri)
+        if entity_id is None:
+            return array("i")
+        if entity_id in patched or entity_id + 1 >= len(starts):
+            return None
         return cols[starts[entity_id] : starts[entity_id + 1]]
 
     # ------------------------------------------------------------------

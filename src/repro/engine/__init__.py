@@ -11,7 +11,14 @@ All three executors compute bit-identical results; see the determinism
 contract in :mod:`.executor`.
 """
 
-from .blocking import name_blocking_engine, token_blocking_engine
+from .blocking import (
+    assemble_packed_blocks,
+    name_blocking_engine,
+    packed_token_placements,
+    shared_side_sizes,
+    token_blocking_engine,
+    token_blocking_packed_engine,
+)
 from .executor import (
     EXECUTOR_NAMES,
     Executor,
@@ -44,11 +51,15 @@ __all__ = [
     "ProcessExecutor",
     "SerialExecutor",
     "ThreadExecutor",
+    "assemble_packed_blocks",
     "auto_workers",
     "build_neighbor_index",
     "build_value_index",
     "chunk_evenly",
     "create_executor",
+    "packed_token_placements",
+    "shared_side_sizes",
+    "token_blocking_packed_engine",
     "h2_value_matches_engine",
     "h3_rank_aggregation_matches_engine",
     "hash_partitions",

@@ -6,21 +6,34 @@ its partner from every later candidate scan — but H3's per-entity work
 against the prepared indices.  H3 therefore runs in two phases:
 
 1. **gather** (parallel): entity chunks build candidate lists against
-   the read-only indices;
+   the read-only evidence;
 2. **resolve** (serial): the original heuristic logic walks the entities
    in their original order, consuming the gathered lists.
 
 Phase 2 is exactly the serial heuristic, so the emitted matches are
 identical to a fully serial run, match-for-match.
 
+**Packed gather.**  Workers never see the similarity indices.  The
+driver slices, per entity, the two CSR ranked-row id columns (value and
+neighbor candidates, already in ranked order) and ships only those
+slices — plus one small neighbor-id -> value-id translation column for
+the co-occurrence test — to the workers, which trim/filter on bare ids.
+The driver decodes the surviving ids back to URIs and preloads the
+candidate cache.  This replaces the previous protocol of pickling the
+whole candidate index (both full indices) into every process-executor
+chunk.  Rows patched by the incremental subsystem after the CSR build
+fall back to the decoded per-entity path in the driver; candidate lists
+are pure per-entity functions, so the split cannot change any list.
+
 H2 has no phase worth distributing — its per-entity "work" is a lookup
 into ranked lists the value index already holds — so the engine entry
-point delegates straight to the serial scan; shipping the index to
-workers only to perform dict gets would cost more than the scan itself.
+point delegates straight to the serial scan; shipping row slices to
+workers only to perform lookups would cost more than the scan itself.
 """
 
 from __future__ import annotations
 
+from array import array
 from functools import partial
 from typing import Iterable, Sequence
 
@@ -56,8 +69,100 @@ def h2_value_matches_engine(
 def _built_candidate_lists(
     uris: Sequence[str], candidate_index: CandidateIndex
 ) -> list[tuple[str, CandidateLists]]:
-    """(uri, top-K candidate lists) for one entity chunk."""
+    """(uri, top-K candidate lists) for one entity chunk.
+
+    The pre-packed gather protocol (ships the whole index per chunk);
+    kept as the executable reference the parity tests compare the
+    packed row protocol against.
+    """
     return [(uri, candidate_index.of_entity1(uri)) for uri in uris]
+
+
+def _candidate_id_rows(
+    rows: Sequence[tuple[int, array, array]],
+    neighbor_to_value2: array,
+    k: int,
+    restrict: bool,
+) -> list[tuple[int, list[int], list[int]]]:
+    """Trim/filter one chunk of packed candidate rows (engine worker).
+
+    Each row is ``(position, full value-candidate ids, full
+    neighbor-candidate ids)``, both columns in ranked order.  The value
+    list is the first ``k`` ids; the neighbor list keeps, in rank order,
+    the first ``k`` ids whose translation into the value-id space lands
+    in the entity's value row (H4-restricted mode) — exactly the
+    membership test :class:`~repro.core.candidates.CandidateIndex`
+    performs on URIs, run on ids (ids untranslatable to a value id map
+    to ``-1``, which never occurs in a value row).
+    """
+    out = []
+    for position, value_cols, neighbor_cols in rows:
+        if restrict:
+            cooccurring = set(value_cols)
+            kept: list[int] = []
+            for neighbor_id in neighbor_cols:
+                if neighbor_to_value2[neighbor_id] in cooccurring:
+                    kept.append(neighbor_id)
+                    if len(kept) == k:
+                        break
+        else:
+            kept = list(neighbor_cols[:k])
+        out.append((position, list(value_cols[:k]), kept))
+    return out
+
+
+def _preload_candidate_lists(
+    uris: Sequence[str], candidate_index: CandidateIndex, engine: Executor
+) -> None:
+    """Warm the candidate cache for ``uris`` via the packed row protocol."""
+    value_index = candidate_index.value_index
+    neighbor_index = candidate_index.neighbor_index
+    value_decode = value_index.interners()[1].uris()
+    neighbor_interner2 = neighbor_index.interners()[1]
+    neighbor_decode = neighbor_interner2.uris()
+    value2_ids = value_index.interners()[1].ids_by_uri()
+    translation = array(
+        "i", (value2_ids.get(uri, -1) for uri in neighbor_decode)
+    )
+
+    rows: list[tuple[int, array, array]] = []
+    fallback: list[str] = []
+    for position, uri in enumerate(uris):
+        value_cols = value_index.csr_row_ids(1, uri)
+        neighbor_cols = neighbor_index.csr_row_ids(1, uri)
+        if value_cols is None or neighbor_cols is None:
+            fallback.append(uri)  # patched row: decoded path, driver-side
+        else:
+            rows.append((position, value_cols, neighbor_cols))
+
+    if rows:
+        # Candidate lists are a pure function of the uri, so — unlike
+        # the floating-point-summing stages — the chunk count may follow
+        # the worker count; chunking only schedules, it cannot change
+        # any gathered list.
+        n_chunks = min(partition_count(len(rows)), engine.workers)
+        built = engine.map_partitions(
+            partial(
+                _candidate_id_rows,
+                neighbor_to_value2=translation,
+                k=candidate_index.k,
+                restrict=candidate_index.restrict_neighbors,
+            ),
+            chunk_evenly(rows, n_chunks),
+        )
+        candidate_index.preload_entity1(
+            (
+                uris[position],
+                CandidateLists(
+                    value=tuple(value_decode[i] for i in value_ids),
+                    neighbor=tuple(neighbor_decode[i] for i in neighbor_ids),
+                ),
+            )
+            for chunk in built
+            for position, value_ids, neighbor_ids in chunk
+        )
+    for uri in fallback:
+        candidate_index.of_entity1(uri)  # computes and caches
 
 
 def h3_rank_aggregation_matches_engine(
@@ -70,23 +175,13 @@ def h3_rank_aggregation_matches_engine(
     """H3 with parallel candidate-list building; serial rank resolution.
 
     The expensive part of H3 — assembling each entity's top-K value and
-    neighbor candidate lists — is pure per entity, so chunks build lists
-    concurrently and preload the index's cache; the registry-dependent
-    aggregation then runs serially over the warm cache, which makes it
-    identical to the serial heuristic.
+    neighbor candidate lists — is pure per entity, so chunks of packed
+    CSR row slices build lists concurrently (see the module docstring)
+    and preload the index's cache; the registry-dependent aggregation
+    then runs serially over the warm cache, which makes it identical to
+    the serial heuristic.
     """
     engine = engine or SerialExecutor()
     uris = [uri for uri in entity1_uris if uri not in registry.matched1]
-    # Candidate lists are a pure function of the uri, so — unlike the
-    # floating-point-summing stages — the chunk count may follow the
-    # worker count: process executors pickle the whole candidate index
-    # (both similarity indices) per chunk, and one chunk per worker
-    # bounds that cost without affecting the gathered lists.
-    n_chunks = min(partition_count(len(uris)), engine.workers)
-    built = engine.map_partitions(
-        partial(_built_candidate_lists, candidate_index=candidate_index),
-        chunk_evenly(uris, n_chunks),
-    )
-    for chunk in built:
-        candidate_index.preload_entity1(chunk)
+    _preload_candidate_lists(uris, candidate_index, engine)
     return h3_rank_aggregation_matches(uris, candidate_index, theta, registry)

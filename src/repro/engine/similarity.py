@@ -33,6 +33,7 @@ from functools import partial
 from typing import Iterable
 
 from ..blocking.base import Block, BlockCollection
+from ..blocking.packed import PackedBlockCollection
 from ..core.neighbors import NeighborSimilarityIndex
 from ..core.similarity import Pair, ValueSimilarityIndex, block_token_weight
 from ..ids import EntityInterner, PAIR_ID_BITS, PAIR_ID_MASK
@@ -213,6 +214,28 @@ def _encoded_block_shards(
     return shards
 
 
+def _packed_collection_shards(
+    packed_blocks: PackedBlockCollection, n_partitions: int
+) -> list[list[tuple[float, array, array]]]:
+    """:func:`_encoded_block_shards` read straight off the CSR columns.
+
+    A :class:`~repro.blocking.packed.PackedBlockCollection` already
+    holds its keys sorted and each row's member ids sorted ascending in
+    the member-interner space, so the shards come out identical to
+    re-encoding the string view — without touching a URI string.
+    """
+    shards: list[list[tuple[float, array, array]]] = [
+        [] for _ in range(n_partitions)
+    ]
+    for row, key in enumerate(packed_blocks.block_keys):
+        ids1 = packed_blocks.row_ids(row, 1)
+        ids2 = packed_blocks.row_ids(row, 2)
+        shards[stable_hash(key) % n_partitions].append(
+            (block_token_weight(len(ids1), len(ids2)), ids1, ids2)
+        )
+    return shards
+
+
 def _cumulative_starts(counts):
     """Exclusive prefix sums of a NumPy count column (CSR starts)."""
     numpy = numpy_module()
@@ -245,17 +268,15 @@ def _value_partial_vectorized(shard) -> tuple:
 
 
 def _encoded_block_columns(
-    token_blocks: BlockCollection,
-    interner1: EntityInterner,
-    interner2: EntityInterner,
-    n_partitions: int,
+    encoded_shards: list[list[tuple[float, array, array]]],
 ) -> list[tuple]:
     """Per-shard flat NumPy columns of the id-encoded blocks.
 
-    A pure layout change over :func:`_encoded_block_shards` — the
-    single home of the sort/shard/encode placement rule — flattening
-    each shard into parallel ``(weights, ids1 flat, ids1 counts, ids2
-    flat, ids2 counts)`` columns for the vectorized worker.
+    A pure layout change over the :func:`_encoded_block_shards` /
+    :func:`_packed_collection_shards` output — the homes of the
+    sort/shard/encode placement rule — flattening each shard into
+    parallel ``(weights, ids1 flat, ids1 counts, ids2 flat, ids2
+    counts)`` columns for the vectorized worker.
     """
     numpy = numpy_module()
 
@@ -274,9 +295,7 @@ def _encoded_block_columns(
             _flat(shard, 2),
             numpy.asarray([len(ids2) for _, _, ids2 in shard], numpy.int64),
         )
-        for shard in _encoded_block_shards(
-            token_blocks, interner1, interner2, n_partitions
-        )
+        for shard in encoded_shards
     ]
 
 
@@ -307,28 +326,31 @@ def build_value_index(
     both paths are bit-identical.
     """
     engine = engine or SerialExecutor()
-    interner1 = EntityInterner(
-        uri for block in token_blocks for uri in block.entities1
-    )
-    interner2 = EntityInterner(
-        uri for block in token_blocks for uri in block.entities2
-    )
     n_partitions = partition_count(len(token_blocks))
+    if isinstance(token_blocks, PackedBlockCollection):
+        # The collection's member interners are exactly the interners
+        # this builder would construct (sorted member URIs per side),
+        # and its CSR rows are already sorted ids — reuse both instead
+        # of re-interning and re-encoding every block.
+        interner1, interner2 = token_blocks.interners()
+        encoded = _packed_collection_shards(token_blocks, n_partitions)
+    else:
+        interner1 = EntityInterner(
+            uri for block in token_blocks for uri in block.entities1
+        )
+        interner2 = EntityInterner(
+            uri for block in token_blocks for uri in block.entities2
+        )
+        encoded = _encoded_block_shards(
+            token_blocks, interner1, interner2, n_partitions
+        )
     if numpy_enabled():
         partials = engine.map_partitions(
-            _value_partial_vectorized,
-            _encoded_block_columns(
-                token_blocks, interner1, interner2, n_partitions
-            ),
+            _value_partial_vectorized, _encoded_block_columns(encoded)
         )
         merged = _merge_partial_columns(partials)
     else:
-        partials = engine.map_partitions(
-            _value_partial_packed,
-            _encoded_block_shards(
-                token_blocks, interner1, interner2, n_partitions
-            ),
-        )
+        partials = engine.map_partitions(_value_partial_packed, encoded)
         merged = engine.reduce(merge_packed_columns, partials, {})
     return ValueSimilarityIndex.from_packed_sums(merged, interner1, interner2)
 

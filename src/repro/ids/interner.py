@@ -42,6 +42,39 @@ class EntityInterner:
         self._sorted = True
 
     # ------------------------------------------------------------------
+    # Construction (alternate)
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_uri_list(cls, uris: Iterable[str]) -> "EntityInterner":
+        """An interner whose id of ``uris[i]`` is exactly ``i``.
+
+        The inverse of :meth:`uris`: snapshot loading and other
+        column-oriented consumers reconstruct an interner from its
+        serialized decode table, preserving every id assignment —
+        including ids appended out of sorted order by deltas.
+        ``is_sorted`` is recomputed from the list, which equals what
+        incremental tracking would have recorded (the flag only drops
+        when an append lands below its predecessor).
+        """
+        interner = cls.__new__(cls)
+        interner._uris = list(uris)
+        if len(interner._uris) > MAX_ENTITY_ID + 1:
+            raise OverflowError(
+                f"cannot intern {len(interner._uris)} URIs; packed pair "
+                f"keys hold at most {MAX_ENTITY_ID + 1} ids per KB"
+            )
+        interner._ids = {
+            uri: position for position, uri in enumerate(interner._uris)
+        }
+        if len(interner._ids) != len(interner._uris):
+            raise ValueError("URI list contains duplicates")
+        interner._sorted = all(
+            earlier <= later
+            for earlier, later in zip(interner._uris, interner._uris[1:])
+        )
+        return interner
+
+    # ------------------------------------------------------------------
     # Lookup
     # ------------------------------------------------------------------
     def id_of(self, uri: str) -> int:

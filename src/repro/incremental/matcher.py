@@ -107,14 +107,35 @@ class IncrementalMatcher:
     """Delta-updatable matching over a completed :class:`MatchSession`."""
 
     def __init__(self, session: "MatchSession") -> None:
+        self._init_state(session)
+        self._bootstrap()
+
+    def _init_state(self, session: "MatchSession") -> None:
+        """Validate the session's graph and set up every maintained field
+        (shared by the cold :meth:`__init__` and the warm
+        :meth:`from_snapshot` paths; neither artifact bootstrap nor
+        restore happens here)."""
         names = session.graph.names()
         unsupported = set(names) - set(REQUIRED_STAGES) - {"name_blocking"}
         missing = [name for name in REQUIRED_STAGES if name not in names]
         if unsupported or missing:
+            problems = []
+            if unsupported:
+                problems.append(
+                    "it cannot maintain deltas for custom stage(s) "
+                    + ", ".join(repr(name) for name in sorted(unsupported))
+                )
+            if missing:
+                problems.append(
+                    "the graph lacks required stage(s) "
+                    + ", ".join(repr(name) for name in sorted(missing))
+                )
             raise ValueError(
                 "IncrementalMatcher supports the default stage composition "
-                f"only (missing: {sorted(missing)}, "
-                f"unsupported: {sorted(unsupported)})"
+                "only: " + "; ".join(problems) + ". Until stages can "
+                "declare a delta hook (the planned escape hatch — see "
+                "ROADMAP.md), run custom compositions through "
+                "MatchSession.match() instead."
             )
         self.session = session
         self.config = session.config
@@ -149,7 +170,115 @@ class IncrementalMatcher:
         #: (interners + sizes, hasher) cache — rebuilding the packed
         #: pair hasher costs O(value-index URIs), far too much per delta.
         self._hasher_cache: tuple | None = None
-        self._bootstrap()
+
+    # ------------------------------------------------------------------
+    # Warm restart (snapshot store)
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_snapshot(
+        cls,
+        path,
+        *,
+        engine: str | None = None,
+        workers: int | None = None,
+    ) -> "IncrementalMatcher":
+        """A matcher warm-restarted from a ``repro-snapshot/1`` directory.
+
+        Loads the saved placements, indices and top-neighbor sets
+        instead of running :meth:`_bootstrap`'s cold pass, so no entity
+        is re-tokenized and no index is re-accumulated.  Deltas applied
+        afterwards behave exactly as they would on the matcher that was
+        saved — bit-identical to a cold batch run on the final KB state.
+        ``engine``/``workers`` override the stored execution-engine
+        fields.
+        """
+        from ..store import load_state
+
+        state = load_state(path, engine=engine, workers=workers)
+        matcher = cls.__new__(cls)
+        matcher._init_state(state.session)
+        matcher._restore(state)
+        return matcher
+
+    def save(self, path):
+        """Snapshot the matcher's current (post-delta) state.
+
+        Pending deltas are refreshed (via :meth:`match`) first, so the
+        snapshot always describes a consistent, decision-complete state;
+        a later :meth:`from_snapshot` + batch run on the same KBs is
+        bit-identical.  Returns the snapshot directory path.
+        """
+        from ..pipeline.digest import context_digests
+        from ..store import validate_snapshotable_graph, write_session_snapshot
+
+        validate_snapshotable_graph(self.graph)
+        if self.last_context is None or self._pending:
+            self.match()
+        ctx = self.last_context
+        kb1, kb2 = self.kbs
+        token_rows = tuple(
+            [(uri, self._tokens.entity_keys(side, uri)) for uri in kb.uris()]
+            for side, kb in ((1, kb1), (2, kb2))
+        )
+        name_rows = None
+        if self._has_names:
+            name_rows = tuple(
+                [(uri, self._names.entity_keys(side, uri)) for uri in kb.uris()]
+                for side, kb in ((1, kb1), (2, kb2))
+            )
+        artifacts = {
+            key: ctx.get(key) for key in ctx.keys() if key not in ("kb1", "kb2")
+        }
+        return write_session_snapshot(
+            path,
+            kb1=kb1,
+            kb2=kb2,
+            config=self.config,
+            graph_names=list(self.graph.names()),
+            artifacts=artifacts,
+            token_rows=token_rows,
+            name_rows=name_rows,
+            top_neighbors=(self._top_nbrs[0], self._top_nbrs[1]),
+            digests=context_digests(ctx),
+        )
+
+    def _restore(self, state) -> None:
+        """Adopt a :class:`~repro.store.RestoredState` in place of the
+        cold bootstrap (fields mirror :meth:`_bootstrap`'s, loaded
+        instead of computed; recompute counters stay at zero — nothing
+        was recomputed)."""
+        self._tokens = state.tokens
+        if self._has_names:
+            self._names = state.names
+            self._name_blocks = state.artifacts["name_blocks"]
+            self._name_attrs = [
+                list(state.artifacts["name_attributes1"]),
+                list(state.artifacts["name_attributes2"]),
+            ]
+        self._top_rels = [
+            list(state.artifacts["top_relations1"]),
+            list(state.artifacts["top_relations2"]),
+        ]
+        self._top_nbrs = [
+            dict(state.top_neighbors[0]),
+            dict(state.top_neighbors[1]),
+        ]
+        for side in (1, 2):
+            self._rebuild_reverse(side)
+            refs = self._refs[side - 1]
+            for entity in self.kbs[side - 1]:
+                for _, target in entity.relation_pairs():
+                    refs.setdefault(target, set()).add(entity.uri)
+        self._purged_keys = set(state.kept_keys)
+        self._purging_report = state.artifacts["purging_report"]
+        self._token_blocks = state.artifacts["token_blocks"]
+        self._value_index = state.artifacts["value_index"]
+        self._neighbor_index = state.artifacts["neighbor_index"]
+        self._value_shards = partition_count(len(self._purged_keys))
+        self._neighbor_shards = partition_count(len(self._value_index))
+        base = PipelineContext(self.kbs[0], self.kbs[1], self.config)
+        self._publish_artifacts(base, producer="snapshot")
+        self._base_ctx = base
 
     # ------------------------------------------------------------------
     # Bootstrap (one cold pass over the current KB state)

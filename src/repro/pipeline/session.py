@@ -36,6 +36,8 @@ from .stage import Stage, StageGraph
 from .stages import ENABLE_FLAGS
 
 if TYPE_CHECKING:  # pragma: no cover - types only
+    from pathlib import Path
+
     from ..core.config import MinoanERConfig
     from ..core.pipeline import MatchResult
     from ..kb.knowledge_base import KnowledgeBase
@@ -138,6 +140,19 @@ class MatchSession:
         """
         from ..core.pipeline import MatchResult
 
+        started = time.perf_counter()
+        ctx = self.run_context(config, **overrides)
+        return MatchResult.from_context(ctx, time.perf_counter() - started)
+
+    def run_context(
+        self, config: "MinoanERConfig | None" = None, **overrides
+    ) -> PipelineContext:
+        """:meth:`match`'s engine room, returning the full artifact store.
+
+        Runs (or cache-restores) every stage and returns the finished
+        :class:`PipelineContext` — what digesting and snapshotting need,
+        where :meth:`match` only keeps the result view.
+        """
         current = (self.kb1.version, self.kb2.version)
         if current != self._kb_versions:
             raise StaleSessionError(
@@ -154,7 +169,6 @@ class MatchSession:
             }
             run_config = replace(run_config, **mapped)
 
-        started = time.perf_counter()
         ctx = PipelineContext(self.kb1, self.kb2, run_config)
         producer_signatures: dict[str, tuple] = {}
         # The executor is only built on the first cache miss: a fully
@@ -200,7 +214,125 @@ class MatchSession:
         finally:
             if engine is not None:
                 engine.close()
-        return MatchResult.from_context(ctx, time.perf_counter() - started)
+        return ctx
+
+    # ------------------------------------------------------------------
+    # Persistence (the columnar snapshot store)
+    # ------------------------------------------------------------------
+    def save(self, path) -> "Path":
+        """Snapshot this session's KBs, config and stage artifacts.
+
+        Runs the pipeline under the session config first (free when the
+        artifacts are already cached), then writes a ``repro-snapshot/1``
+        directory (see :mod:`repro.store`): KB columns, full blocking
+        placements, both packed similarity indices, top-neighbor sets,
+        decision artifacts and the run's ``context_digests``.  Only the
+        default stage composition is snapshotable.
+        """
+        from ..blocking.name_blocking import names_from_attributes, normalize_name
+        from ..core.neighbors import top_neighbors
+        from ..kb.tokenizer import Tokenizer
+        from ..store import validate_snapshotable_graph, write_session_snapshot
+        from .digest import context_digests
+
+        has_names = validate_snapshotable_graph(self.graph)
+        ctx = self.run_context()
+        config = self.config
+        tokenizer = Tokenizer(
+            min_length=config.min_token_length,
+            include_uri_localnames=config.include_uri_localnames,
+        )
+        token_rows = tuple(
+            [(e.uri, frozenset(tokenizer.token_set(e))) for e in kb]
+            for kb in (self.kb1, self.kb2)
+        )
+        name_rows = None
+        if has_names:
+            name_rows = []
+            for kb, side in ((self.kb1, 1), (self.kb2, 2)):
+                extractor = names_from_attributes(
+                    ctx.get(f"name_attributes{side}")
+                )
+                name_rows.append(
+                    [
+                        (
+                            e.uri,
+                            frozenset(
+                                key
+                                for key in (
+                                    normalize_name(raw) for raw in extractor(e)
+                                )
+                                if key
+                            ),
+                        )
+                        for e in kb
+                    ]
+                )
+            name_rows = tuple(name_rows)
+        top_nbrs = tuple(
+            top_neighbors(
+                kb,
+                ctx.get(f"top_relations{side}"),
+                config.include_incoming_edges,
+            )
+            for kb, side in ((self.kb1, 1), (self.kb2, 2))
+        )
+        artifacts = {key: ctx.get(key) for key in ctx.keys() if key not in ("kb1", "kb2")}
+        return write_session_snapshot(
+            path,
+            kb1=self.kb1,
+            kb2=self.kb2,
+            config=config,
+            graph_names=list(self.graph.names()),
+            artifacts=artifacts,
+            token_rows=token_rows,
+            name_rows=name_rows,
+            top_neighbors=top_nbrs,
+            digests=context_digests(ctx),
+        )
+
+    @classmethod
+    def load(
+        cls, path, *, engine: str | None = None, workers: int | None = None
+    ) -> "MatchSession":
+        """Restore a saved session with its stage cache pre-seeded.
+
+        ``match()`` under the saved configuration replays entirely from
+        the restored artifacts — bit-identical to the run that was
+        saved, without recomputing a single stage.  ``engine``/
+        ``workers`` override the stored execution-engine fields (they
+        never affect artifact identity); any *other* config change at
+        ``match(...)`` time re-runs exactly the stages it taints, as
+        usual.
+        """
+        from ..store import load_session
+
+        return load_session(path, engine=engine, workers=workers)
+
+    def seed_cache(self, artifacts: dict[str, Any]) -> None:
+        """Pre-populate the stage cache from restored artifacts.
+
+        ``artifacts`` must cover every key the graph's stages provide;
+        each stage's cache entry lands under the same signature a cold
+        run would compute, so subsequent ``match()`` calls treat the
+        seeded values exactly like previously computed ones.
+        """
+        producer_signatures: dict[str, tuple] = {}
+        for stage in self.graph:
+            signature = self._stage_signature(
+                stage, self.config, producer_signatures
+            )
+            for key in stage.provides:
+                producer_signatures[key] = signature
+            missing = [key for key in stage.provides if key not in artifacts]
+            if missing:
+                raise KeyError(
+                    f"cannot seed stage {stage.name!r}: missing artifacts "
+                    f"{missing}"
+                )
+            self._cache[signature] = {
+                key: _isolated(artifacts[key]) for key in stage.provides
+            }
 
     # ------------------------------------------------------------------
     # Introspection / maintenance

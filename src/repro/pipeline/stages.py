@@ -28,7 +28,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Iterable, Sequence
 
 from ..blocking.name_blocking import names_from_attributes
-from ..blocking.purging import purge_blocks
+from ..blocking.purging import purge_decision_from_sizes
 from ..core.candidates import CandidateIndex
 from ..core.heuristics import (
     Match,
@@ -38,7 +38,12 @@ from ..core.heuristics import (
 )
 from ..core.neighbors import top_neighbors
 from ..core.statistics import top_name_attributes, top_relations
-from ..engine.blocking import name_blocking_engine, token_blocking_engine
+from ..engine.blocking import (
+    assemble_packed_blocks,
+    name_blocking_engine,
+    packed_token_placements,
+    shared_side_sizes,
+)
 from ..engine.matching import (
     h2_value_matches_engine,
     h3_rank_aggregation_matches_engine,
@@ -81,7 +86,15 @@ class NameBlockingStage(Stage):
 
 
 class TokenBlockingStage(Stage):
-    """Build ``BT`` and apply Block Purging when configured."""
+    """Build ``BT`` and apply Block Purging when configured.
+
+    Runs on the packed (id-column) blocking path: workers emit token ->
+    entity-id columns, the purging decision is taken from the side sizes
+    alone, and only the surviving blocks are sorted/grouped into a
+    :class:`~repro.blocking.packed.PackedBlockCollection` — whose
+    string-keyed view (and with it every downstream digest) equals the
+    previous string-set construction block-for-block.
+    """
 
     name = "token_blocking"
     group = "blocking"
@@ -100,14 +113,21 @@ class TokenBlockingStage(Stage):
             min_length=config.min_token_length,
             include_uri_localnames=config.include_uri_localnames,
         )
-        blocks = token_blocking_engine(ctx.kb1, ctx.kb2, tokenizer, engine)
-        report = None
+        side1, side2, interner1, interner2 = packed_token_placements(
+            ctx.kb1, ctx.kb2, tokenizer, engine
+        )
+        sizes = shared_side_sizes(side1, side2)
         if config.purge_token_blocks:
-            blocks, report = purge_blocks(
-                blocks,
+            kept, report = purge_decision_from_sizes(
+                sizes,
                 gain_factor=config.purging_gain_factor,
                 max_cardinality=config.purging_max_cardinality,
             )
+        else:
+            kept, report = set(sizes), None
+        blocks = assemble_packed_blocks(
+            side1, side2, interner1, interner2, keep=kept
+        )
         ctx.put("token_blocks", blocks, producer=self.name)
         ctx.put("purging_report", report, producer=self.name)
 

@@ -1,0 +1,52 @@
+"""Columnar snapshot store: packed artifacts as the canonical disk form.
+
+A bootstrapped MinoanER pipeline — interner URI columns, blocking
+placements as id-column CSR, both packed similarity indices as flat
+``int64``/``float64`` columns, top-neighbor sets, purging decisions and
+the decision artifacts — serializes to a directory of raw array files
+plus one digest-pinned JSON manifest (schema ``repro-snapshot/1``).
+
+Entry points:
+
+- :meth:`MatchSession.save(path) <repro.pipeline.session.MatchSession.save>` /
+  :meth:`MatchSession.load(path) <repro.pipeline.session.MatchSession.load>`
+  — persist and cache-seed a session;
+- :meth:`IncrementalMatcher.save <repro.incremental.IncrementalMatcher.save>` /
+  :meth:`IncrementalMatcher.from_snapshot
+  <repro.incremental.IncrementalMatcher.from_snapshot>` — warm-restart
+  delta matching without re-bootstrapping;
+- CLI ``repro-er match --save-session DIR`` / ``--load-session DIR``.
+
+See ``docs/PERSISTENCE.md`` for the layout, the manifest schema and the
+determinism contract.
+"""
+
+from .snapshot import (
+    MANIFEST_NAME,
+    SNAPSHOT_SCHEMA,
+    Snapshot,
+    SnapshotError,
+    SnapshotWriter,
+)
+from .session_state import (
+    RestoredState,
+    load_session,
+    load_state,
+    validate_snapshotable_graph,
+    verify_snapshot,
+    write_session_snapshot,
+)
+
+__all__ = [
+    "MANIFEST_NAME",
+    "RestoredState",
+    "SNAPSHOT_SCHEMA",
+    "Snapshot",
+    "SnapshotError",
+    "SnapshotWriter",
+    "load_session",
+    "load_state",
+    "validate_snapshotable_graph",
+    "verify_snapshot",
+    "write_session_snapshot",
+]

@@ -1,0 +1,469 @@
+"""Pack/unpack of a bootstrapped pipeline to snapshot columns.
+
+One snapshot (schema ``repro-snapshot/1``) holds everything a warm
+restart needs, in the packed representation the live system already
+uses:
+
+- both **KBs** — entity URIs in insertion order (H2/H3 scan order is
+  part of the contract), deduplicated predicate/value string tables and
+  flat per-entity pair columns;
+- full **blocking placements** per side (entity -> key ids as CSR over
+  one sorted key column) — *full* meaning purged and one-sided keys
+  included, which is what delta maintenance needs — plus the surviving
+  (kept) key ids and the purging report;
+- both **similarity indices** as interner URI columns plus flat
+  ``int64`` packed-key / ``float64`` similarity columns, written in
+  ascending key order (the packed map's iteration order is never
+  load-bearing; the ranked CSR rows are rebuilt deterministically on
+  load);
+- **top-neighbor sets** per side as CSR over the KB URI columns, the
+  discovered name attributes and top relations;
+- the **decision artifacts** (matches, pre-H4 matches, H4 discards) and
+  the save-time ``context_digests`` as manifest JSON — JSON floats
+  round-trip exactly, and the digests make a warm start *provably*
+  bit-identical to the cold run that wrote them.
+
+Loading reconstructs every artifact through the same constructors the
+batch pipeline uses (``from_packed_sums``, ``DeltaBlockIndex.assemble``),
+so a restored session's artifacts digest-equal the saved ones.
+"""
+
+from __future__ import annotations
+
+from array import array
+from dataclasses import asdict, dataclass, replace
+from pathlib import Path
+from typing import TYPE_CHECKING, Any
+
+from ..blocking.purging import PurgingReport
+from ..core.candidates import CandidateIndex
+from ..core.config import MinoanERConfig
+from ..core.heuristics import Match
+from ..core.neighbors import NeighborSimilarityIndex
+from ..core.similarity import ValueSimilarityIndex
+from ..ids import EntityInterner
+from ..incremental.blocks import DeltaBlockIndex
+from ..kb.entity import EntityDescription, Literal, UriRef
+from ..kb.knowledge_base import KnowledgeBase
+from ..pipeline.digest import DIGESTED_ARTIFACTS, artifact_digest
+from .snapshot import Snapshot, SnapshotError, SnapshotWriter
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from ..pipeline.session import MatchSession
+
+#: Stage names a snapshot can describe (the default composition).
+SNAPSHOTTABLE_STAGES = frozenset(
+    {
+        "name_blocking",
+        "token_blocking",
+        "value_index",
+        "neighbor_index",
+        "candidates",
+        "matching",
+    }
+)
+
+#: Placement rows of one KB side: ``(uri, key set)`` in KB order.
+KeyRows = list[tuple[str, frozenset]]
+
+
+# ----------------------------------------------------------------------
+# KBs
+# ----------------------------------------------------------------------
+def _pack_kb(writer: SnapshotWriter, tag: str, kb: KnowledgeBase) -> None:
+    writer.add_json(f"{tag}_name", kb.name)
+    writer.add_strings(f"{tag}_uris", kb.uris())
+    predicates = sorted({attribute for entity in kb for attribute, _ in entity})
+    values = sorted({str(value) for entity in kb for _, value in entity})
+    predicate_ids = {name: i for i, name in enumerate(predicates)}
+    value_ids = {text: i for i, text in enumerate(values)}
+    starts = array("q", (0,))
+    pair_predicates = array("i")
+    pair_kinds = array("i")
+    pair_values = array("i")
+    for entity in kb:
+        for attribute, value in entity:
+            pair_predicates.append(predicate_ids[attribute])
+            pair_kinds.append(0 if isinstance(value, Literal) else 1)
+            pair_values.append(value_ids[str(value)])
+        starts.append(len(pair_predicates))
+    writer.add_strings(f"{tag}_predicates", predicates)
+    writer.add_strings(f"{tag}_values", values)
+    writer.add_array(f"{tag}_starts", starts)
+    writer.add_array(f"{tag}_pair_predicates", pair_predicates)
+    writer.add_array(f"{tag}_pair_kinds", pair_kinds)
+    writer.add_array(f"{tag}_pair_values", pair_values)
+
+
+def _unpack_kb(snapshot: Snapshot, tag: str) -> KnowledgeBase:
+    uris = snapshot.strings(f"{tag}_uris")
+    predicates = snapshot.strings(f"{tag}_predicates")
+    values = snapshot.strings(f"{tag}_values")
+    starts = snapshot.array(f"{tag}_starts")
+    pair_predicates = snapshot.array(f"{tag}_pair_predicates")
+    pair_kinds = snapshot.array(f"{tag}_pair_kinds")
+    pair_values = snapshot.array(f"{tag}_pair_values")
+    if len(starts) != len(uris) + 1:
+        raise SnapshotError(f"{tag}: entity offsets do not match the URI column")
+    kb = KnowledgeBase(snapshot.json(f"{tag}_name"))
+    for row, uri in enumerate(uris):
+        pairs = []
+        for j in range(starts[row], starts[row + 1]):
+            text = values[pair_values[j]]
+            value = Literal(text) if pair_kinds[j] == 0 else UriRef(text)
+            pairs.append((predicates[pair_predicates[j]], value))
+        kb.add(EntityDescription(uri, pairs))
+    return kb
+
+
+# ----------------------------------------------------------------------
+# Similarity indices
+# ----------------------------------------------------------------------
+def _pack_index(writer: SnapshotWriter, tag: str, index) -> None:
+    interner1, interner2 = index.interners()
+    writer.add_strings(f"{tag}_uris1", interner1.uris())
+    writer.add_strings(f"{tag}_uris2", interner2.uris())
+    packed = index.packed_items()
+    keys = array("q", sorted(packed))
+    writer.add_array(f"{tag}_keys", keys)
+    writer.add_array(f"{tag}_sims", array("d", (packed[key] for key in keys)))
+
+
+def _unpack_index(snapshot: Snapshot, tag: str, index_cls):
+    interner1 = EntityInterner.from_uri_list(snapshot.strings(f"{tag}_uris1"))
+    interner2 = EntityInterner.from_uri_list(snapshot.strings(f"{tag}_uris2"))
+    packed = dict(
+        zip(snapshot.array(f"{tag}_keys"), snapshot.array(f"{tag}_sims"))
+    )
+    return index_cls.from_packed_sums(packed, interner1, interner2)
+
+
+# ----------------------------------------------------------------------
+# Blocking placements
+# ----------------------------------------------------------------------
+def _pack_placements(
+    writer: SnapshotWriter, tag: str, rows_pair: tuple[KeyRows, KeyRows]
+) -> dict[str, int]:
+    keys = sorted(
+        {key for rows in rows_pair for _, key_set in rows for key in key_set}
+    )
+    writer.add_strings(f"{tag}_keys", keys)
+    key_ids = {key: i for i, key in enumerate(keys)}
+    for side, rows in ((1, rows_pair[0]), (2, rows_pair[1])):
+        starts = array("q", (0,))
+        ids = array("i")
+        for _, key_set in rows:
+            ids.extend(key_ids[key] for key in sorted(key_set))
+            starts.append(len(ids))
+        writer.add_array(f"{tag}_side{side}_starts", starts)
+        writer.add_array(f"{tag}_side{side}_key_ids", ids)
+    return key_ids
+
+
+def _unpack_placements(
+    snapshot: Snapshot, tag: str, uris_pair: tuple[list[str], list[str]]
+) -> tuple[list[str], tuple[KeyRows, KeyRows]]:
+    keys = snapshot.strings(f"{tag}_keys")
+    sides: list[KeyRows] = []
+    for side, uris in ((1, uris_pair[0]), (2, uris_pair[1])):
+        starts = snapshot.array(f"{tag}_side{side}_starts")
+        ids = snapshot.array(f"{tag}_side{side}_key_ids")
+        if len(starts) != len(uris) + 1:
+            raise SnapshotError(
+                f"{tag} side {side}: offsets do not match the KB URI column"
+            )
+        sides.append(
+            [
+                (
+                    uri,
+                    frozenset(keys[i] for i in ids[starts[row] : starts[row + 1]]),
+                )
+                for row, uri in enumerate(uris)
+            ]
+        )
+    return keys, (sides[0], sides[1])
+
+
+# ----------------------------------------------------------------------
+# Top-neighbor sets
+# ----------------------------------------------------------------------
+def _pack_top_neighbors(
+    writer: SnapshotWriter,
+    tag: str,
+    top_neighbors: dict[str, set[str]],
+    uris: list[str],
+) -> None:
+    ids_by_uri = {uri: i for i, uri in enumerate(uris)}
+    parents = array("i", sorted(ids_by_uri[uri] for uri in top_neighbors))
+    starts = array("q", (0,))
+    targets = array("i")
+    for parent in parents:
+        targets.extend(
+            sorted(ids_by_uri[t] for t in top_neighbors[uris[parent]])
+        )
+        starts.append(len(targets))
+    writer.add_array(f"{tag}_parents", parents)
+    writer.add_array(f"{tag}_starts", starts)
+    writer.add_array(f"{tag}_targets", targets)
+
+
+def _unpack_top_neighbors(
+    snapshot: Snapshot, tag: str, uris: list[str]
+) -> dict[str, set[str]]:
+    parents = snapshot.array(f"{tag}_parents")
+    starts = snapshot.array(f"{tag}_starts")
+    targets = snapshot.array(f"{tag}_targets")
+    return {
+        uris[parent]: {
+            uris[t] for t in targets[starts[row] : starts[row + 1]]
+        }
+        for row, parent in enumerate(parents)
+    }
+
+
+# ----------------------------------------------------------------------
+# Matches / report (manifest JSON; JSON doubles round-trip exactly)
+# ----------------------------------------------------------------------
+def _matches_json(matches: list[Match]) -> list[list]:
+    return [[m.uri1, m.uri2, m.heuristic, m.score] for m in matches]
+
+
+def _matches_from_json(rows: list[list]) -> list[Match]:
+    return [Match(uri1, uri2, heuristic, score) for uri1, uri2, heuristic, score in rows]
+
+
+# ----------------------------------------------------------------------
+# Writing one bootstrapped state
+# ----------------------------------------------------------------------
+def validate_snapshotable_graph(graph) -> bool:
+    """Check the composition can be described by ``repro-snapshot/1``.
+
+    Returns whether name blocking is part of the graph; raises
+    :class:`SnapshotError` for custom stages or an explicit heuristic
+    sequence (their artifacts have no schema slots).
+    """
+    names = set(graph.names())
+    unsupported = sorted(names - SNAPSHOTTABLE_STAGES)
+    missing = sorted(SNAPSHOTTABLE_STAGES - {"name_blocking"} - names)
+    if unsupported or missing:
+        raise SnapshotError(
+            "only the default stage composition is snapshotable "
+            f"(unsupported: {unsupported}, missing: {missing})"
+        )
+    if graph.stage("matching").heuristics is not None:
+        raise SnapshotError(
+            "explicit heuristic sequences are not snapshotable; compose "
+            "via the config's enable_h* flags instead"
+        )
+    return "name_blocking" in names
+
+
+def write_session_snapshot(
+    path: str | Path,
+    *,
+    kb1: KnowledgeBase,
+    kb2: KnowledgeBase,
+    config: MinoanERConfig,
+    graph_names: list[str],
+    artifacts: dict[str, Any],
+    token_rows: tuple[KeyRows, KeyRows],
+    name_rows: tuple[KeyRows, KeyRows] | None,
+    top_neighbors: tuple[dict[str, set[str]], dict[str, set[str]]],
+    digests: dict[str, str],
+) -> Path:
+    """Serialize one bootstrapped pipeline state (see module docstring)."""
+    writer = SnapshotWriter(path)
+    _pack_kb(writer, "kb1", kb1)
+    _pack_kb(writer, "kb2", kb2)
+
+    token_key_ids = _pack_placements(writer, "tokens", token_rows)
+    kept = artifacts["token_blocks"].keys()
+    writer.add_array(
+        "tokens_kept", array("i", sorted(token_key_ids[key] for key in kept))
+    )
+    if name_rows is not None:
+        _pack_placements(writer, "names", name_rows)
+
+    _pack_index(writer, "value", artifacts["value_index"])
+    _pack_index(writer, "neighbor", artifacts["neighbor_index"])
+    _pack_top_neighbors(writer, "topnbr_side1", top_neighbors[0], kb1.uris())
+    _pack_top_neighbors(writer, "topnbr_side2", top_neighbors[1], kb2.uris())
+
+    writer.add_json("config", asdict(config))
+    writer.add_json("graph_stages", list(graph_names))
+    writer.add_json("has_names", name_rows is not None)
+    report = artifacts.get("purging_report")
+    writer.add_json("purging_report", None if report is None else asdict(report))
+    for key in (
+        "name_attributes1",
+        "name_attributes2",
+        "top_relations1",
+        "top_relations2",
+    ):
+        if key in artifacts:
+            writer.add_json(key, list(artifacts[key]))
+    for key in ("matches", "pre_h4_matches", "discarded_by_h4"):
+        writer.add_json(key, _matches_json(artifacts[key]))
+    writer.add_json("digests", dict(digests))
+    return writer.commit()
+
+
+# ----------------------------------------------------------------------
+# Loading
+# ----------------------------------------------------------------------
+@dataclass
+class RestoredState:
+    """Everything a warm restart rebuilds from one snapshot."""
+
+    session: "MatchSession"
+    #: Full stage artifacts, keyed like the pipeline context.
+    artifacts: dict[str, Any]
+    #: Delta-maintainable blocking placements (full, pre-purge).
+    tokens: DeltaBlockIndex
+    names: DeltaBlockIndex | None
+    #: Token keys that survived purging (the kept set).
+    kept_keys: set[str]
+    #: Per-side top-neighbor sets.
+    top_neighbors: tuple[dict[str, set[str]], dict[str, set[str]]]
+    #: The save-time ``context_digests`` (the bit-identity witness).
+    digests: dict[str, str]
+    has_names: bool
+
+
+def load_state(
+    path: str | Path,
+    *,
+    engine: str | None = None,
+    workers: int | None = None,
+) -> RestoredState:
+    """Load a snapshot into a cache-seeded session plus delta state.
+
+    ``engine``/``workers`` independently override the stored
+    execution-engine fields (they are excluded from artifact identity
+    by the executor bit-identity contract); everything else restores as
+    saved.  Overriding to the serial engine without naming a worker
+    count drops any stored worker count (serial rejects one).
+    """
+    from ..pipeline.builder import PipelineBuilder
+
+    snapshot = Snapshot.load(path)
+    config = MinoanERConfig(**snapshot.json("config"))
+    if engine is not None or workers is not None:
+        new_engine = engine if engine is not None else config.engine
+        if workers is not None:
+            new_workers = workers
+        elif new_engine == "serial":
+            new_workers = None  # a stored worker count cannot apply
+        else:
+            new_workers = config.workers
+        config = replace(config, engine=new_engine, workers=new_workers)
+    kb1 = _unpack_kb(snapshot, "kb1")
+    kb2 = _unpack_kb(snapshot, "kb2")
+
+    stored_stages = snapshot.json("graph_stages")
+    has_names = bool(snapshot.json("has_names"))
+    builder = PipelineBuilder(config)
+    if not has_names:
+        builder.with_blocking("token")
+    graph = builder.build_graph()
+    if list(graph.names()) != list(stored_stages):
+        raise SnapshotError(
+            f"snapshot graph {stored_stages} does not match the "
+            f"reconstructed composition {list(graph.names())}"
+        )
+
+    uris_pair = (kb1.uris(), kb2.uris())
+    _, token_rows = _unpack_placements(snapshot, "tokens", uris_pair)
+    tokens = DeltaBlockIndex("BT")
+    tokens.load_side(1, token_rows[0])
+    tokens.load_side(2, token_rows[1])
+    token_keys = snapshot.strings("tokens_keys")
+    kept_keys = {token_keys[i] for i in snapshot.array("tokens_kept")}
+
+    names = None
+    if has_names:
+        _, name_rows = _unpack_placements(snapshot, "names", uris_pair)
+        names = DeltaBlockIndex("BN")
+        names.load_side(1, name_rows[0])
+        names.load_side(2, name_rows[1])
+
+    value_index = _unpack_index(snapshot, "value", ValueSimilarityIndex)
+    neighbor_index = _unpack_index(snapshot, "neighbor", NeighborSimilarityIndex)
+    top_nbrs = (
+        _unpack_top_neighbors(snapshot, "topnbr_side1", uris_pair[0]),
+        _unpack_top_neighbors(snapshot, "topnbr_side2", uris_pair[1]),
+    )
+
+    report_json = snapshot.json("purging_report")
+    artifacts: dict[str, Any] = {
+        "token_blocks": tokens.assemble(keep=kept_keys),
+        "purging_report": (
+            None if report_json is None else PurgingReport(**report_json)
+        ),
+        "value_index": value_index,
+        "neighbor_index": neighbor_index,
+        "top_relations1": snapshot.json("top_relations1"),
+        "top_relations2": snapshot.json("top_relations2"),
+        "candidate_index": CandidateIndex(
+            value_index,
+            neighbor_index,
+            k=config.top_k_candidates,
+            restrict_neighbors_to_cooccurring=config.restrict_h3_to_cooccurring,
+        ),
+    }
+    if has_names:
+        artifacts["name_blocks"] = names.assemble()
+        artifacts["name_attributes1"] = snapshot.json("name_attributes1")
+        artifacts["name_attributes2"] = snapshot.json("name_attributes2")
+    for key in ("matches", "pre_h4_matches", "discarded_by_h4"):
+        artifacts[key] = _matches_from_json(snapshot.json(key))
+
+    from ..pipeline.session import MatchSession
+
+    session = MatchSession(kb1, kb2, config, graph=graph)
+    session.seed_cache(artifacts)
+    return RestoredState(
+        session=session,
+        artifacts=artifacts,
+        tokens=tokens,
+        names=names,
+        kept_keys=kept_keys,
+        top_neighbors=top_nbrs,
+        digests=dict(snapshot.json("digests")),
+        has_names=has_names,
+    )
+
+
+def load_session(
+    path: str | Path,
+    *,
+    engine: str | None = None,
+    workers: int | None = None,
+) -> "MatchSession":
+    """Restore a :class:`~repro.pipeline.session.MatchSession` whose
+    stage cache is pre-seeded with the saved artifacts — ``match()``
+    under the saved configuration replays without recomputing a stage."""
+    return load_state(path, engine=engine, workers=workers).session
+
+
+def verify_snapshot(path: str | Path) -> dict[str, str]:
+    """Recompute every restored artifact's digest against the manifest.
+
+    Returns the recomputed digests; raises :class:`SnapshotError` on the
+    first divergence.  This is the strong (decode-level) check on top of
+    the per-column SHA-256 verification every load performs.
+    """
+    state = load_state(path)
+    recomputed = {
+        key: artifact_digest(state.artifacts[key])
+        for key in DIGESTED_ARTIFACTS
+        if key in state.artifacts
+    }
+    for key, digest in recomputed.items():
+        expected = state.digests.get(key)
+        if expected != digest:
+            raise SnapshotError(
+                f"artifact {key!r} does not digest-match the manifest "
+                f"(expected {str(expected)[:12]}..., got {digest[:12]}...)"
+            )
+    return recomputed

@@ -1,0 +1,194 @@
+"""Versioned snapshot directories: columns + a digest-pinned manifest.
+
+A snapshot is a directory of raw column files (see
+:mod:`repro.store.columns`) plus one ``manifest.json`` carrying the
+schema tag (``repro-snapshot/1``), the writing platform's byte order,
+small JSON-native values (configuration, match lists, digests), and —
+per column — the file name, logical kind, element count and SHA-256.
+
+Loading re-verifies every column's digest as it is read, so a snapshot
+either round-trips bit-identically or fails with a
+:class:`SnapshotError` naming the first corrupt column.  Snapshots
+contain no timestamps or machine identifiers: writing the same state
+twice produces byte-identical directories.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from array import array
+from pathlib import Path
+from typing import Any, Iterable
+
+from .columns import (
+    ColumnError,
+    bytes_sha256,
+    decode_array_column,
+    decode_string_column,
+    write_array_column,
+    write_string_column,
+)
+
+#: The one schema this build writes and accepts.
+SNAPSHOT_SCHEMA = "repro-snapshot/1"
+
+MANIFEST_NAME = "manifest.json"
+
+
+class SnapshotError(RuntimeError):
+    """A snapshot directory cannot be written or faithfully loaded."""
+
+
+class SnapshotWriter:
+    """Accumulates columns and JSON values, then commits a manifest.
+
+    Nothing is valid until :meth:`commit` writes the manifest; a crash
+    mid-write leaves a directory without one, which :class:`Snapshot`
+    refuses to load.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.path.mkdir(parents=True, exist_ok=True)
+        self._columns: dict[str, dict] = {}
+        self._json: dict[str, Any] = {}
+
+    def _register(self, name: str, entry: dict) -> None:
+        if name in self._columns:
+            raise SnapshotError(f"duplicate column name {name!r}")
+        self._columns[name] = entry
+
+    def add_array(self, name: str, values: array) -> None:
+        """Add one ``array('i'|'q'|'d')`` column."""
+        try:
+            entry = write_array_column(self.path / f"{name}.bin", values)
+        except ColumnError as error:
+            raise SnapshotError(f"column {name!r}: {error}") from error
+        self._register(name, entry)
+
+    def add_strings(self, name: str, items: Iterable[str]) -> None:
+        """Add one string column (newline-joined UTF-8)."""
+        try:
+            entry = write_string_column(self.path / f"{name}.txt", items)
+        except ColumnError as error:
+            raise SnapshotError(f"column {name!r}: {error}") from error
+        self._register(name, entry)
+
+    def add_json(self, name: str, value: Any) -> None:
+        """Embed one JSON-native value directly in the manifest."""
+        if name in self._json:
+            raise SnapshotError(f"duplicate manifest value {name!r}")
+        self._json[name] = value
+
+    def commit(self) -> Path:
+        """Write the manifest; the snapshot becomes loadable."""
+        manifest = {
+            "schema": SNAPSHOT_SCHEMA,
+            "byteorder": sys.byteorder,
+            "columns": {
+                name: self._columns[name] for name in sorted(self._columns)
+            },
+            "json": {name: self._json[name] for name in sorted(self._json)},
+        }
+        target = self.path / MANIFEST_NAME
+        target.write_text(
+            json.dumps(manifest, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        return self.path
+
+
+class Snapshot:
+    """A loaded manifest with digest-verified column access."""
+
+    def __init__(self, path: Path, manifest: dict) -> None:
+        self.path = path
+        self.manifest = manifest
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Snapshot":
+        """Open a snapshot directory (schema-checked; columns verify on
+        read)."""
+        root = Path(path)
+        manifest_path = root / MANIFEST_NAME
+        if not manifest_path.is_file():
+            raise SnapshotError(f"no {MANIFEST_NAME} in {root} (not a snapshot)")
+        try:
+            manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as error:
+            raise SnapshotError(f"unreadable manifest in {root}: {error}")
+        schema = manifest.get("schema")
+        if schema != SNAPSHOT_SCHEMA:
+            raise SnapshotError(
+                f"snapshot schema {schema!r} is not supported; this build "
+                f"reads {SNAPSHOT_SCHEMA!r}"
+            )
+        if manifest.get("byteorder") not in ("little", "big"):
+            raise SnapshotError("manifest does not declare a byte order")
+        return cls(root, manifest)
+
+    # ------------------------------------------------------------------
+    # Verified reads
+    # ------------------------------------------------------------------
+    def _entry(self, name: str, kinds: tuple[str, ...]) -> tuple[Path, dict]:
+        entry = self.manifest["columns"].get(name)
+        if entry is None:
+            raise SnapshotError(f"snapshot has no column {name!r}")
+        if entry.get("kind") not in kinds:
+            raise SnapshotError(
+                f"column {name!r} is {entry.get('kind')!r}, expected "
+                f"one of {kinds}"
+            )
+        path = self.path / entry["file"]
+        if not path.is_file():
+            raise SnapshotError(f"column file {entry['file']!r} is missing")
+        return path, entry
+
+    def _verified_bytes(self, name: str, path: Path, entry: dict) -> bytes:
+        """The column file's bytes, read once and digest-checked."""
+        raw = path.read_bytes()
+        actual = bytes_sha256(raw)
+        if actual != entry["sha256"]:
+            raise SnapshotError(
+                f"column {name!r} failed digest verification "
+                f"({entry['file']}: expected {entry['sha256'][:12]}..., "
+                f"found {actual[:12]}...)"
+            )
+        return raw
+
+    def array(self, name: str) -> array:
+        """One array column, digest-verified."""
+        path, entry = self._entry(name, ("i32", "i64", "f64"))
+        raw = self._verified_bytes(name, path, entry)
+        try:
+            return decode_array_column(
+                raw, entry, self.manifest["byteorder"], name
+            )
+        except ColumnError as error:
+            raise SnapshotError(f"column {name!r}: {error}") from error
+
+    def strings(self, name: str) -> list[str]:
+        """One string column, digest-verified."""
+        path, entry = self._entry(name, ("str",))
+        raw = self._verified_bytes(name, path, entry)
+        try:
+            return decode_string_column(raw, entry, name)
+        except ColumnError as error:
+            raise SnapshotError(f"column {name!r}: {error}") from error
+
+    def json(self, name: str) -> Any:
+        """One manifest-embedded JSON value."""
+        values = self.manifest.get("json", {})
+        if name not in values:
+            raise SnapshotError(f"snapshot manifest has no value {name!r}")
+        return values[name]
+
+    def has_column(self, name: str) -> bool:
+        return name in self.manifest["columns"]
+
+    def __repr__(self) -> str:
+        return (
+            f"Snapshot({str(self.path)!r}, "
+            f"{len(self.manifest['columns'])} columns)"
+        )

@@ -15,7 +15,15 @@ from functools import lru_cache
 from typing import Iterable, Mapping
 
 
-@lru_cache(maxsize=None)
+#: Bound on the per-shape weight memo.  One batch run observes far fewer
+#: distinct ``(ef1, ef2)`` shapes than this; the bound exists for the
+#: warm-started long-running service, where an unbounded memo would grow
+#: with every delta's new shapes for the life of the process.  Eviction
+#: never moves a float: a recomputed weight is byte-identical.
+WEIGHT_CACHE_SHAPES = 1 << 16
+
+
+@lru_cache(maxsize=WEIGHT_CACHE_SHAPES)
 def arcs_token_weight(ef1: int, ef2: int) -> float:
     """Contribution of one shared token under the paper's valueSim.
 
@@ -23,11 +31,11 @@ def arcs_token_weight(ef1: int, ef2: int) -> float:
     ``1 / log2(2) = 1.0`` — which is exactly why H2's threshold-free rule
     "match if vmax >= 1" fires for pairs sharing even one such token.
 
-    Memoized per ``(ef1, ef2)``: block collections repeat the same side
-    sizes thousands of times, and the cached float is byte-identical to
-    a recomputation, so the cache never moves a result.  The number of
-    distinct observed shapes is bounded by the square of the largest
-    block side — small change, unbounded cache is safe.
+    Memoized per ``(ef1, ef2)`` shape, bounded by
+    :data:`WEIGHT_CACHE_SHAPES` (LRU): block collections repeat the same
+    side sizes thousands of times, and the cached float is byte-identical
+    to a recomputation, so neither a hit, a miss nor an eviction can
+    move a result.
     """
     if ef1 < 1 or ef2 < 1:
         raise ValueError("entity frequencies must be >= 1 for observed tokens")

@@ -253,3 +253,121 @@ class TestApplyDelta:
         )
         assert code == 2
         assert "bad delta spec" in capsys.readouterr().err
+
+
+class TestSessionSnapshots:
+    def test_save_then_load_replays_identically(self, bundle, tmp_path, capsys):
+        snapshot = tmp_path / "session"
+        cold_links = tmp_path / "cold.nt"
+        code = main(
+            [
+                "match",
+                str(bundle / "kb1.nt"),
+                str(bundle / "kb2.nt"),
+                "--save-session",
+                str(snapshot),
+                "--output",
+                str(cold_links),
+            ]
+        )
+        assert code == 0
+        assert "saved session snapshot" in capsys.readouterr().out
+        assert (snapshot / "manifest.json").exists()
+
+        warm_links = tmp_path / "warm.nt"
+        code = main(
+            ["match", "--load-session", str(snapshot), "--output", str(warm_links)]
+        )
+        assert code == 0
+        assert "warm start from" in capsys.readouterr().out
+        assert warm_links.read_text("utf-8") == cold_links.read_text("utf-8")
+
+    def test_load_session_composes_with_apply_delta(
+        self, bundle, tmp_path, capsys
+    ):
+        from repro.kb.io_ntriples import read_ntriples
+
+        snapshot = tmp_path / "session"
+        assert (
+            main(
+                [
+                    "match",
+                    str(bundle / "kb1.nt"),
+                    str(bundle / "kb2.nt"),
+                    "--save-session",
+                    str(snapshot),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        victim = read_ntriples(bundle / "kb1.nt").uris()[0]
+        removals = tmp_path / "gone.txt"
+        removals.write_text(victim + "\n", encoding="utf-8")
+        resaved = tmp_path / "session2"
+        code = main(
+            [
+                "match",
+                "--load-session",
+                str(snapshot),
+                "--apply-delta",
+                f"remove:kb1:{removals}",
+                "--save-session",
+                str(resaved),
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "warm start from" in output
+        assert "delta: remove 1 entities on kb1" in output
+        assert "incremental match:" in output
+        assert (resaved / "manifest.json").exists()
+
+    def test_load_session_rejects_kb_arguments(self, bundle, tmp_path, capsys):
+        snapshot = tmp_path / "session"
+        assert (
+            main(
+                [
+                    "match",
+                    str(bundle / "kb1.nt"),
+                    str(bundle / "kb2.nt"),
+                    "--save-session",
+                    str(snapshot),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        code = main(
+            [
+                "match",
+                str(bundle / "kb1.nt"),
+                str(bundle / "kb2.nt"),
+                "--load-session",
+                str(snapshot),
+            ]
+        )
+        assert code == 2
+        assert "replaces the KB file arguments" in capsys.readouterr().err
+
+    def test_load_missing_session_errors_cleanly(self, tmp_path, capsys):
+        code = main(["match", "--load-session", str(tmp_path / "nope")])
+        assert code == 2
+        assert "cannot load session" in capsys.readouterr().err
+
+    def test_save_session_with_disabled_stage_rejected(
+        self, bundle, tmp_path, capsys
+    ):
+        code = main(
+            [
+                "match",
+                str(bundle / "kb1.nt"),
+                str(bundle / "kb2.nt"),
+                "--disable-stage",
+                "h3",
+                "--save-session",
+                str(tmp_path / "session"),
+            ]
+        )
+        assert code == 2
+        assert "cannot save session" in capsys.readouterr().err

@@ -332,7 +332,19 @@ class TestIncrementalMatcherSurface:
                 ctx.put("odd", 1, producer=self.name)
 
         builder = MinoanER.builder().with_stage(Odd())
-        with pytest.raises(ValueError, match="unsupported"):
+        with pytest.raises(ValueError) as excinfo:
+            IncrementalMatcher(builder.session(kb1, kb2))
+        message = str(excinfo.value)
+        # The error must name the offending stage(s) and point the user
+        # at both the escape hatch to come and the workaround of today.
+        assert "'odd'" in message
+        assert "delta hook" in message
+        assert "MatchSession.match()" in message
+
+    def test_missing_stage_rejected_by_name(self):
+        kb1, kb2 = make_pair()
+        builder = MinoanER.builder().without_stage("matching")
+        with pytest.raises(ValueError, match="'matching'"):
             IncrementalMatcher(builder.session(kb1, kb2))
 
     def test_kb_selector_forms(self):

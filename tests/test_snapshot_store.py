@@ -1,0 +1,332 @@
+"""Snapshot store: round-trip bit-identity, rejection of bad snapshots.
+
+The acceptance contract of the columnar snapshot store: a
+saved-then-loaded session produces **bit-identical** artifact digests
+(``context_digests``) to the cold run that produced it — across all
+three executors and both the NumPy and stdlib kernel paths — and
+``--load-session`` + deltas matches the batch result on the final KB
+state.  Corrupt, tampered or version-mismatched snapshots must fail
+loudly at load, never warp artifacts silently.
+"""
+
+import json
+from array import array
+from pathlib import Path
+
+import pytest
+
+from repro.core import MinoanER, MinoanERConfig
+from repro.engine import create_executor
+from repro.ids import EntityInterner
+from repro.incremental import IncrementalMatcher
+from repro.kb.io_ntriples import read_ntriples
+from repro.pipeline import MatchSession, context_digests, default_graph
+from repro.pipeline.context import PipelineContext
+from repro.pipeline.digest import DIGESTED_ARTIFACTS, artifact_digest
+from repro.store import (
+    MANIFEST_NAME,
+    Snapshot,
+    SnapshotError,
+    load_state,
+    verify_snapshot,
+)
+from repro.store.columns import (
+    decode_array_column,
+    decode_string_column,
+    write_array_column,
+    write_string_column,
+)
+
+GOLDEN = Path(__file__).parent / "golden"
+
+EXECUTORS = [("serial", None), ("thread", 3), ("process", 2)]
+
+
+def golden_kbs():
+    return (
+        read_ntriples(GOLDEN / "kb1.nt", name="golden1"),
+        read_ntriples(GOLDEN / "kb2.nt", name="golden2"),
+    )
+
+
+def numpy_modes():
+    from repro.ids.arrays import numpy_enabled
+
+    modes = [pytest.param(True, id="stdlib")]
+    if numpy_enabled():
+        modes.append(pytest.param(False, id="numpy"))
+    return modes
+
+
+@pytest.fixture(params=numpy_modes())
+def toggled_numpy(request, monkeypatch):
+    if request.param:
+        monkeypatch.setenv("REPRO_DISABLE_NUMPY", "1")
+    return request.param
+
+
+def restored_digests(path) -> dict[str, str]:
+    state = load_state(path)
+    return {
+        key: artifact_digest(state.artifacts[key])
+        for key in DIGESTED_ARTIFACTS
+        if key in state.artifacts
+    }
+
+
+# ----------------------------------------------------------------------
+# Round-trip bit-identity (the acceptance criterion)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("engine_name,workers", EXECUTORS)
+def test_roundtrip_digests_equal_cold_run(
+    tmp_path, engine_name, workers, toggled_numpy
+):
+    kb1, kb2 = golden_kbs()
+    config = MinoanERConfig(engine=engine_name, workers=workers)
+    session = MatchSession(kb1, kb2, config)
+    cold = context_digests(session.run_context())
+    session.save(tmp_path / "snap")
+
+    assert restored_digests(tmp_path / "snap") == cold
+    # The manifest's own digest record equals the cold run's too.
+    manifest_digests = Snapshot.load(tmp_path / "snap").json("digests")
+    assert manifest_digests == cold
+
+
+def test_loaded_session_replays_without_recomputing(tmp_path):
+    kb1, kb2 = golden_kbs()
+    session = MatchSession(kb1, kb2)
+    cold = session.match()
+    session.save(tmp_path / "snap")
+
+    loaded = MatchSession.load(tmp_path / "snap")
+    replay = loaded.match()
+    assert loaded.stage_runs == {}  # every stage served from the snapshot
+    assert [(m.uri1, m.uri2, m.heuristic, m.score) for m in replay.matches] == [
+        (m.uri1, m.uri2, m.heuristic, m.score) for m in cold.matches
+    ]
+    # Downstream-only recomputation still works on the seeded cache.
+    ablated = loaded.match(theta=0.4)
+    assert loaded.stage_runs.keys() <= {"candidates", "matching"}
+    assert ablated.token_blocks is not None
+
+
+def test_verify_snapshot_passes_on_intact_directory(tmp_path):
+    kb1, kb2 = golden_kbs()
+    MatchSession(kb1, kb2).save(tmp_path / "snap")
+    recomputed = verify_snapshot(tmp_path / "snap")
+    assert set(recomputed) == set(
+        Snapshot.load(tmp_path / "snap").json("digests")
+    )
+
+
+def test_snapshot_bytes_are_deterministic(tmp_path):
+    kb1, kb2 = golden_kbs()
+    MatchSession(kb1, kb2).save(tmp_path / "one")
+    kb1b, kb2b = golden_kbs()
+    MatchSession(kb1b, kb2b).save(tmp_path / "two")
+    files_one = sorted(p.name for p in (tmp_path / "one").iterdir())
+    files_two = sorted(p.name for p in (tmp_path / "two").iterdir())
+    assert files_one == files_two
+    for name in files_one:
+        assert (tmp_path / "one" / name).read_bytes() == (
+            tmp_path / "two" / name
+        ).read_bytes(), name
+
+
+# ----------------------------------------------------------------------
+# Warm restart + deltas == cold batch on the final KB state
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("engine_name,workers", EXECUTORS)
+def test_warm_restart_delta_matches_batch(tmp_path, engine_name, workers):
+    kb1, kb2 = golden_kbs()
+    config = MinoanERConfig(engine=engine_name, workers=workers)
+    MatchSession(kb1, kb2, config).save(tmp_path / "snap")
+
+    matcher = IncrementalMatcher.from_snapshot(
+        tmp_path / "snap", engine=engine_name, workers=workers
+    )
+    removed = matcher.kbs[0].uris()[:2]
+    spare = [matcher.kbs[1][matcher.kbs[1].uris()[0]]]
+    matcher.remove_entities(1, removed)
+    matcher.remove_entities(2, [spare[0].uri])
+    matcher.add_entities(2, spare)  # re-add: appended at the end
+    matcher.match()
+    warm = context_digests(matcher.last_context)
+    # Nothing was recomputed at restore time (the whole point).
+    assert matcher.stage_recomputes.get("token_blocking", 0) == 0
+    assert matcher.stage_recomputes.get("value_index", 0) <= 1
+
+    cold1, cold2 = golden_kbs()
+    for uri in removed:
+        cold1.remove(uri)
+    readded = cold2.remove(spare[0].uri)
+    cold2.add(readded)
+    ctx = PipelineContext(cold1, cold2, config)
+    with create_executor(engine_name, workers) as executor:
+        default_graph().execute(ctx, executor)
+    assert warm == context_digests(ctx)
+
+
+def test_matcher_save_after_deltas_roundtrips(tmp_path):
+    kb1, kb2 = golden_kbs()
+    matcher = IncrementalMatcher(MinoanER().session(kb1, kb2))
+    matcher.match()
+    matcher.remove_entities(1, matcher.kbs[0].uris()[:1])
+    matcher.save(tmp_path / "snap")  # refreshes the pending delta first
+    expected = context_digests(matcher.last_context)
+
+    again = IncrementalMatcher.from_snapshot(tmp_path / "snap")
+    again.match()
+    assert context_digests(again.last_context) == expected
+
+
+# ----------------------------------------------------------------------
+# Rejection: corruption, tampering, version mismatch
+# ----------------------------------------------------------------------
+@pytest.fixture()
+def saved_snapshot(tmp_path):
+    kb1, kb2 = golden_kbs()
+    MatchSession(kb1, kb2).save(tmp_path / "snap")
+    return tmp_path / "snap"
+
+
+def test_corrupt_array_column_rejected(saved_snapshot):
+    target = saved_snapshot / "value_sims.bin"
+    raw = bytearray(target.read_bytes())
+    raw[0] ^= 0xFF
+    target.write_bytes(bytes(raw))
+    with pytest.raises(SnapshotError, match="digest"):
+        load_state(saved_snapshot)
+
+
+def test_corrupt_string_column_rejected(saved_snapshot):
+    target = saved_snapshot / "kb1_uris.txt"
+    target.write_text(target.read_text(encoding="utf-8") + "x", "utf-8")
+    with pytest.raises(SnapshotError, match="digest"):
+        load_state(saved_snapshot)
+
+
+def test_schema_version_mismatch_rejected(saved_snapshot):
+    manifest_path = saved_snapshot / MANIFEST_NAME
+    manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+    manifest["schema"] = "repro-snapshot/999"
+    manifest_path.write_text(json.dumps(manifest), encoding="utf-8")
+    with pytest.raises(SnapshotError, match="schema"):
+        load_state(saved_snapshot)
+
+
+def test_missing_manifest_rejected(tmp_path):
+    (tmp_path / "empty").mkdir()
+    with pytest.raises(SnapshotError, match="not a snapshot"):
+        load_state(tmp_path / "empty")
+
+
+def test_missing_column_file_rejected(saved_snapshot):
+    (saved_snapshot / "neighbor_keys.bin").unlink()
+    with pytest.raises(SnapshotError, match="missing"):
+        load_state(saved_snapshot)
+
+
+def test_tampered_manifest_count_rejected(saved_snapshot):
+    manifest_path = saved_snapshot / MANIFEST_NAME
+    manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+    manifest["columns"]["value_keys"]["count"] += 1
+    manifest_path.write_text(json.dumps(manifest), encoding="utf-8")
+    with pytest.raises(SnapshotError):
+        load_state(saved_snapshot)
+
+
+def test_custom_heuristic_sequence_not_snapshotable(tmp_path):
+    kb1, kb2 = golden_kbs()
+    session = MinoanER.builder().with_heuristics("h1", "h2").session(kb1, kb2)
+    with pytest.raises(SnapshotError, match="heuristic"):
+        session.save(tmp_path / "snap")
+
+
+def test_custom_stage_not_snapshotable(tmp_path):
+    from repro.pipeline import Stage
+
+    class Odd(Stage):
+        name = "odd"
+        provides = ("odd",)
+
+        def run(self, ctx, engine):
+            ctx.put("odd", 1, producer=self.name)
+
+    kb1, kb2 = golden_kbs()
+    session = MinoanER.builder().with_stage(Odd()).session(kb1, kb2)
+    with pytest.raises(SnapshotError, match="odd"):
+        session.save(tmp_path / "snap")
+
+
+# ----------------------------------------------------------------------
+# Column codec details
+# ----------------------------------------------------------------------
+def test_array_column_cross_endian_read(tmp_path):
+    values = array("q", [1, -2, 3 << 40])
+    entry = write_array_column(tmp_path / "col.bin", values)
+    raw = (tmp_path / "col.bin").read_bytes()
+    import sys
+
+    other = "big" if sys.byteorder == "little" else "little"
+    swapped = decode_array_column(raw, entry, other, "col")
+    swapped.byteswap()
+    assert swapped == values
+    assert decode_array_column(raw, entry, sys.byteorder, "col") == values
+
+
+def test_string_column_escapes_control_characters(tmp_path):
+    rows = ["plain", "with\nnewline", "with\rreturn", "back\\slash", ""]
+    entry = write_string_column(tmp_path / "col.txt", rows)
+    raw = (tmp_path / "col.txt").read_bytes()
+    assert decode_string_column(raw, entry, "col") == rows
+
+
+def test_kb_literals_with_control_characters_roundtrip(tmp_path):
+    from repro.kb import KnowledgeBase
+    from repro.kb.entity import EntityDescription
+
+    kb1, kb2 = golden_kbs()
+    tricky = EntityDescription("urn:tricky")
+    tricky.add_literal("urn:note", "line one\nline\rtwo \\ done")
+    kb1.add(tricky)
+    session = MatchSession(kb1, kb2)
+    cold = context_digests(session.run_context())
+    session.save(tmp_path / "snap")
+    assert restored_digests(tmp_path / "snap") == cold
+    state = load_state(tmp_path / "snap")
+    assert (
+        state.session.kb1["urn:tricky"].literals_of("urn:note")
+        == ["line one\nline\rtwo \\ done"]
+    )
+
+
+def test_engine_and_workers_override_independently(tmp_path):
+    kb1, kb2 = golden_kbs()
+    config = MinoanERConfig(engine="process", workers=3)
+    MatchSession(kb1, kb2, config).save(tmp_path / "snap")
+
+    workers_only = MatchSession.load(tmp_path / "snap", workers=5)
+    assert workers_only.config.engine == "process"
+    assert workers_only.config.workers == 5
+    engine_only = MatchSession.load(tmp_path / "snap", engine="thread")
+    assert engine_only.config.engine == "thread"
+    assert engine_only.config.workers == 3  # stored count survives
+    to_serial = MatchSession.load(tmp_path / "snap", engine="serial")
+    assert to_serial.config.workers is None  # serial rejects a count
+    untouched = MatchSession.load(tmp_path / "snap")
+    assert (untouched.config.engine, untouched.config.workers) == ("process", 3)
+
+
+def test_interner_from_uri_list_preserves_ids():
+    grown = EntityInterner(["b", "d"])
+    grown.intern("a")  # appended out of order
+    restored = EntityInterner.from_uri_list(grown.uris())
+    assert restored.uris() == grown.uris()
+    assert not restored.is_sorted
+    assert restored.id_of("a") == grown.id_of("a")
+    sorted_again = EntityInterner.from_uri_list(["a", "b"])
+    assert sorted_again.is_sorted
+    with pytest.raises(ValueError, match="duplicates"):
+        EntityInterner.from_uri_list(["a", "a"])
