@@ -63,6 +63,7 @@ from repro.engine.similarity import (  # noqa: E402
     merge_pair_sums,
     value_pair_key,
 )
+from repro.obs import Telemetry, activate  # noqa: E402
 
 DEFAULT_OUT = Path(__file__).parent / "results" / "BENCH_similarity.json"
 DEFAULT_BLOCKING_OUT = Path(__file__).parent / "results" / "BENCH_blocking.json"
@@ -142,6 +143,16 @@ def _timed(fn, *args):
     return result, time.perf_counter() - started
 
 
+def _run_metrics(telemetry, names: dict[str, str]) -> dict:
+    """Selected merged counters of an instrumented section.
+
+    Counters are deterministic (unlike wall times), so embedding them
+    makes two BENCH payloads comparable on work done, not just seconds.
+    """
+    counters = telemetry.metrics.counters()
+    return {short: counters.get(full, 0) for short, full in names.items()}
+
+
 def run_report(profile: str, scale: float) -> dict:
     data = generate_benchmark(profile, scale=scale)
     matcher = MinoanER()
@@ -176,7 +187,9 @@ def run_report(profile: str, scale: float) -> dict:
             "packed neighbor index diverged from the baseline"
         )
 
-    result, end_to_end_s = _timed(matcher.match, data.kb1, data.kb2)
+    telemetry = Telemetry.create()
+    with activate(telemetry):
+        result, end_to_end_s = _timed(matcher.match, data.kb1, data.kb2)
 
     try:
         import numpy
@@ -215,6 +228,16 @@ def run_report(profile: str, scale: float) -> dict:
             ),
         },
         "peak_rss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+        "metrics": _run_metrics(
+            telemetry,
+            {
+                "value_pairs_scored": "similarity.value_pairs_scored",
+                "neighbor_pairs_scored": "similarity.neighbor_pairs_scored",
+                "pairs_matched": "matching.pairs_matched",
+                "bytes_shipped": "engine.bytes_shipped",
+                "engine_dispatches": "engine.dispatches",
+            },
+        ),
     }
 
 
@@ -252,15 +275,19 @@ def run_blocking_report(profile: str, scale: float) -> dict:
             "packed token blocking diverged from the string engine"
         )
 
-    cold_session = MatchSession(data.kb1, data.kb2)
-    _, cold_bootstrap_s = _timed(cold_session.match)
-    snapshot_dir = Path(tempfile.mkdtemp(prefix="repro-bench-")) / "session"
-    try:
-        _, save_s = _timed(cold_session.save, snapshot_dir)
-        loaded, load_s = _timed(MatchSession.load, snapshot_dir)
-        _, warm_match_s = _timed(loaded.match)
-    finally:
-        shutil.rmtree(snapshot_dir.parent, ignore_errors=True)
+    telemetry = Telemetry.create()
+    with activate(telemetry):
+        cold_session = MatchSession(data.kb1, data.kb2)
+        _, cold_bootstrap_s = _timed(cold_session.match)
+        snapshot_dir = (
+            Path(tempfile.mkdtemp(prefix="repro-bench-")) / "session"
+        )
+        try:
+            _, save_s = _timed(cold_session.save, snapshot_dir)
+            loaded, load_s = _timed(MatchSession.load, snapshot_dir)
+            _, warm_match_s = _timed(loaded.match)
+        finally:
+            shutil.rmtree(snapshot_dir.parent, ignore_errors=True)
     warm_total_s = load_s + warm_match_s
 
     def _ratio(baseline: float, current: float) -> float | None:
@@ -285,6 +312,15 @@ def run_blocking_report(profile: str, scale: float) -> dict:
             "warm_match_s": round(warm_match_s, 4),
             "speedup_vs_cold": _ratio(cold_bootstrap_s, warm_total_s),
         },
+        "metrics": _run_metrics(
+            telemetry,
+            {
+                "session_cache_hits": "session.cache_hits",
+                "session_cache_misses": "session.cache_misses",
+                "snapshot_bytes_written": "snapshot.bytes_written",
+                "snapshot_bytes_read": "snapshot.bytes_read",
+            },
+        ),
     }
 
 

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import argparse
 import csv
+import logging
 import sys
 from pathlib import Path
 
@@ -42,12 +43,70 @@ from .kb.tokenizer import Tokenizer
 
 SAME_AS = "http://www.w3.org/2002/07/owl#sameAs"
 
+log = logging.getLogger("repro.cli")
+
+
+class _StdoutLogHandler(logging.StreamHandler):
+    """A stream handler that resolves ``sys.stdout`` at emit time.
+
+    Progress lines share stdout with the report output, and resolving
+    the stream lazily keeps the logger correct when stdout is replaced
+    after configuration (tty redirection, test capture).
+    """
+
+    def __init__(self) -> None:
+        super().__init__(stream=sys.stdout)
+
+    @property
+    def stream(self):
+        return sys.stdout
+
+    @stream.setter
+    def stream(self, value) -> None:  # StreamHandler.__init__ assigns it
+        pass
+
+
+def configure_logging(verbose: bool = False, quiet: bool = False) -> None:
+    """Configure the ``repro`` logger for CLI use (idempotent).
+
+    Progress messages go to stdout at INFO; ``--verbose`` lowers the
+    threshold to DEBUG and ``--quiet`` raises it to WARNING.  Report
+    output (match pairs, evaluation scores) is printed directly and is
+    not affected.
+    """
+    logger = logging.getLogger("repro")
+    if not any(
+        isinstance(handler, _StdoutLogHandler)
+        for handler in logger.handlers
+    ):
+        handler = _StdoutLogHandler()
+        handler.setFormatter(logging.Formatter("%(message)s"))
+        logger.addHandler(handler)
+    logger.propagate = False
+    if quiet:
+        logger.setLevel(logging.WARNING)
+    elif verbose:
+        logger.setLevel(logging.DEBUG)
+    else:
+        logger.setLevel(logging.INFO)
+
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-er",
         description="Schema-agnostic, non-iterative entity resolution "
         "(MinoanER reproduction)",
+    )
+    verbosity = parser.add_mutually_exclusive_group()
+    verbosity.add_argument(
+        "--verbose",
+        action="store_true",
+        help="show debug-level progress messages",
+    )
+    verbosity.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress progress messages (report output still prints)",
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -124,6 +183,20 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="worker count for parallel engines (default: one per CPU)",
+    )
+    match.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="record a hierarchical span trace of the run and write it "
+        "as Chrome trace-event JSON (load it in Perfetto or "
+        "chrome://tracing)",
+    )
+    match.add_argument(
+        "--metrics",
+        action="store_true",
+        help="collect pipeline counters (blocks built, pairs scored, "
+        "bytes shipped, ...) and print a summary table after the run",
     )
 
     evaluate = commands.add_parser(
@@ -239,9 +312,11 @@ def _run_deltas(matcher, parsed: list[tuple[str, str, str]], engine: str):
     Returns the final :class:`~repro.core.pipeline.MatchResult`.
     """
     initial = matcher.match()
-    print(
-        f"initial match: {len(initial.matches)} pairs in "
-        f"{initial.seconds:.2f}s [{engine}]"
+    log.info(
+        "initial match: %d pairs in %.2fs [%s]",
+        len(initial.matches),
+        initial.seconds,
+        engine,
     )
     baseline = dict(matcher.stage_recomputes)
     for op, kb_id, path in parsed:
@@ -258,18 +333,20 @@ def _run_deltas(matcher, parsed: list[tuple[str, str, str]], engine: str):
             # duplicate URIs, unparsable triples) is a usage error; bugs
             # elsewhere in the run keep their tracebacks.
             raise _UsageError(f"error: delta {op}:{kb_id}:{path}: {error}")
-        print(f"delta: {op} {count} entities on {kb_id} ({path})")
+        log.info("delta: %s %d entities on %s (%s)", op, count, kb_id, path)
     final = matcher.match()
     recomputed = {
         stage: count - baseline.get(stage, 0)
         for stage, count in matcher.stage_recomputes.items()
         if count > baseline.get(stage, 0)
     }
-    print(
-        f"incremental match: {len(final.matches)} pairs in "
-        f"{final.seconds:.2f}s "
-        f"(stages recomputed by deltas: {recomputed}, "
-        f"delta-updated: {matcher.counters()['delta_updated']})"
+    log.info(
+        "incremental match: %d pairs in %.2fs "
+        "(stages recomputed by deltas: %s, delta-updated: %s)",
+        len(final.matches),
+        final.seconds,
+        recomputed,
+        matcher.counters()["delta_updated"],
     )
     return final
 
@@ -293,14 +370,14 @@ def _matched_result(args: argparse.Namespace, builder):
                 matcher = IncrementalMatcher.from_snapshot(
                     args.load_session, engine=args.engine, workers=args.workers
                 )
-                print(f"warm start from {args.load_session}")
+                log.info("warm start from %s", args.load_session)
                 result = _run_deltas(matcher, parsed, args.engine)
                 saver = matcher.save
             else:
                 session = MatchSession.load(
                     args.load_session, engine=args.engine, workers=args.workers
                 )
-                print(f"warm start from {args.load_session}")
+                log.info("warm start from %s", args.load_session)
                 result = session.match()
                 saver = session.save
         except SnapshotError as error:
@@ -328,7 +405,7 @@ def _matched_result(args: argparse.Namespace, builder):
             target = saver(args.save_session)
         except SnapshotError as error:
             raise _UsageError(f"error: cannot save session: {error}")
-        print(f"saved session snapshot to {target}")
+        log.info("saved session snapshot to %s", target)
     return result
 
 
@@ -359,8 +436,14 @@ def cmd_match(args: argparse.Namespace) -> int:
     if args.list_stages:
         _print_stage_list(builder)
         return 0
+    from .obs import Telemetry, activate
+
+    telemetry = (
+        Telemetry.create() if (args.trace or args.metrics) else None
+    )
     try:
-        result = _matched_result(args, builder)
+        with activate(telemetry):
+            result = _matched_result(args, builder)
     except _UsageError as error:
         print(error, file=sys.stderr)
         return 2
@@ -373,10 +456,18 @@ def cmd_match(args: argparse.Namespace) -> int:
         with open(args.output, "w", encoding="utf-8") as handle:
             for uri1, uri2 in sorted(result.pairs()):
                 handle.write(f"<{uri1}> <{SAME_AS}> <{uri2}> .\n")
-        print(f"wrote {args.output}")
+        log.info("wrote %s", args.output)
     else:
         for uri1, uri2 in sorted(result.pairs()):
             print(f"{uri1}\t{uri2}")
+    if telemetry is not None:
+        from .obs import summary_table, write_chrome_trace
+
+        if args.trace:
+            target = write_chrome_trace(args.trace, telemetry)
+            log.info("wrote trace to %s", target)
+        if args.metrics:
+            print(summary_table(telemetry))
     return 0
 
 
@@ -429,6 +520,7 @@ COMMANDS = {
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    configure_logging(verbose=args.verbose, quiet=args.quiet)
     return COMMANDS[args.command](args)
 
 

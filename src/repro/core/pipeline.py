@@ -26,7 +26,6 @@ layout and merge order are independent of the executor.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 from ..blocking.base import BlockCollection
@@ -53,6 +52,11 @@ class MatchResult:
     plus any registered custom stages) to its wall-clock;
     :meth:`seconds_by_group` folds that into the coarse
     blocking/indexing/heuristics view.
+
+    Since the observability layer (:mod:`repro.obs`), every entry of
+    ``stage_seconds`` is derived from that stage's span: with tracing
+    enabled, an exported trace's per-stage span totals reconcile with
+    this field exactly (same measurement, one timing path).
     """
 
     matches: list[Match]
@@ -222,12 +226,23 @@ class MinoanER:
     # End-to-end matching
     # ------------------------------------------------------------------
     def match(self, kb1: KnowledgeBase, kb2: KnowledgeBase) -> MatchResult:
-        """Run the full non-iterative matching process on two KBs."""
-        started = time.perf_counter()
-        ctx = PipelineContext(kb1, kb2, self.config)
-        with self.build_engine() as engine:
-            self.graph.execute(ctx, engine)
-        return MatchResult.from_context(ctx, time.perf_counter() - started)
+        """Run the full non-iterative matching process on two KBs.
+
+        The run executes inside a ``run``-category span of the ambient
+        telemetry (see :mod:`repro.obs`); ``MatchResult.seconds`` is
+        that span's wall time.
+        """
+        from ..obs.runtime import current as current_telemetry
+
+        with current_telemetry().tracer.span(
+            "run",
+            category="run",
+            args={"engine": self.config.engine, "kind": "batch"},
+        ) as span:
+            ctx = PipelineContext(kb1, kb2, self.config)
+            with self.build_engine() as engine:
+                self.graph.execute(ctx, engine)
+        return MatchResult.from_context(ctx, span.seconds)
 
 
 def match_kbs(

@@ -20,14 +20,30 @@ executor.  Combined with a partition layout that depends only on the data
 (see :mod:`repro.engine.partitioner`), every stage computes bit-identical
 results — including floating-point accumulations — no matter which
 executor ran it or with how many workers.
+
+Telemetry: when a :class:`~repro.obs.runtime.Telemetry` bundle is active
+(see :mod:`repro.obs`), every dispatch opens an ``engine``-category span
+and counts ``engine.*`` metrics — partitions dispatched, bytes shipped
+to and returned from workers (pickled size, measured identically for
+every executor so the numbers are comparable).  Each partition runs
+under fresh worker-local telemetry whose span records and metric
+snapshot ship back with the result; the driver merges the snapshots in
+partition order and re-parents the worker spans under the dispatch span,
+so the merged telemetry of a run is exact and executor-independent.
+Subclasses implement :meth:`_map`; the base class owns the
+instrumentation, and disabled mode short-circuits straight to ``_map``.
 """
 
 from __future__ import annotations
 
 import os
+import pickle
 from abc import ABC, abstractmethod
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from functools import partial
 from typing import Any, Callable, Sequence, TypeVar
+
+from ..obs.runtime import Telemetry, current, run_traced_partition
 
 P = TypeVar("P")
 R = TypeVar("R")
@@ -38,6 +54,27 @@ EXECUTOR_NAMES = ("serial", "thread", "process")
 def auto_workers() -> int:
     """Worker count matching the machine (at least 1)."""
     return max(1, os.cpu_count() or 1)
+
+
+def _pickled_size(value: Any) -> int:
+    """The pickle byte size of ``value`` (0 when unpicklable).
+
+    Used for the ``engine.bytes_shipped``/``engine.bytes_returned``
+    counters: the same measure for every executor, whether or not the
+    bytes actually cross a process boundary, so the numbers compare.
+    """
+    try:
+        return len(pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL))
+    except Exception:
+        return 0
+
+
+def _fn_label(fn: Callable) -> str:
+    """A short human label for a partition function (partials unwrapped)."""
+    target = fn
+    while isinstance(target, partial):
+        target = target.func
+    return getattr(target, "__name__", type(target).__name__)
 
 
 class Executor(ABC):
@@ -51,10 +88,55 @@ class Executor(ABC):
         self.workers = workers if workers is not None else auto_workers()
 
     @abstractmethod
+    def _map(self, fn: Callable[[P], R], partitions: Sequence[P]) -> list[R]:
+        """Apply ``fn`` to every partition, results in partition order."""
+
     def map_partitions(
         self, fn: Callable[[P], R], partitions: Sequence[P]
     ) -> list[R]:
-        """Apply ``fn`` to every partition; results come in partition order."""
+        """Apply ``fn`` to every partition; results come in partition order.
+
+        With ambient telemetry active, the dispatch is traced and every
+        partition's worker-local telemetry is merged back exactly (see
+        the module docstring); otherwise this is ``_map`` directly.
+        """
+        telemetry = current()
+        if not telemetry.enabled:
+            return self._map(fn, partitions)
+        return self._map_instrumented(fn, partitions, telemetry)
+
+    def _map_instrumented(
+        self,
+        fn: Callable[[P], R],
+        partitions: Sequence[P],
+        telemetry: Telemetry,
+    ) -> list[R]:
+        label = _fn_label(fn)
+        metrics = telemetry.metrics
+        tracer = telemetry.tracer
+        with tracer.span(
+            f"dispatch:{label}",
+            category="engine",
+            args={"executor": self.name, "partitions": len(partitions)},
+        ) as span:
+            metrics.counter("engine.dispatches").inc()
+            metrics.counter("engine.partition_tasks").inc(len(partitions))
+            shipped = sum(
+                _pickled_size(partition) for partition in partitions
+            )
+            metrics.counter("engine.bytes_shipped").inc(shipped)
+            wrapped = partial(run_traced_partition, fn=fn, label=label)
+            outputs = self._map(wrapped, partitions)
+            results: list[R] = []
+            returned = 0
+            for result, snapshot, records in outputs:
+                metrics.merge(snapshot)
+                tracer.absorb(records, parent_id=span.span_id)
+                returned += _pickled_size(result)
+                results.append(result)
+            metrics.counter("engine.bytes_returned").inc(returned)
+            span.set(bytes_shipped=shipped, bytes_returned=returned)
+        return results
 
     def reduce(
         self,
@@ -99,9 +181,7 @@ class SerialExecutor(Executor):
     def __init__(self, workers: int | None = None) -> None:
         super().__init__(1)
 
-    def map_partitions(
-        self, fn: Callable[[P], R], partitions: Sequence[P]
-    ) -> list[R]:
+    def _map(self, fn: Callable[[P], R], partitions: Sequence[P]) -> list[R]:
         return [fn(partition) for partition in partitions]
 
 
@@ -115,9 +195,7 @@ class _PooledExecutor(Executor):
         super().__init__(workers)
         self._pool = None
 
-    def map_partitions(
-        self, fn: Callable[[P], R], partitions: Sequence[P]
-    ) -> list[R]:
+    def _map(self, fn: Callable[[P], R], partitions: Sequence[P]) -> list[R]:
         if len(partitions) <= 1 or self.workers == 1:
             return [fn(partition) for partition in partitions]
         if self._pool is None:

@@ -45,6 +45,7 @@ from ..core.heuristics import (
     h3_rank_aggregation_matches,
 )
 from ..core.similarity import ValueSimilarityIndex
+from ..obs.runtime import current as _telemetry_current
 from .executor import Executor, SerialExecutor
 from .partitioner import chunk_evenly, partition_count
 
@@ -115,6 +116,9 @@ def _preload_candidate_lists(
     uris: Sequence[str], candidate_index: CandidateIndex, engine: Executor
 ) -> None:
     """Warm the candidate cache for ``uris`` via the packed row protocol."""
+    _telemetry_current().metrics.counter(
+        "matching.candidate_lists_built"
+    ).inc(len(uris))
     value_index = candidate_index.value_index
     neighbor_index = candidate_index.neighbor_index
     value_decode = value_index.interners()[1].uris()

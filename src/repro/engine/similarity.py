@@ -43,6 +43,7 @@ from ..ids.arrays import (
     ragged_cross_products,
     sequential_unique_sums,
 )
+from ..obs.runtime import current as _telemetry_current
 from .executor import Executor, SerialExecutor
 from .partitioner import (
     PackedPairHasher,
@@ -352,6 +353,9 @@ def build_value_index(
     else:
         partials = engine.map_partitions(_value_partial_packed, encoded)
         merged = engine.reduce(merge_packed_columns, partials, {})
+    _telemetry_current().metrics.counter(
+        "similarity.value_pairs_scored"
+    ).inc(len(merged))
     return ValueSimilarityIndex.from_packed_sums(merged, interner1, interner2)
 
 
@@ -530,6 +534,9 @@ def build_neighbor_index(
         )
         partials = engine.map_partitions(worker, shards)
         merged = _merge_partial_columns(partials)
+        _telemetry_current().metrics.counter(
+            "similarity.neighbor_pairs_scored"
+        ).inc(len(merged))
         return NeighborSimilarityIndex.from_packed_sums(
             merged, parents1, parents2
         )
@@ -559,8 +566,8 @@ def build_neighbor_index(
         packed_pair_hasher(value1, value2),
     )
     partials = engine.map_partitions(worker, shards)
-    return NeighborSimilarityIndex.from_packed_sums(
-        engine.reduce(merge_packed_columns, partials, {}),
-        parents1,
-        parents2,
-    )
+    merged = engine.reduce(merge_packed_columns, partials, {})
+    _telemetry_current().metrics.counter(
+        "similarity.neighbor_pairs_scored"
+    ).inc(len(merged))
+    return NeighborSimilarityIndex.from_packed_sums(merged, parents1, parents2)

@@ -35,7 +35,6 @@ through the same partitioned execution engine as the batch stages.
 
 from __future__ import annotations
 
-import time
 from functools import partial
 from typing import TYPE_CHECKING, Iterable
 
@@ -56,6 +55,7 @@ from ..engine.similarity import (
 from ..ids import PAIR_ID_BITS
 from ..kb.graph import inverse
 from ..kb.tokenizer import Tokenizer
+from ..obs.runtime import Telemetry, activate, current as current_telemetry
 from ..pipeline.context import PipelineContext
 from ..pipeline.delta import DeltaContext
 from .blocks import DeltaBlockIndex
@@ -106,9 +106,15 @@ def _merge_rows(rows: list, partial_rows: list) -> list:
 class IncrementalMatcher:
     """Delta-updatable matching over a completed :class:`MatchSession`."""
 
-    def __init__(self, session: "MatchSession") -> None:
+    def __init__(
+        self,
+        session: "MatchSession",
+        telemetry: "Telemetry | None" = None,
+    ) -> None:
         self._init_state(session)
-        self._bootstrap()
+        self.telemetry = telemetry
+        with activate(self.telemetry):
+            self._bootstrap()
 
     def _init_state(self, session: "MatchSession") -> None:
         """Validate the session's graph and set up every maintained field
@@ -167,6 +173,9 @@ class IncrementalMatcher:
         self._purged_keys: set[str] = set()
         self._pending = False
         self._stage_seconds: dict[str, tuple[float, bool]] = {}
+        #: Optional pinned telemetry (see :class:`MatchSession`): when
+        #: set, every bootstrap/refresh/match runs under it.
+        self.telemetry: "Telemetry | None" = None
         #: (interners + sizes, hasher) cache — rebuilding the packed
         #: pair hasher costs O(value-index URIs), far too much per delta.
         self._hasher_cache: tuple | None = None
@@ -181,6 +190,7 @@ class IncrementalMatcher:
         *,
         engine: str | None = None,
         workers: int | None = None,
+        telemetry: "Telemetry | None" = None,
     ) -> "IncrementalMatcher":
         """A matcher warm-restarted from a ``repro-snapshot/1`` directory.
 
@@ -197,6 +207,7 @@ class IncrementalMatcher:
         state = load_state(path, engine=engine, workers=workers)
         matcher = cls.__new__(cls)
         matcher._init_state(state.session)
+        matcher.telemetry = telemetry
         matcher._restore(state)
         return matcher
 
@@ -297,10 +308,18 @@ class IncrementalMatcher:
 
     def _count(self, counters: dict[str, int], stage: str) -> None:
         counters[stage] = counters.get(stage, 0) + 1
+        kind = (
+            "stage_recomputes"
+            if counters is self.stage_recomputes
+            else "delta_updates"
+        )
+        current_telemetry().metrics.counter(f"incremental.{kind}").inc()
 
     def _bootstrap(self) -> None:
         config = self.config
-        with self._engine() as engine:
+        with current_telemetry().tracer.span(
+            "bootstrap", category="run", args={"kind": "incremental"}
+        ), self._engine() as engine:
             token_worker = partial(_token_key_rows, tokenizer=self._tokenizer)
             for side in (1, 2):
                 kb = self.kbs[side - 1]
@@ -544,10 +563,11 @@ class IncrementalMatcher:
             max_cardinality=config.purging_max_cardinality,
         )
 
-    def _timed(self, stage: str, started: float, ran: bool) -> None:
+    def _timed(self, stage: str, seconds: float, ran: bool) -> None:
+        """Accumulate one refresh section's span-derived wall seconds."""
         previous = self._stage_seconds.get(stage, (0.0, False))
         self._stage_seconds[stage] = (
-            previous[0] + (time.perf_counter() - started),
+            previous[0] + seconds,
             previous[1] or ran,
         )
 
@@ -565,9 +585,10 @@ class IncrementalMatcher:
         if engine is None:
             with self._engine() as owned:
                 return self.refresh(owned)
-        self._refresh_names(engine)
-        value_changes = self._refresh_values(engine)
-        self._refresh_neighbors(engine, value_changes)
+        with activate(self.telemetry):
+            self._refresh_names(engine)
+            value_changes = self._refresh_values(engine)
+            self._refresh_neighbors(engine, value_changes)
         self._pending = False
         self._tn_dirty = [set(), set()]
         return True
@@ -575,48 +596,70 @@ class IncrementalMatcher:
     def _refresh_names(self, engine) -> None:
         if not self._has_names:
             return
-        started = time.perf_counter()
         rebuilt = False
-        for side in (1, 2):
-            kb = self.kbs[side - 1]
-            attrs = top_name_attributes(kb, self.config.name_attributes)
-            if attrs == self._name_attrs[side - 1]:
-                continue
-            # The discovered name attributes moved: every name key of
-            # this side is suspect, so re-extract the whole side.
-            self._name_attrs[side - 1] = attrs
-            self._names.load_side(
-                side,
-                self._keys_via_engine(
-                    kb,
-                    partial(
-                        _name_key_rows,
-                        extractor=names_from_attributes(attrs),
+        with current_telemetry().tracer.span(
+            "name_blocking", category="stage", args={"delta": True}
+        ) as span:
+            for side in (1, 2):
+                kb = self.kbs[side - 1]
+                attrs = top_name_attributes(kb, self.config.name_attributes)
+                if attrs == self._name_attrs[side - 1]:
+                    continue
+                # The discovered name attributes moved: every name key of
+                # this side is suspect, so re-extract the whole side.
+                self._name_attrs[side - 1] = attrs
+                self._names.load_side(
+                    side,
+                    self._keys_via_engine(
+                        kb,
+                        partial(
+                            _name_key_rows,
+                            extractor=names_from_attributes(attrs),
+                        ),
+                        engine,
                     ),
-                    engine,
-                ),
-            )
-            rebuilt = True
-        self._names.collect_dirty()
-        self._name_blocks = self._names.assemble()
+                )
+                rebuilt = True
+            self._names.collect_dirty()
+            self._name_blocks = self._names.assemble()
         self._count(
             self.stage_recomputes if rebuilt else self.delta_updates,
             "name_blocking",
         )
-        self._timed("name_blocking", started, rebuilt)
+        self._timed("name_blocking", span.seconds, rebuilt)
 
     def _refresh_values(self, engine) -> dict[Pair, float | None]:
         """Update purging + the value index; returns the effective
         pair-level changes (new value, or None for a deleted pair)."""
-        started = time.perf_counter()
-        previous_purged = self._purged_keys
-        dirty = self._tokens.collect_dirty()
-        self._purged_keys, self._purging_report = self._purge_decision()
-        self._token_blocks = self._tokens.assemble(keep=self._purged_keys)
+        tracer = current_telemetry().tracer
+        with tracer.span(
+            "token_blocking", category="stage", args={"delta": True}
+        ) as span:
+            previous_purged = self._purged_keys
+            dirty = self._tokens.collect_dirty()
+            self._purged_keys, self._purging_report = self._purge_decision()
+            self._token_blocks = self._tokens.assemble(keep=self._purged_keys)
         self._count(self.delta_updates, "token_blocking")
-        self._timed("token_blocking", started, False)
+        self._timed("token_blocking", span.seconds, False)
 
-        started = time.perf_counter()
+        with tracer.span(
+            "value_index", category="stage", args={"delta": True}
+        ) as span:
+            changes, recomputed = self._refresh_value_index(
+                engine, previous_purged, dirty
+            )
+        self._count(
+            self.stage_recomputes if recomputed else self.delta_updates,
+            "value_index",
+        )
+        self._timed("value_index", span.seconds, recomputed)
+        return changes
+
+    def _refresh_value_index(
+        self, engine, previous_purged: set[str], dirty: dict
+    ) -> tuple[dict[Pair, float | None], bool]:
+        """The value-index section of :meth:`_refresh_values`; returns
+        (pair-level changes, whether a full recompute was required)."""
         n_shards = partition_count(len(self._purged_keys))
         if n_shards != self._value_shards:
             # The shard layout moved with the block count: per-pair
@@ -631,9 +674,7 @@ class IncrementalMatcher:
                 for pair in retained.keys() | new_sims.keys()
                 if retained.get(pair) != new_sims.get(pair)
             }
-            self._count(self.stage_recomputes, "value_index")
-            self._timed("value_index", started, True)
-            return changes
+            return changes, True
 
         # Delta path: look affected pairs up in the packed map directly
         # (missing interner id == missing pair == None) — decoding the
@@ -690,14 +731,26 @@ class IncrementalMatcher:
             if current_sim(*pair) != value
         }
         self._value_index.apply_pair_updates(changes)
-        self._count(self.delta_updates, "value_index")
-        self._timed("value_index", started, False)
-        return changes
+        return changes, False
 
     def _refresh_neighbors(
         self, engine, value_changes: dict[Pair, float | None]
     ) -> None:
-        started = time.perf_counter()
+        with current_telemetry().tracer.span(
+            "neighbor_index", category="stage", args={"delta": True}
+        ) as span:
+            recomputed = self._refresh_neighbor_index(engine, value_changes)
+        self._count(
+            self.stage_recomputes if recomputed else self.delta_updates,
+            "neighbor_index",
+        )
+        self._timed("neighbor_index", span.seconds, recomputed)
+
+    def _refresh_neighbor_index(
+        self, engine, value_changes: dict[Pair, float | None]
+    ) -> bool:
+        """The neighbor-index section of :meth:`_refresh_neighbors`;
+        returns whether a full recompute was required."""
         config = self.config
         rebuild = False
         changed_entities: list[set[str]] = [set(), set()]
@@ -746,9 +799,7 @@ class IncrementalMatcher:
                 engine,
             )
             self._neighbor_shards = n_shards
-            self._count(self.stage_recomputes, "neighbor_index")
-            self._timed("neighbor_index", started, True)
-            return
+            return True
 
         affected: set[Pair] = set()
         rev1, rev2 = self._rev
@@ -819,8 +870,7 @@ class IncrementalMatcher:
                 else None
             )
         self._neighbor_index.apply_pair_updates(updates)
-        self._count(self.delta_updates, "neighbor_index")
-        self._timed("neighbor_index", started, False)
+        return False
 
     def _entity_top_neighbors(self, side: int, uri: str) -> set[str]:
         """The top-neighbor set of one entity under the current rankings.
@@ -862,30 +912,37 @@ class IncrementalMatcher:
         """
         from ..core.pipeline import MatchResult
 
-        started = time.perf_counter()
-        with self._engine() as engine:
-            self.refresh(engine)
-            refresh_sections = self._stage_seconds
-            self._stage_seconds = {}  # consumed: a no-delta match reports nothing
-            ctx = DeltaContext(self._base_ctx)
-            self._publish_artifacts(ctx, producer="delta")
-            for stage, (seconds, ran) in refresh_sections.items():
-                ctx.record_stage(
-                    stage, self.graph.stage(stage).timing_group, seconds, ran=ran
-                )
-            for name in ("candidates", "matching"):
-                stage = self.graph.stage(name)
-                stage_started = time.perf_counter()
-                stage.run(ctx, engine)
-                ctx.record_stage(
-                    name,
-                    stage.timing_group,
-                    time.perf_counter() - stage_started,
-                    ran=True,
-                )
-                self._count(self.stage_recomputes, name)
+        with activate(self.telemetry) as telemetry:
+            tracer = telemetry.tracer
+            with tracer.span(
+                "run", category="run", args={"kind": "incremental"}
+            ) as run_span, self._engine() as engine:
+                self.refresh(engine)
+                refresh_sections = self._stage_seconds
+                self._stage_seconds = {}  # consumed: a no-delta match reports nothing
+                ctx = DeltaContext(self._base_ctx)
+                self._publish_artifacts(ctx, producer="delta")
+                for stage, (seconds, ran) in refresh_sections.items():
+                    ctx.record_stage(
+                        stage, self.graph.stage(stage).timing_group, seconds, ran=ran
+                    )
+                for name in ("candidates", "matching"):
+                    stage = self.graph.stage(name)
+                    with tracer.span(
+                        name,
+                        category="stage",
+                        args={"group": stage.timing_group},
+                    ) as span:
+                        stage.run(ctx, engine)
+                    ctx.record_stage(
+                        name,
+                        stage.timing_group,
+                        span.seconds,
+                        ran=True,
+                    )
+                    self._count(self.stage_recomputes, name)
         self.last_context = ctx
-        return MatchResult.from_context(ctx, time.perf_counter() - started)
+        return MatchResult.from_context(ctx, run_span.seconds)
 
     # ------------------------------------------------------------------
     # Introspection

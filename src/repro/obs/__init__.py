@@ -1,0 +1,78 @@
+"""Structured tracing and metrics for the whole pipeline.
+
+The observability layer (see ``docs/OBSERVABILITY.md``):
+
+- :mod:`repro.obs.trace` — hierarchical spans (run → stage → engine
+  dispatch → partition task) recording wall/CPU time, peak RSS and
+  free-form attributes;
+- :mod:`repro.obs.metrics` — counters/gauges/histograms with exact
+  snapshot/merge semantics across worker processes;
+- :mod:`repro.obs.runtime` — the ambient :class:`Telemetry` bundle:
+  ``with activate(Telemetry.create()):`` turns a run's telemetry on,
+  :func:`current` reads it anywhere, and disabled mode costs one
+  thread-local read plus no-op instrument calls;
+- :mod:`repro.obs.export` — Chrome trace-event JSON
+  (Perfetto-loadable), a human-readable summary table, and Prometheus
+  text exposition;
+- :mod:`repro.obs.validate` — structural validation of emitted traces
+  (also ``python -m repro.obs.validate trace.json``).
+
+Example::
+
+    from repro.obs import Telemetry, activate, write_chrome_trace
+
+    telemetry = Telemetry.create()
+    with activate(telemetry):
+        result = session.match()
+    write_chrome_trace("trace.json", telemetry)
+    print(telemetry.metrics.counters()["similarity.value_pairs_scored"])
+"""
+
+from .export import (
+    TRACE_SCHEMA,
+    chrome_trace,
+    prometheus_text,
+    summary_table,
+    write_chrome_trace,
+)
+from .metrics import (
+    NULL_METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetrics,
+)
+from .runtime import (
+    DISABLED,
+    Telemetry,
+    activate,
+    current,
+    run_traced_partition,
+)
+from .trace import NULL_TRACER, NullTracer, SpanRecord, Tracer
+from .validate import validate_chrome_trace
+
+__all__ = [
+    "TRACE_SCHEMA",
+    "chrome_trace",
+    "prometheus_text",
+    "summary_table",
+    "write_chrome_trace",
+    "NULL_METRICS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullMetrics",
+    "DISABLED",
+    "Telemetry",
+    "activate",
+    "current",
+    "run_traced_partition",
+    "NULL_TRACER",
+    "NullTracer",
+    "SpanRecord",
+    "Tracer",
+    "validate_chrome_trace",
+]

@@ -1,0 +1,192 @@
+"""Exporters: Chrome trace-event JSON, summary table, Prometheus text.
+
+Three renderings of one run's telemetry:
+
+- :func:`chrome_trace` — the Chrome trace-event format (complete
+  ``"ph": "X"`` events), loadable in Perfetto (https://ui.perfetto.dev)
+  or ``chrome://tracing``.  Timestamps are microseconds relative to the
+  earliest span, so traces are small and diff-stable; each event's
+  ``args`` carry the span's CPU milliseconds, peak RSS and recorded
+  attributes, and ``otherData`` embeds the schema tag plus the full
+  metrics rendering.
+- :func:`summary_table` — a terminal-friendly rollup (span totals by
+  name, then every counter/gauge/histogram), what the CLI's
+  ``--metrics`` prints.
+- :func:`prometheus_text` — Prometheus text exposition (version 0.0.4)
+  for the future matching-as-a-service daemon; histograms export as
+  summaries (``_count``/``_sum``).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from .runtime import Telemetry
+
+#: Schema tag of the emitted Chrome trace (``otherData.schema``).
+TRACE_SCHEMA = "repro-trace/1"
+
+
+def chrome_trace(telemetry: "Telemetry") -> dict[str, Any]:
+    """The run's spans + metrics as a Chrome trace-event JSON object."""
+    records = telemetry.tracer.records()
+    epoch_ns = min((r.start_ns for r in records), default=0)
+    events = []
+    for record in records:
+        args = {
+            "span_id": record.span_id,
+            "parent_id": record.parent_id,
+            "cpu_ms": round(record.cpu_ns / 1e6, 3),
+            "peak_rss_kb": record.peak_rss_kb,
+        }
+        args.update(record.args)
+        events.append(
+            {
+                "name": record.name,
+                "cat": record.category,
+                "ph": "X",
+                "ts": (record.start_ns - epoch_ns) / 1e3,
+                "dur": record.duration_ns / 1e3,
+                "pid": record.pid,
+                "tid": record.tid,
+                "args": args,
+            }
+        )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "schema": TRACE_SCHEMA,
+            "metrics": telemetry.metrics.as_dict(),
+        },
+    }
+
+
+def write_chrome_trace(path: str | Path, telemetry: "Telemetry") -> Path:
+    """Write :func:`chrome_trace` to ``path`` (parents created)."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(
+        json.dumps(chrome_trace(telemetry), indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return target
+
+
+def _aligned(rows: list[tuple[str, ...]]) -> list[str]:
+    """Left-align every column but the last (numbers read right-ragged)."""
+    if not rows:
+        return []
+    widths = [
+        max(len(row[i]) for row in rows) for i in range(len(rows[0]) - 1)
+    ]
+    return [
+        "  ".join(
+            [cell.ljust(widths[i]) for i, cell in enumerate(row[:-1])]
+            + [row[-1]]
+        ).rstrip()
+        for row in rows
+    ]
+
+
+def summary_table(telemetry: "Telemetry") -> str:
+    """A human-readable rollup of spans and metrics."""
+    lines: list[str] = []
+    records = telemetry.tracer.records()
+    if records:
+        rollup: dict[tuple[str, str], tuple[int, int, int]] = {}
+        order: list[tuple[str, str]] = []
+        for record in records:
+            key = (record.category, record.name)
+            if key not in rollup:
+                order.append(key)
+                rollup[key] = (0, 0, 0)
+            calls, wall_ns, cpu_ns = rollup[key]
+            rollup[key] = (
+                calls + 1,
+                wall_ns + record.duration_ns,
+                cpu_ns + record.cpu_ns,
+            )
+        rows = [("category", "span", "calls", "wall_s", "cpu_s")]
+        for category, name in order:
+            calls, wall_ns, cpu_ns = rollup[(category, name)]
+            rows.append(
+                (
+                    category,
+                    name,
+                    str(calls),
+                    f"{wall_ns / 1e9:.3f}",
+                    f"{cpu_ns / 1e9:.3f}",
+                )
+            )
+        lines.append("spans:")
+        lines.extend("  " + line for line in _aligned(rows))
+    rendered = telemetry.metrics.as_dict()
+    counters = rendered["counters"]
+    if counters:
+        lines.append("counters:")
+        lines.extend(
+            "  " + line
+            for line in _aligned(
+                [(name, str(value)) for name, value in counters.items()]
+            )
+        )
+    gauges = rendered["gauges"]
+    if gauges:
+        lines.append("gauges:")
+        lines.extend(
+            "  " + line
+            for line in _aligned(
+                [(name, str(value)) for name, value in gauges.items()]
+            )
+        )
+    histograms = rendered["histograms"]
+    if histograms:
+        rows = [("histogram", "count", "total", "min", "max", "mean")]
+        for name, moments in histograms.items():
+            rows.append(
+                (
+                    name,
+                    str(moments["count"]),
+                    f"{moments['total']:g}",
+                    "-" if moments["min"] is None else f"{moments['min']:g}",
+                    "-" if moments["max"] is None else f"{moments['max']:g}",
+                    f"{moments['mean']:g}",
+                )
+            )
+        lines.append("histograms:")
+        lines.extend("  " + line for line in _aligned(rows))
+    return "\n".join(lines) if lines else "(no telemetry recorded)"
+
+
+def _prometheus_name(name: str, prefix: str) -> str:
+    sanitized = "".join(
+        char if char.isalnum() or char == "_" else "_" for char in name
+    )
+    return f"{prefix}_{sanitized}"
+
+
+def prometheus_text(telemetry: "Telemetry", prefix: str = "repro") -> str:
+    """Prometheus text exposition of the metrics (counters, gauges,
+    histograms-as-summaries)."""
+    rendered = telemetry.metrics.as_dict()
+    lines: list[str] = []
+    for name, value in rendered["counters"].items():
+        metric = _prometheus_name(name, prefix)
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {value}")
+    for name, value in rendered["gauges"].items():
+        if value is None:
+            continue
+        metric = _prometheus_name(name, prefix)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {value}")
+    for name, moments in rendered["histograms"].items():
+        metric = _prometheus_name(name, prefix)
+        lines.append(f"# TYPE {metric} summary")
+        lines.append(f"{metric}_count {moments['count']}")
+        lines.append(f"{metric}_sum {moments['total']}")
+    return "\n".join(lines) + ("\n" if lines else "")

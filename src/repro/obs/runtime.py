@@ -1,0 +1,102 @@
+"""Ambient telemetry: one tracer + one metrics registry per run.
+
+A :class:`Telemetry` bundles a tracer and a metrics registry.  Code that
+emits telemetry never receives it as a parameter — it asks for the
+ambient instance with :func:`current`, which returns whatever
+:func:`activate` last installed *on this thread*, or the shared
+:data:`DISABLED` bundle.  That keeps every signature in the pipeline
+unchanged: enabling telemetry is ``with activate(Telemetry.create()):``
+around the run, and disabled-mode overhead is one thread-local read plus
+no-op instrument calls.
+
+The activation stack is thread-local on purpose: pool workers (threads
+or processes) do not inherit the driver's telemetry.  Instead the
+engine wraps partition functions in :func:`run_traced_partition`, which
+gives each worker invocation a fresh enabled bundle and ships the
+picklable results (value, metrics snapshot, span records) back for the
+driver to merge — the mechanism that makes cross-process counters exact.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator
+
+from .metrics import NULL_METRICS, MetricsRegistry, NullMetrics
+from .trace import NULL_TRACER, NullTracer, SpanRecord, Tracer
+
+
+@dataclass
+class Telemetry:
+    """One run's tracer + metrics, enabled or the shared null pair."""
+
+    tracer: Tracer | NullTracer
+    metrics: MetricsRegistry | NullMetrics
+    enabled: bool
+
+    @classmethod
+    def create(cls) -> "Telemetry":
+        """A fresh enabled bundle (one per observed run)."""
+        return cls(tracer=Tracer(), metrics=MetricsRegistry(), enabled=True)
+
+    @classmethod
+    def disabled(cls) -> "Telemetry":
+        """The shared disabled bundle (no state, safe to share)."""
+        return DISABLED
+
+
+#: The shared disabled bundle :func:`current` falls back to.
+DISABLED = Telemetry(tracer=NULL_TRACER, metrics=NULL_METRICS, enabled=False)
+
+_active = threading.local()
+
+
+def current() -> Telemetry:
+    """The telemetry active on this thread (:data:`DISABLED` if none)."""
+    stack = getattr(_active, "stack", None)
+    return stack[-1] if stack else DISABLED
+
+
+@contextmanager
+def activate(telemetry: Telemetry | None) -> Iterator[Telemetry]:
+    """Install ``telemetry`` as this thread's ambient instance.
+
+    ``None`` keeps whatever is already active (so call sites can thread
+    an optional telemetry without branching).
+    """
+    if telemetry is None:
+        yield current()
+        return
+    stack = getattr(_active, "stack", None)
+    if stack is None:
+        stack = _active.stack = []
+    stack.append(telemetry)
+    try:
+        yield telemetry
+    finally:
+        stack.pop()
+
+
+def run_traced_partition(
+    partition: Any, fn: Callable[[Any], Any], label: str
+) -> tuple[Any, dict, list[SpanRecord]]:
+    """Run one partition under fresh worker-local telemetry.
+
+    Module-level (and invoked via :func:`functools.partial`) so process
+    pools can pickle it.  Returns ``(result, metrics snapshot, span
+    records)`` — everything the driver needs to merge the worker's
+    telemetry exactly; the task span's args carry the partition size
+    when the partition has one.
+    """
+    telemetry = Telemetry.create()
+    args: dict[str, Any] = {}
+    try:
+        args["items"] = len(partition)
+    except TypeError:
+        pass
+    with activate(telemetry):
+        with telemetry.tracer.span(f"task:{label}", category="task", args=args):
+            result = fn(partition)
+    return result, telemetry.metrics.snapshot(), telemetry.tracer.records()

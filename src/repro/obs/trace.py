@@ -1,0 +1,285 @@
+"""Hierarchical spans: who ran, under whom, for how long, at what cost.
+
+A :class:`Tracer` records :class:`SpanRecord`\\ s — one per ``with
+tracer.span(...)`` block — with wall time, CPU time, the process's peak
+RSS at span exit, the owning pid/tid, and free-form ``args``.  Nesting
+is tracked per thread: a span opened while another is active becomes its
+child, giving the run → stage → engine dispatch → partition task
+hierarchy the exporters render.
+
+Worker processes (and threads) record into their own tracer; the driver
+re-parents their records under the dispatch span with :meth:`absorb`,
+which renumbers span ids into the driver's id space so the merged trace
+stays a single consistent tree.
+
+Clocks: ``start_ns`` is ``time.time_ns()`` (one wall clock across all
+processes of a run — what Chrome trace timestamps need), durations are
+``perf_counter_ns`` differences (monotonic), CPU is
+``process_time_ns``.  Spans therefore line up on a shared timeline even
+when recorded in different processes on the same machine.
+
+:data:`NULL_TRACER` is the disabled twin.  Its spans still measure wall
+seconds (two ``perf_counter`` calls — the exact cost the pipeline's
+pre-telemetry stage timing paid) because ``stage_seconds`` is derived
+from span timing even when tracing is off; nothing is recorded.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+try:  # pragma: no cover - resource is POSIX-only
+    import resource
+
+    def _peak_rss_kb() -> int:
+        """The process's lifetime peak RSS in KiB (Linux ru_maxrss unit)."""
+        return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+
+except ImportError:  # pragma: no cover - non-POSIX fallback
+
+    def _peak_rss_kb() -> int:
+        return 0
+
+
+@dataclass
+class SpanRecord:
+    """One finished span (everything exporters need, nothing live)."""
+
+    span_id: int
+    parent_id: int | None
+    name: str
+    category: str
+    start_ns: int
+    duration_ns: int
+    cpu_ns: int
+    peak_rss_kb: int
+    pid: int
+    tid: int
+    args: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def seconds(self) -> float:
+        return self.duration_ns / 1e9
+
+
+class _Span:
+    """A live span; becomes a :class:`SpanRecord` on exit.
+
+    ``seconds`` is valid after exit (and is exactly
+    ``record.duration_ns / 1e9``, so span-derived stage timing and the
+    exported trace reconcile bit-for-bit).  ``set(key=value)`` adds
+    args any time before exit.
+    """
+
+    __slots__ = (
+        "_tracer",
+        "span_id",
+        "parent_id",
+        "name",
+        "category",
+        "args",
+        "_start_wall_ns",
+        "_start_perf_ns",
+        "_start_cpu_ns",
+        "seconds",
+        "record",
+    )
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        span_id: int,
+        parent_id: int | None,
+        name: str,
+        category: str,
+        args: dict[str, Any] | None,
+    ) -> None:
+        self._tracer = tracer
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.category = category
+        self.args = dict(args) if args else {}
+        self.seconds = 0.0
+        self.record: SpanRecord | None = None
+
+    def set(self, **args: Any) -> None:
+        self.args.update(args)
+
+    def __enter__(self) -> "_Span":
+        self._tracer._push(self)
+        self._start_wall_ns = time.time_ns()
+        self._start_cpu_ns = time.process_time_ns()
+        self._start_perf_ns = time.perf_counter_ns()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        duration_ns = time.perf_counter_ns() - self._start_perf_ns
+        cpu_ns = time.process_time_ns() - self._start_cpu_ns
+        self.seconds = duration_ns / 1e9
+        self.record = SpanRecord(
+            span_id=self.span_id,
+            parent_id=self.parent_id,
+            name=self.name,
+            category=self.category,
+            start_ns=self._start_wall_ns,
+            duration_ns=duration_ns,
+            cpu_ns=cpu_ns,
+            peak_rss_kb=_peak_rss_kb(),
+            pid=os.getpid(),
+            tid=threading.get_ident(),
+            args=self.args,
+        )
+        self._tracer._pop(self)
+
+
+class Tracer:
+    """Thread-safe span recorder with per-thread nesting."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._records: list[SpanRecord] = []
+        self._next_id = 1
+        self._stacks = threading.local()
+
+    # ------------------------------------------------------------------
+    # Span lifecycle
+    # ------------------------------------------------------------------
+    def span(
+        self,
+        name: str,
+        category: str = "pipeline",
+        args: dict[str, Any] | None = None,
+    ) -> _Span:
+        """A context manager recording one span under the active parent."""
+        stack = getattr(self._stacks, "stack", None)
+        parent_id = stack[-1].span_id if stack else None
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
+        return _Span(self, span_id, parent_id, name, category, args)
+
+    def _push(self, span: _Span) -> None:
+        stack = getattr(self._stacks, "stack", None)
+        if stack is None:
+            stack = self._stacks.stack = []
+        stack.append(span)
+
+    def _pop(self, span: _Span) -> None:
+        stack = getattr(self._stacks, "stack", None)
+        if stack and stack[-1] is span:
+            stack.pop()
+        with self._lock:
+            self._records.append(span.record)
+
+    # ------------------------------------------------------------------
+    # Worker record absorption
+    # ------------------------------------------------------------------
+    def absorb(
+        self, records: list[SpanRecord], parent_id: int | None = None
+    ) -> None:
+        """Re-parent a worker tracer's records under ``parent_id``.
+
+        Span ids are renumbered into this tracer's id space (worker
+        tracers all start counting at 1); records whose parent is not in
+        the absorbed batch — the worker's root spans — get
+        ``parent_id``.  Records are kept in the worker's order.
+        """
+        if not records:
+            return
+        with self._lock:
+            mapping = {}
+            for record in records:
+                mapping[record.span_id] = self._next_id
+                self._next_id += 1
+            for record in records:
+                record.span_id = mapping[record.span_id]
+                record.parent_id = mapping.get(record.parent_id, parent_id)
+                self._records.append(record)
+
+    # ------------------------------------------------------------------
+    # Read side
+    # ------------------------------------------------------------------
+    def records(self) -> list[SpanRecord]:
+        """Every finished span recorded so far (completion order)."""
+        with self._lock:
+            return list(self._records)
+
+    def seconds_by_name(self) -> dict[str, float]:
+        """Total wall seconds per span name (summed over calls)."""
+        totals: dict[str, float] = {}
+        for record in self.records():
+            totals[record.name] = totals.get(record.name, 0.0) + record.seconds
+        return totals
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    def __repr__(self) -> str:
+        return f"Tracer({len(self)} spans)"
+
+
+class _NullSpan:
+    """A disabled span: measures wall seconds, records nothing.
+
+    The measurement is not optional — ``stage_seconds`` derives from
+    span timing whether or not tracing is on, and two
+    ``perf_counter_ns`` calls are exactly what the pre-telemetry timing
+    paths cost.
+    """
+
+    __slots__ = ("_start_ns", "seconds")
+
+    record = None
+
+    def set(self, **args: Any) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        self._start_ns = time.perf_counter_ns()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.seconds = (time.perf_counter_ns() - self._start_ns) / 1e9
+
+
+class NullTracer:
+    """The disabled tracer (see :class:`_NullSpan`)."""
+
+    enabled = False
+
+    def span(
+        self,
+        name: str,
+        category: str = "pipeline",
+        args: dict[str, Any] | None = None,
+    ) -> _NullSpan:
+        return _NullSpan()
+
+    def absorb(
+        self, records: list[SpanRecord], parent_id: int | None = None
+    ) -> None:
+        pass
+
+    def records(self) -> list[SpanRecord]:
+        return []
+
+    def seconds_by_name(self) -> dict[str, float]:
+        return {}
+
+    def __len__(self) -> int:
+        return 0
+
+    def __repr__(self) -> str:
+        return "NullTracer()"
+
+
+#: The shared disabled tracer (safe: spans carry their own state).
+NULL_TRACER = NullTracer()

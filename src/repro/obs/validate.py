@@ -1,0 +1,112 @@
+"""Structural validation of emitted Chrome traces (``repro-trace/1``).
+
+:func:`validate_chrome_trace` checks everything a consumer relies on:
+the schema tag, the event envelope (name/cat/ph/ts/dur/pid/tid/args,
+``ph == "X"``, non-negative times), span-id integrity (unique ids,
+parents that exist), and the presence of the hierarchy's anchor
+categories (at least one ``run`` and one ``stage`` event).  Returns a
+list of problems — empty means valid.
+
+Runnable as a module for CI smoke jobs::
+
+    PYTHONPATH=src python -m repro.obs.validate /tmp/trace.json
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+from typing import Any
+
+from .export import TRACE_SCHEMA
+
+_REQUIRED_EVENT_KEYS = ("name", "cat", "ph", "ts", "dur", "pid", "tid", "args")
+
+
+def validate_chrome_trace(data: Any) -> list[str]:
+    """Problems with a parsed trace JSON object (empty list = valid)."""
+    problems: list[str] = []
+    if not isinstance(data, dict):
+        return ["trace is not a JSON object"]
+    schema = (data.get("otherData") or {}).get("schema")
+    if schema != TRACE_SCHEMA:
+        problems.append(
+            f"otherData.schema is {schema!r}, expected {TRACE_SCHEMA!r}"
+        )
+    metrics = (data.get("otherData") or {}).get("metrics")
+    if not isinstance(metrics, dict):
+        problems.append("otherData.metrics is not an object")
+    events = data.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        problems.append("traceEvents is not a non-empty list")
+        return problems
+
+    seen_ids: set[int] = set()
+    categories: set[str] = set()
+    for index, event in enumerate(events):
+        where = f"traceEvents[{index}]"
+        if not isinstance(event, dict):
+            problems.append(f"{where} is not an object")
+            continue
+        missing = [key for key in _REQUIRED_EVENT_KEYS if key not in event]
+        if missing:
+            problems.append(f"{where} lacks keys: {', '.join(missing)}")
+            continue
+        if event["ph"] != "X":
+            problems.append(f"{where} ph is {event['ph']!r}, expected 'X'")
+        for key in ("ts", "dur"):
+            if not isinstance(event[key], (int, float)) or event[key] < 0:
+                problems.append(f"{where}.{key} is not a non-negative number")
+        if not isinstance(event["args"], dict):
+            problems.append(f"{where}.args is not an object")
+            continue
+        span_id = event["args"].get("span_id")
+        if not isinstance(span_id, int):
+            problems.append(f"{where}.args.span_id is not an integer")
+        elif span_id in seen_ids:
+            problems.append(f"{where} duplicates span_id {span_id}")
+        else:
+            seen_ids.add(span_id)
+        categories.add(event["cat"])
+
+    for index, event in enumerate(events):
+        if not isinstance(event, dict) or not isinstance(
+            event.get("args"), dict
+        ):
+            continue
+        parent_id = event["args"].get("parent_id")
+        if parent_id is not None and parent_id not in seen_ids:
+            problems.append(
+                f"traceEvents[{index}] parent_id {parent_id} matches no span"
+            )
+
+    for required in ("run", "stage"):
+        if required not in categories:
+            problems.append(f"no {required!r}-category event in the trace")
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = sys.argv[1:] if argv is None else argv
+    if len(args) != 1:
+        print("usage: python -m repro.obs.validate TRACE.json", file=sys.stderr)
+        return 2
+    path = Path(args[0])
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"cannot read trace {path}: {error}", file=sys.stderr)
+        return 1
+    problems = validate_chrome_trace(data)
+    if problems:
+        for problem in problems:
+            print(f"invalid trace: {problem}", file=sys.stderr)
+        return 1
+    events = data["traceEvents"]
+    print(f"valid {TRACE_SCHEMA} trace: {len(events)} events")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -25,11 +25,11 @@ Example::
 
 from __future__ import annotations
 
-import time
 from dataclasses import fields, replace
 from typing import TYPE_CHECKING, Any
 
 from ..engine.executor import create_executor
+from ..obs.runtime import Telemetry, activate, current as current_telemetry
 from .builder import default_graph
 from .context import PipelineContext
 from .stage import Stage, StageGraph
@@ -81,6 +81,7 @@ class MatchSession:
         kb2: "KnowledgeBase",
         config: "MinoanERConfig | None" = None,
         graph: StageGraph | None = None,
+        telemetry: "Telemetry | None" = None,
     ) -> None:
         if config is None:
             from ..core.config import MinoanERConfig
@@ -90,6 +91,11 @@ class MatchSession:
         self.kb2 = kb2
         self.config = config
         self.graph = graph or default_graph()
+        #: Optional pinned telemetry: activated around every run of this
+        #: session, so callers that cannot wrap ``match()`` in
+        #: ``repro.obs.activate`` themselves (CLI, services) still get a
+        #: complete trace.  ``None`` defers to the ambient telemetry.
+        self.telemetry = telemetry
         #: stage name -> times the stage actually computed (cache misses).
         self.stage_runs: dict[str, int] = {}
         self._cache: dict[tuple, dict[str, Any]] = {}
@@ -140,9 +146,12 @@ class MatchSession:
         """
         from ..core.pipeline import MatchResult
 
-        started = time.perf_counter()
-        ctx = self.run_context(config, **overrides)
-        return MatchResult.from_context(ctx, time.perf_counter() - started)
+        with activate(self.telemetry):
+            with current_telemetry().tracer.span(
+                "run", category="run", args={"kind": "session"}
+            ) as span:
+                ctx = self.run_context(config, **overrides)
+        return MatchResult.from_context(ctx, span.seconds)
 
     def run_context(
         self, config: "MinoanERConfig | None" = None, **overrides
@@ -169,51 +178,64 @@ class MatchSession:
             }
             run_config = replace(run_config, **mapped)
 
-        ctx = PipelineContext(self.kb1, self.kb2, run_config)
-        producer_signatures: dict[str, tuple] = {}
-        # The executor is only built on the first cache miss: a fully
-        # cached replay must not pay worker-pool startup.
-        engine = None
-        try:
-            for stage in self.graph:
-                signature = self._stage_signature(
-                    stage, run_config, producer_signatures
-                )
-                for key in stage.provides:
-                    producer_signatures[key] = signature
-                cached = self._cache.get(signature)
-                stage_started = time.perf_counter()
-                if cached is not None:
-                    for key, value in cached.items():
-                        ctx.put(
-                            key,
-                            _isolated(value),
-                            producer=stage.name,
-                            cached=True,
-                        )
-                    ran = False
-                else:
-                    if engine is None:
-                        engine = create_executor(
-                            run_config.engine, run_config.workers
-                        )
-                    stage.run(ctx, engine)
-                    self._cache[signature] = {
-                        key: _isolated(ctx.get(key)) for key in stage.provides
-                    }
-                    self.stage_runs[stage.name] = (
-                        self.stage_runs.get(stage.name, 0) + 1
+        with activate(self.telemetry) as telemetry:
+            tracer = telemetry.tracer
+            metrics = telemetry.metrics
+            ctx = PipelineContext(self.kb1, self.kb2, run_config)
+            producer_signatures: dict[str, tuple] = {}
+            # The executor is only built on the first cache miss: a fully
+            # cached replay must not pay worker-pool startup.
+            engine = None
+            try:
+                for stage in self.graph:
+                    signature = self._stage_signature(
+                        stage, run_config, producer_signatures
                     )
-                    ran = True
-                ctx.record_stage(
-                    stage.name,
-                    stage.timing_group,
-                    time.perf_counter() - stage_started,
-                    ran=ran,
-                )
-        finally:
-            if engine is not None:
-                engine.close()
+                    for key in stage.provides:
+                        producer_signatures[key] = signature
+                    cached = self._cache.get(signature)
+                    with tracer.span(
+                        stage.name,
+                        category="stage",
+                        args={
+                            "group": stage.timing_group,
+                            "cached": cached is not None,
+                        },
+                    ) as span:
+                        if cached is not None:
+                            metrics.counter("session.cache_hits").inc()
+                            for key, value in cached.items():
+                                ctx.put(
+                                    key,
+                                    _isolated(value),
+                                    producer=stage.name,
+                                    cached=True,
+                                )
+                            ran = False
+                        else:
+                            metrics.counter("session.cache_misses").inc()
+                            if engine is None:
+                                engine = create_executor(
+                                    run_config.engine, run_config.workers
+                                )
+                            stage.run(ctx, engine)
+                            self._cache[signature] = {
+                                key: _isolated(ctx.get(key))
+                                for key in stage.provides
+                            }
+                            self.stage_runs[stage.name] = (
+                                self.stage_runs.get(stage.name, 0) + 1
+                            )
+                            ran = True
+                    ctx.record_stage(
+                        stage.name,
+                        stage.timing_group,
+                        span.seconds,
+                        ran=ran,
+                    )
+            finally:
+                if engine is not None:
+                    engine.close()
         return ctx
 
     # ------------------------------------------------------------------

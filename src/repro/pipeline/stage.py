@@ -17,10 +17,10 @@ per-stage timing.
 
 from __future__ import annotations
 
-import time
 from abc import ABC, abstractmethod
 from typing import TYPE_CHECKING, Iterator, Sequence
 
+from ..obs.runtime import current as current_telemetry
 from .context import INPUT_PRODUCER, PipelineContext
 
 if TYPE_CHECKING:  # pragma: no cover - types only
@@ -158,14 +158,26 @@ class StageGraph:
     # Execution
     # ------------------------------------------------------------------
     def execute(self, ctx: PipelineContext, engine: "Executor") -> PipelineContext:
-        """Run every stage in order, recording per-stage wall-clock."""
+        """Run every stage in order, recording per-stage wall-clock.
+
+        Stage timing is span-derived: each stage runs inside a
+        ``stage``-category span of the ambient tracer (a no-op timer
+        when telemetry is off), and ``ctx.record_stage`` receives the
+        span's seconds — so ``MatchResult.stage_seconds`` and an
+        exported trace's per-stage totals reconcile exactly.
+        """
+        tracer = current_telemetry().tracer
         for stage in self._stages:
-            started = time.perf_counter()
-            stage.run(ctx, engine)
+            with tracer.span(
+                stage.name,
+                category="stage",
+                args={"group": stage.timing_group},
+            ) as span:
+                stage.run(ctx, engine)
             ctx.record_stage(
                 stage.name,
                 stage.timing_group,
-                time.perf_counter() - started,
+                span.seconds,
                 ran=True,
             )
             for key in stage.provides:

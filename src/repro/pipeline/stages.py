@@ -50,6 +50,7 @@ from ..engine.matching import (
 )
 from ..engine.similarity import build_neighbor_index, build_value_index
 from ..kb.tokenizer import Tokenizer
+from ..obs.runtime import current as current_telemetry
 from .context import PipelineContext
 from .registry import BLOCKING_SCHEMES, HEURISTICS
 from .stage import Stage
@@ -80,6 +81,9 @@ class NameBlockingStage(Stage):
             names_from_attributes(names2),
             engine,
         )
+        current_telemetry().metrics.counter(
+            "blocking.name_blocks_built"
+        ).inc(len(blocks))
         ctx.put("name_blocks", blocks, producer=self.name)
         ctx.put("name_attributes1", names1, producer=self.name)
         ctx.put("name_attributes2", names2, producer=self.name)
@@ -128,6 +132,10 @@ class TokenBlockingStage(Stage):
         blocks = assemble_packed_blocks(
             side1, side2, interner1, interner2, keep=kept
         )
+        metrics = current_telemetry().metrics
+        metrics.counter("blocking.token_blocks_built").inc(len(blocks))
+        if report is not None:
+            metrics.counter("blocking.purged_keys").inc(report.purged_blocks)
         ctx.put("token_blocks", blocks, producer=self.name)
         ctx.put("purging_report", report, producer=self.name)
 
@@ -390,6 +398,9 @@ class MatchingStage(Stage):
             if heuristic.kind == "filter":
                 kept, dropped = heuristic.filter(ctx, kept)
                 discarded.extend(dropped)
+        metrics = current_telemetry().metrics
+        metrics.counter("matching.pairs_matched").inc(len(kept))
+        metrics.counter("matching.pairs_discarded").inc(len(discarded))
         ctx.put("matches", kept, producer=self.name)
         ctx.put("pre_h4_matches", collected, producer=self.name)
         ctx.put("discarded_by_h4", discarded, producer=self.name)

@@ -27,6 +27,8 @@ from array import array
 from pathlib import Path
 from typing import Iterable
 
+from ..obs.runtime import current as _telemetry_current
+
 #: Logical column kind -> ``array`` typecode (and the expected itemsize).
 ARRAY_KINDS = {"i32": ("i", 4), "i64": ("q", 8), "f64": ("d", 8)}
 
@@ -86,6 +88,7 @@ def write_array_column(path: Path, values: array) -> dict:
         )
     raw = values.tobytes()
     path.write_bytes(raw)
+    _telemetry_current().metrics.counter("snapshot.bytes_written").inc(len(raw))
     return {
         "file": path.name,
         "kind": kind,
@@ -126,6 +129,7 @@ def write_string_column(path: Path, items: Iterable[str]) -> dict:
     rows = [_escape_row(row) for row in items]
     raw = "\n".join(rows).encode("utf-8")
     path.write_bytes(raw)
+    _telemetry_current().metrics.counter("snapshot.bytes_written").inc(len(raw))
     return {
         "file": path.name,
         "kind": "str",

@@ -21,6 +21,7 @@ from array import array
 from pathlib import Path
 from typing import Any, Iterable
 
+from ..obs.runtime import current as _telemetry_current
 from .columns import (
     ColumnError,
     bytes_sha256,
@@ -148,6 +149,9 @@ class Snapshot:
     def _verified_bytes(self, name: str, path: Path, entry: dict) -> bytes:
         """The column file's bytes, read once and digest-checked."""
         raw = path.read_bytes()
+        _telemetry_current().metrics.counter("snapshot.bytes_read").inc(
+            len(raw)
+        )
         actual = bytes_sha256(raw)
         if actual != entry["sha256"]:
             raise SnapshotError(

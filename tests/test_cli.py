@@ -371,3 +371,95 @@ class TestSessionSnapshots:
         )
         assert code == 2
         assert "cannot save session" in capsys.readouterr().err
+
+
+class TestObservabilityFlags:
+    def test_trace_writes_valid_chrome_trace(self, bundle, tmp_path, capsys):
+        import json
+
+        from repro.obs import validate_chrome_trace
+
+        trace = tmp_path / "trace.json"
+        code = main(
+            [
+                "match",
+                str(bundle / "kb1.nt"),
+                str(bundle / "kb2.nt"),
+                "--trace",
+                str(trace),
+                "--output",
+                str(tmp_path / "links.nt"),
+            ]
+        )
+        assert code == 0
+        assert "wrote trace to" in capsys.readouterr().out
+        data = json.loads(trace.read_text(encoding="utf-8"))
+        assert validate_chrome_trace(data) == []
+        assert data["otherData"]["metrics"]["counters"]
+
+    def test_metrics_prints_summary_table(self, bundle, tmp_path, capsys):
+        code = main(
+            [
+                "match",
+                str(bundle / "kb1.nt"),
+                str(bundle / "kb2.nt"),
+                "--metrics",
+                "--output",
+                str(tmp_path / "links.nt"),
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "counters:" in output
+        assert "matching.pairs_matched" in output
+        assert "similarity.value_pairs_scored" in output
+
+    def test_trace_output_identical_to_plain_run(self, bundle, tmp_path):
+        traced, plain = tmp_path / "traced.nt", tmp_path / "plain.nt"
+        base = ["match", str(bundle / "kb1.nt"), str(bundle / "kb2.nt")]
+        assert (
+            main(
+                base
+                + ["--trace", str(tmp_path / "t.json"), "--output", str(traced)]
+            )
+            == 0
+        )
+        assert main(base + ["--output", str(plain)]) == 0
+        assert traced.read_text() == plain.read_text()
+
+
+class TestVerbosityFlags:
+    def test_quiet_suppresses_progress_keeps_report(
+        self, bundle, tmp_path, capsys
+    ):
+        code = main(
+            [
+                "--quiet",
+                "match",
+                str(bundle / "kb1.nt"),
+                str(bundle / "kb2.nt"),
+                "--output",
+                str(tmp_path / "links.nt"),
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "matched" in output  # the report still prints
+        assert "wrote" not in output  # progress is suppressed
+
+    def test_default_shows_progress(self, bundle, tmp_path, capsys):
+        code = main(
+            [
+                "match",
+                str(bundle / "kb1.nt"),
+                str(bundle / "kb2.nt"),
+                "--output",
+                str(tmp_path / "links.nt"),
+            ]
+        )
+        assert code == 0
+        assert "wrote" in capsys.readouterr().out
+
+    def test_verbose_and_quiet_conflict(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--verbose", "--quiet", "match", "a", "b"])

@@ -1,0 +1,325 @@
+"""Unit tests for the observability layer (:mod:`repro.obs`).
+
+Covers the span tracer (nesting, absorption, null mode), the metrics
+registry (instrument semantics, snapshot/merge exactness, null mode),
+the ambient runtime (activation stack, worker-side helper), and the
+exporters (Chrome trace schema + validator, summary table, Prometheus
+text).  Cross-executor and whole-pipeline behaviour lives in
+``test_obs_integration.py``.
+"""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    DISABLED,
+    NULL_METRICS,
+    NULL_TRACER,
+    TRACE_SCHEMA,
+    MetricsRegistry,
+    NullMetrics,
+    NullTracer,
+    Telemetry,
+    Tracer,
+    activate,
+    chrome_trace,
+    current,
+    prometheus_text,
+    run_traced_partition,
+    summary_table,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+
+
+# ----------------------------------------------------------------------
+# Metrics
+# ----------------------------------------------------------------------
+class TestMetrics:
+    def test_counter_accumulates(self):
+        metrics = MetricsRegistry()
+        metrics.counter("c").inc()
+        metrics.counter("c").inc(4)
+        assert metrics.counters() == {"c": 5}
+
+    def test_instruments_are_create_on_first_use_and_cached(self):
+        metrics = MetricsRegistry()
+        assert metrics.counter("x") is metrics.counter("x")
+        assert metrics.gauge("g") is metrics.gauge("g")
+        assert metrics.histogram("h") is metrics.histogram("h")
+        assert len(metrics) == 3
+
+    def test_gauge_keeps_last_value(self):
+        metrics = MetricsRegistry()
+        metrics.gauge("g").set(3)
+        metrics.gauge("g").set(7)
+        assert metrics.as_dict()["gauges"]["g"] == 7
+
+    def test_histogram_moments(self):
+        metrics = MetricsRegistry()
+        hist = metrics.histogram("h")
+        for value in (1.0, 2.0, 6.0):
+            hist.observe(value)
+        assert hist.count == 3
+        assert hist.total == 9.0
+        assert hist.minimum == 1.0
+        assert hist.maximum == 6.0
+        assert hist.mean == 3.0
+
+    def test_snapshot_merge_equals_single_registry(self):
+        """Merging shard snapshots reproduces single-registry totals
+        exactly — the property the executor reduce step relies on."""
+        combined = MetricsRegistry()
+        shards = [MetricsRegistry() for _ in range(3)]
+        for i, shard in enumerate(shards):
+            shard.counter("pairs").inc(10 + i)
+            shard.histogram("sizes").observe(float(i))
+            combined.counter("pairs").inc(10 + i)
+            combined.histogram("sizes").observe(float(i))
+        merged = MetricsRegistry()
+        for shard in shards:
+            merged.merge(shard.snapshot())
+        assert merged.as_dict() == combined.as_dict()
+
+    def test_merge_none_is_noop(self):
+        metrics = MetricsRegistry()
+        metrics.counter("c").inc()
+        metrics.merge(None)
+        assert metrics.counters() == {"c": 1}
+
+    def test_snapshot_is_json_and_pickle_safe(self):
+        import pickle
+
+        metrics = MetricsRegistry()
+        metrics.counter("c").inc(2)
+        metrics.histogram("h").observe(1.5)
+        snapshot = metrics.snapshot()
+        assert pickle.loads(pickle.dumps(snapshot)) == snapshot
+
+    def test_null_metrics_records_nothing(self):
+        null = NullMetrics()
+        null.counter("c").inc(100)
+        null.gauge("g").set(1)
+        null.histogram("h").observe(2.0)
+        assert null.counters() == {}
+        assert null.as_dict() == {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }
+        assert not null.enabled
+
+
+# ----------------------------------------------------------------------
+# Tracer
+# ----------------------------------------------------------------------
+class TestTracer:
+    def test_nesting_records_parentage(self):
+        tracer = Tracer()
+        with tracer.span("outer", category="run") as outer:
+            with tracer.span("inner", category="stage") as inner:
+                pass
+        records = {record.name: record for record in tracer.records()}
+        assert records["inner"].parent_id == outer.span_id
+        assert records["outer"].parent_id is None
+        assert inner.span_id != outer.span_id
+
+    def test_children_close_before_parents(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        assert [record.name for record in tracer.records()] == [
+            "inner",
+            "outer",
+        ]
+
+    def test_span_measures_time_and_exposes_seconds(self):
+        tracer = Tracer()
+        with tracer.span("timed") as span:
+            sum(range(1000))
+        (record,) = tracer.records()
+        assert span.seconds == record.seconds > 0
+        assert record.duration_ns > 0
+        assert record.cpu_ns >= 0
+
+    def test_span_args_via_set(self):
+        tracer = Tracer()
+        with tracer.span("s", args={"a": 1}) as span:
+            span.set(b=2)
+        (record,) = tracer.records()
+        assert record.args == {"a": 1, "b": 2}
+
+    def test_absorb_renumbers_and_reparents(self):
+        worker = Tracer()
+        with worker.span("task"):
+            with worker.span("sub"):
+                pass
+        driver = Tracer()
+        with driver.span("dispatch") as dispatch:
+            pass
+        driver.absorb(worker.records(), parent_id=dispatch.span_id)
+        by_name = {record.name: record for record in driver.records()}
+        assert by_name["task"].parent_id == dispatch.span_id
+        assert by_name["sub"].parent_id == by_name["task"].span_id
+        ids = [record.span_id for record in driver.records()]
+        assert len(ids) == len(set(ids))
+
+    def test_seconds_by_name_sums_repeated_spans(self):
+        tracer = Tracer()
+        for _ in range(2):
+            with tracer.span("repeat"):
+                pass
+        totals = tracer.seconds_by_name()
+        assert totals["repeat"] == sum(
+            record.seconds for record in tracer.records()
+        )
+
+    def test_null_tracer_still_measures_seconds(self):
+        """Disabled runs keep ``stage_seconds`` meaningful: null spans
+        time their body, they just record nothing."""
+        tracer = NullTracer()
+        with tracer.span("anything") as span:
+            sum(range(1000))
+        assert span.seconds > 0
+        assert len(tracer) == 0
+        assert tracer.records() == []
+
+
+# ----------------------------------------------------------------------
+# Ambient runtime
+# ----------------------------------------------------------------------
+class TestRuntime:
+    def test_default_is_disabled(self):
+        telemetry = current()
+        assert telemetry is DISABLED
+        assert telemetry.tracer is NULL_TRACER
+        assert telemetry.metrics is NULL_METRICS
+        assert not telemetry.enabled
+
+    def test_activate_scopes_the_telemetry(self):
+        telemetry = Telemetry.create()
+        with activate(telemetry) as active:
+            assert active is telemetry
+            assert current() is telemetry
+        assert current() is DISABLED
+
+    def test_activate_none_is_passthrough(self):
+        outer = Telemetry.create()
+        with activate(outer):
+            with activate(None) as active:
+                assert active is outer
+                assert current() is outer
+
+    def test_activation_nests(self):
+        first, second = Telemetry.create(), Telemetry.create()
+        with activate(first):
+            with activate(second):
+                assert current() is second
+            assert current() is first
+
+    def test_disabled_instruments_leave_no_trace(self):
+        telemetry = current()
+        telemetry.metrics.counter("ghost").inc()
+        with telemetry.tracer.span("ghost"):
+            pass
+        assert len(NULL_TRACER) == 0
+        assert NULL_METRICS.counters() == {}
+
+    def test_run_traced_partition_returns_result_and_telemetry(self):
+        def work(partition):
+            current().metrics.counter("worked").inc(len(partition))
+            return sum(partition)
+
+        result, snapshot, records = run_traced_partition(
+            [1, 2, 3], work, "work"
+        )
+        assert result == 6
+        assert snapshot["counters"] == {"worked": 3}
+        assert [record.name for record in records] == ["task:work"]
+        assert records[0].args["items"] == 3
+
+
+# ----------------------------------------------------------------------
+# Exporters
+# ----------------------------------------------------------------------
+@pytest.fixture()
+def sample_telemetry():
+    telemetry = Telemetry.create()
+    with activate(telemetry):
+        with telemetry.tracer.span("run", category="run"):
+            with telemetry.tracer.span("blocking", category="stage"):
+                telemetry.metrics.counter("blocks.built").inc(4)
+            telemetry.metrics.gauge("workers").set(2)
+            telemetry.metrics.histogram("partition.items").observe(10.0)
+    return telemetry
+
+
+class TestExporters:
+    def test_chrome_trace_schema(self, sample_telemetry):
+        data = chrome_trace(sample_telemetry)
+        assert data["otherData"]["schema"] == TRACE_SCHEMA
+        assert data["otherData"]["metrics"]["counters"] == {
+            "blocks.built": 4
+        }
+        assert len(data["traceEvents"]) == 2
+        for event in data["traceEvents"]:
+            assert event["ph"] == "X"
+            assert event["ts"] >= 0 and event["dur"] >= 0
+
+    def test_chrome_trace_validates_clean(self, sample_telemetry):
+        assert validate_chrome_trace(chrome_trace(sample_telemetry)) == []
+
+    def test_validator_flags_problems(self, sample_telemetry):
+        data = chrome_trace(sample_telemetry)
+        assert validate_chrome_trace({"traceEvents": []})  # empty
+        broken = json.loads(json.dumps(data))
+        broken["traceEvents"][0]["ph"] = "B"
+        assert any(
+            "ph" in problem for problem in validate_chrome_trace(broken)
+        )
+        missing_run = json.loads(json.dumps(data))
+        for event in missing_run["traceEvents"]:
+            event["cat"] = "stage"
+        assert any(
+            "run" in problem
+            for problem in validate_chrome_trace(missing_run)
+        )
+
+    def test_write_chrome_trace_round_trips(self, sample_telemetry, tmp_path):
+        target = write_chrome_trace(
+            tmp_path / "deep" / "trace.json", sample_telemetry
+        )
+        data = json.loads(target.read_text(encoding="utf-8"))
+        assert validate_chrome_trace(data) == []
+
+    def test_validator_cli(self, sample_telemetry, tmp_path, capsys):
+        from repro.obs.validate import main
+
+        target = write_chrome_trace(tmp_path / "trace.json", sample_telemetry)
+        assert main([str(target)]) == 0
+        assert "valid" in capsys.readouterr().out
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"traceEvents": []}), encoding="utf-8")
+        assert main([str(bad)]) == 1
+
+    def test_summary_table_lists_spans_and_instruments(
+        self, sample_telemetry
+    ):
+        table = summary_table(sample_telemetry)
+        assert "blocking" in table
+        assert "blocks.built" in table
+        assert "workers" in table
+        assert "partition.items" in table
+
+    def test_summary_table_empty_telemetry(self):
+        assert "no telemetry" in summary_table(Telemetry.create())
+
+    def test_prometheus_text(self, sample_telemetry):
+        text = prometheus_text(sample_telemetry)
+        assert "# TYPE repro_blocks_built counter" in text
+        assert "repro_blocks_built 4" in text
+        assert "repro_workers 2" in text
+        assert "repro_partition_items_count 1" in text
+        assert text.endswith("\n")
