@@ -67,9 +67,11 @@ from repro.obs import Telemetry, activate  # noqa: E402
 
 DEFAULT_OUT = Path(__file__).parent / "results" / "BENCH_similarity.json"
 DEFAULT_BLOCKING_OUT = Path(__file__).parent / "results" / "BENCH_blocking.json"
+DEFAULT_SERVE_OUT = Path(__file__).parent / "results" / "BENCH_serve.json"
 
 SCHEMA = "repro-bench-similarity/1"
 BLOCKING_SCHEMA = "repro-bench-blocking/1"
+SERVE_SCHEMA = "repro-bench-serve/1"
 
 
 # ----------------------------------------------------------------------
@@ -324,6 +326,101 @@ def run_blocking_report(profile: str, scale: float) -> dict:
     }
 
 
+def _percentile(sorted_values: list[float], fraction: float) -> float:
+    """Nearest-rank percentile of an ascending-sorted sample."""
+    if not sorted_values:
+        return 0.0
+    rank = min(
+        len(sorted_values) - 1,
+        max(0, int(round(fraction * (len(sorted_values) - 1)))),
+    )
+    return sorted_values[rank]
+
+
+def run_serve_report(profile: str, scale: float, probes: int = 500) -> dict:
+    """Serving section (``repro-bench-serve/1``).
+
+    Measures the resolution daemon end to end — snapshot load, then
+    p50/p99 latency of ``probes`` sequential ``GET /candidates``
+    requests through the real HTTP stack, then the latency of one
+    ``POST /delta`` removing a small batch.  Sequential on purpose: the
+    numbers are per-request service latency, not throughput under
+    contention.
+    """
+    import shutil
+    import tempfile
+    import threading
+
+    from repro.pipeline import MatchSession
+    from repro.serve import ResolutionDaemon, ServeClient, build_server
+
+    data = generate_benchmark(profile, scale=scale)
+    session = MatchSession(data.kb1, data.kb2)
+    session.match()
+    workdir = Path(tempfile.mkdtemp(prefix="repro-bench-serve-"))
+    try:
+        snapshot = session.save(workdir / "seed")
+        daemon, load_s = _timed(
+            lambda: ResolutionDaemon.from_snapshot(
+                snapshot, snapshot_dir=workdir
+            )
+        )
+        server = build_server(daemon, port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            client = ServeClient(
+                f"http://127.0.0.1:{server.server_address[1]}"
+            )
+            uris = sorted(daemon.state().uris1)
+            latencies = []
+            for index in range(probes):
+                uri = uris[index % len(uris)]
+                started = time.perf_counter()
+                client.candidates(uri)
+                latencies.append(time.perf_counter() - started)
+            latencies.sort()
+
+            removed = uris[: max(1, len(uris) // 100)]
+            payload = {
+                "ops": [{"op": "remove", "kb": "kb1", "uris": removed}]
+            }
+            _, delta_s = _timed(client.apply_delta, payload)
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=10)
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+    return {
+        "schema": SERVE_SCHEMA,
+        "profile": profile,
+        "scale": scale,
+        "python": platform.python_version(),
+        "entities": [len(data.kb1), len(data.kb2)],
+        "probes": probes,
+        "read_latency_ms": {
+            "p50": round(_percentile(latencies, 0.50) * 1000, 3),
+            "p99": round(_percentile(latencies, 0.99) * 1000, 3),
+            "mean": round(sum(latencies) / len(latencies) * 1000, 3),
+        },
+        "delta": {
+            "entities_removed": len(removed),
+            "apply_s": round(delta_s, 4),
+        },
+        "snapshot_load_s": round(load_s, 4),
+        "metrics": _run_metrics(
+            daemon.telemetry,
+            {
+                "requests": "serve.requests",
+                "delta_applied": "serve.delta_applied",
+                "errors": "serve.errors",
+            },
+        ),
+    }
+
+
 def _normalized_wall_time(report: dict) -> float | None:
     """End-to-end seconds per second of same-run baseline index work.
 
@@ -402,6 +499,24 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="skip the blocking + warm-start sections",
     )
+    parser.add_argument(
+        "--serve-out",
+        type=Path,
+        default=DEFAULT_SERVE_OUT,
+        help="where the serving report is written "
+        "(uncommitted, like every BENCH_*.json)",
+    )
+    parser.add_argument(
+        "--skip-serve",
+        action="store_true",
+        help="skip the serving (daemon latency) section",
+    )
+    parser.add_argument(
+        "--serve-probes",
+        type=int,
+        default=500,
+        help="sequential read probes for the serving latency sample",
+    )
     args = parser.parse_args(argv)
 
     report = run_report(args.profile, args.scale)
@@ -442,6 +557,23 @@ def main(argv: list[str] | None = None) -> int:
             f"{warm['snapshot_load_s'] + warm['warm_match_s']:.3f}s "
             f"(cold bootstrap {warm['cold_bootstrap_s']:.3f}s, "
             f"{warm['speedup_vs_cold']}x; save {warm['snapshot_save_s']:.3f}s)"
+        )
+    if not args.skip_serve:
+        serve = run_serve_report(
+            args.profile, args.scale, probes=args.serve_probes
+        )
+        args.serve_out.parent.mkdir(parents=True, exist_ok=True)
+        args.serve_out.write_text(
+            json.dumps(serve, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"wrote {args.serve_out}")
+        reads = serve["read_latency_ms"]
+        print(
+            f"  serve reads: p50 {reads['p50']:.3f}ms "
+            f"p99 {reads['p99']:.3f}ms over {serve['probes']} probes; "
+            f"delta apply {serve['delta']['apply_s']:.3f}s "
+            f"({serve['delta']['entities_removed']} removed)"
         )
     if args.check is not None:
         return check_regression(report, args.check, args.max_regression)

@@ -207,6 +207,52 @@ def build_parser() -> argparse.ArgumentParser:
 
     stats = commands.add_parser("stats", help="statistics of one KB")
     stats.add_argument("kb")
+
+    serve = commands.add_parser(
+        "serve",
+        help="run the snapshot-backed resolution daemon",
+        description="Serve matching over HTTP from a repro-snapshot/1 "
+        "directory: read endpoints (/match, /candidates, /best, /stats, "
+        "/healthz, /metrics) resolve against an immutable published "
+        "state; POST /delta applies incremental updates; POST /snapshot "
+        "and /reload manage persistence.  See docs/SERVING.md.",
+    )
+    serve.add_argument(
+        "--snapshot",
+        required=True,
+        metavar="DIR",
+        help="repro-snapshot/1 directory to load at startup",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8750)
+    serve.add_argument(
+        "--engine",
+        choices=EXECUTOR_NAMES,
+        default=None,
+        help="override the snapshot's execution engine",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker count for parallel engines",
+    )
+    serve.add_argument(
+        "--auto-snapshot-every",
+        type=int,
+        default=0,
+        metavar="N",
+        help="snapshot automatically after every N applied delta "
+        "requests, and on graceful shutdown (0 = manual POST /snapshot "
+        "only)",
+    )
+    serve.add_argument(
+        "--snapshot-dir",
+        default=None,
+        metavar="DIR",
+        help="directory new snapshots are written under (default: the "
+        "loaded snapshot's parent directory)",
+    )
     return parser
 
 
@@ -509,11 +555,59 @@ def cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    if args.engine == "serial" and args.workers is not None:
+        print(
+            "error: --workers has no effect with --engine serial; "
+            "pass --engine thread or --engine process",
+            file=sys.stderr,
+        )
+        return 2
+    from .serve import (
+        ResolutionDaemon,
+        build_server,
+        install_signal_handlers,
+        run,
+    )
+    from .store import SnapshotError
+
+    try:
+        daemon = ResolutionDaemon.from_snapshot(
+            args.snapshot,
+            engine=args.engine,
+            workers=args.workers,
+            snapshot_dir=args.snapshot_dir,
+            auto_snapshot_every=args.auto_snapshot_every,
+        )
+    except SnapshotError as error:
+        print(f"error: cannot load snapshot: {error}", file=sys.stderr)
+        return 2
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    server = build_server(daemon, host=args.host, port=args.port)
+    install_signal_handlers(server)
+    host, port = server.server_address[:2]
+    state = daemon.state()
+    log.info(
+        "loaded %s: %d + %d entities, %d matches (generation %d)",
+        args.snapshot,
+        len(state.uris1),
+        len(state.uris2),
+        len(state.matches),
+        state.generation,
+    )
+    print(f"serving on http://{host}:{port} (SIGTERM drains and saves)")
+    run(daemon, server)
+    return 0
+
+
 COMMANDS = {
     "generate": cmd_generate,
     "match": cmd_match,
     "evaluate": cmd_evaluate,
     "stats": cmd_stats,
+    "serve": cmd_serve,
 }
 
 

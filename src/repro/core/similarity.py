@@ -523,6 +523,38 @@ class PackedSimilarityIndex:
             # override stays even when empty.
             patched[entity_id] = rebuilt
 
+    # ------------------------------------------------------------------
+    # Copy-on-write (the serving layer's swap-on-publish primitive)
+    # ------------------------------------------------------------------
+    def detached_copy(self) -> "PackedSimilarityIndex":
+        """A same-class copy whose in-place updates leave this index frozen.
+
+        The immutable bulk — the CSR offset/column/similarity arrays,
+        rebuilt only by full reconstructions — is shared by reference;
+        everything :meth:`apply_pair_updates` mutates (the packed pair
+        map, the patched-row overrides, the two interners) is copied, so
+        after ``writer = index.detached_copy()`` any sequence of updates
+        applied to ``writer`` is invisible to readers still holding
+        ``index``.  This is what lets the resolution daemon publish an
+        immutable read state and keep applying deltas: the writer works
+        on detached copies, readers keep the frozen originals, and one
+        atomic reference swap moves them to the new state.
+        """
+        clone = type(self).__new__(type(self))
+        clone._interner1 = self._interner1.clone()
+        clone._interner2 = self._interner2.clone()
+        clone._packed = dict(self._packed)
+        clone._pairs_cache = None
+        clone._starts1, clone._cols1, clone._sims1 = (
+            self._starts1, self._cols1, self._sims1,
+        )
+        clone._starts2, clone._cols2, clone._sims2 = (
+            self._starts2, self._cols2, self._sims2,
+        )
+        clone._patched1 = dict(self._patched1)
+        clone._patched2 = dict(self._patched2)
+        return clone
+
     def __len__(self) -> int:
         return len(self._packed)
 

@@ -126,6 +126,24 @@ class EntityInterner:
         return self._sorted
 
     # ------------------------------------------------------------------
+    # Copy-on-write support
+    # ------------------------------------------------------------------
+    def clone(self) -> "EntityInterner":
+        """An independent interner with identical id assignments.
+
+        Growing the clone (:meth:`intern`) leaves this interner — and
+        every decode table previously handed out by :meth:`uris` /
+        :meth:`ids_by_uri` — untouched.  The serving layer relies on
+        this: a published read state keeps the interner an index was
+        built with, while the delta writer appends to a private copy.
+        """
+        clone = EntityInterner.__new__(EntityInterner)
+        clone._uris = list(self._uris)
+        clone._ids = dict(self._ids)
+        clone._sorted = self._sorted
+        return clone
+
+    # ------------------------------------------------------------------
     # Dunder plumbing
     # ------------------------------------------------------------------
     def __len__(self) -> int:

@@ -121,8 +121,18 @@ class IncrementalMatcher:
         (shared by the cold :meth:`__init__` and the warm
         :meth:`from_snapshot` paths; neither artifact bootstrap nor
         restore happens here)."""
+        from ..pipeline.stage import declares_delta_hook
+
         names = session.graph.names()
-        unsupported = set(names) - set(REQUIRED_STAGES) - {"name_blocking"}
+        custom = set(names) - set(REQUIRED_STAGES) - {"name_blocking"}
+        # Custom stages overriding Stage.apply_delta opt in to the
+        # rerun-on-refresh fallback; the rest keep the strict check.
+        hooked = {
+            name
+            for name in custom
+            if declares_delta_hook(session.graph.stage(name))
+        }
+        unsupported = custom - hooked
         missing = [name for name in REQUIRED_STAGES if name not in names]
         if unsupported or missing:
             problems = []
@@ -138,11 +148,17 @@ class IncrementalMatcher:
                 )
             raise ValueError(
                 "IncrementalMatcher supports the default stage composition "
-                "only: " + "; ".join(problems) + ". Until stages can "
-                "declare a delta hook (the planned escape hatch — see "
-                "ROADMAP.md), run custom compositions through "
+                "only: " + "; ".join(problems) + ". A custom stage may "
+                "declare a delta hook (the escape hatch: override "
+                "Stage.apply_delta) to opt in to rerun-on-refresh; "
+                "otherwise run custom compositions through "
                 "MatchSession.match() instead."
             )
+        #: Hook-declaring custom stages, in graph order — re-run by
+        #: every :meth:`match` alongside candidates/matching.
+        self._delta_hook_stages = tuple(
+            name for name in names if name in hooked
+        )
         self.session = session
         self.config = session.config
         self.graph = session.graph
@@ -395,6 +411,31 @@ class IncrementalMatcher:
         ctx.put("neighbor_index", self._neighbor_index, producer=producer)
         ctx.put("top_relations1", list(self._top_rels[0]), producer=producer)
         ctx.put("top_relations2", list(self._top_rels[1]), producer=producer)
+
+    # ------------------------------------------------------------------
+    # Copy-on-write epochs (serving layer)
+    # ------------------------------------------------------------------
+    def detach_shared_artifacts(self) -> None:
+        """Stop mutating the currently published similarity indices.
+
+        Delta refreshes patch the value/neighbor indices **in place**
+        (:meth:`~repro.core.similarity.PackedSimilarityIndex.apply_pair_updates`).
+        A reader holding a reference across that refresh — the resolution
+        daemon's published :class:`~repro.serve.state.ServingState` —
+        would observe a half-applied patch.  Calling this before a delta
+        epoch swaps both indices for
+        :meth:`~repro.core.similarity.PackedSimilarityIndex.detached_copy`
+        clones: the immutable CSR columns stay shared, while the
+        patch-bearing maps (packed sums, patched rows, interners) are
+        copied, so every previously handed-out index is frozen forever
+        and subsequent refreshes mutate only the private clones.  The
+        pair-hasher cache is dropped with the interners it was keyed on.
+        Cheap relative to a refresh: O(patched rows + interned URIs),
+        no CSR rebuild.
+        """
+        self._value_index = self._value_index.detached_copy()
+        self._neighbor_index = self._neighbor_index.detached_copy()
+        self._hasher_cache = None
 
     # ------------------------------------------------------------------
     # Deltas
@@ -907,11 +948,18 @@ class IncrementalMatcher:
         Refreshes pending deltas, overlays the patched artifacts on the
         bootstrap context through a :class:`DeltaContext`, and re-runs
         only the decision stages (candidates + matching) — the only
-        stages without a sound in-place patch, since H1-H3 are
-        order-dependent greedy passes.
+        default stages without a sound in-place patch, since H1-H3 are
+        order-dependent greedy passes.  Custom stages that declared the
+        delta hook (:meth:`~repro.pipeline.stage.Stage.apply_delta`)
+        are re-run too, in graph order — the fallback contract that
+        keeps their artifacts consistent without a patch strategy.
         """
         from ..core.pipeline import MatchResult
 
+        rerun = set(self._delta_hook_stages) | {"candidates", "matching"}
+        rerun_order = [
+            name for name in self.graph.names() if name in rerun
+        ]
         with activate(self.telemetry) as telemetry:
             tracer = telemetry.tracer
             with tracer.span(
@@ -926,7 +974,7 @@ class IncrementalMatcher:
                     ctx.record_stage(
                         stage, self.graph.stage(stage).timing_group, seconds, ran=ran
                     )
-                for name in ("candidates", "matching"):
+                for name in rerun_order:
                     stage = self.graph.stage(name)
                     with tracer.span(
                         name,

@@ -37,9 +37,19 @@ class Telemetry:
     enabled: bool
 
     @classmethod
-    def create(cls) -> "Telemetry":
-        """A fresh enabled bundle (one per observed run)."""
-        return cls(tracer=Tracer(), metrics=MetricsRegistry(), enabled=True)
+    def create(cls, max_span_records: int | None = None) -> "Telemetry":
+        """A fresh enabled bundle (one per observed run).
+
+        ``max_span_records`` bounds the tracer's retained records
+        (oldest dropped first) — what long-running processes like the
+        resolution daemon pass so per-request spans cannot grow memory
+        without limit.  ``None`` retains everything (batch default).
+        """
+        return cls(
+            tracer=Tracer(max_records=max_span_records),
+            metrics=MetricsRegistry(),
+            enabled=True,
+        )
 
     @classmethod
     def disabled(cls) -> "Telemetry":

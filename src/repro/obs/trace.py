@@ -138,15 +138,35 @@ class _Span:
 
 
 class Tracer:
-    """Thread-safe span recorder with per-thread nesting."""
+    """Thread-safe span recorder with per-thread nesting.
+
+    ``max_records`` bounds the retained record list for long-running
+    processes (the resolution daemon traces every request): once the
+    bound is reached, the **oldest** records are discarded and
+    :attr:`dropped` counts the loss, so recent activity stays
+    inspectable at a fixed memory ceiling.  ``None`` (the default, and
+    what batch runs use) retains everything.
+    """
 
     enabled = True
 
-    def __init__(self) -> None:
+    def __init__(self, max_records: int | None = None) -> None:
+        if max_records is not None and max_records < 1:
+            raise ValueError("max_records must be >= 1")
         self._lock = threading.Lock()
         self._records: list[SpanRecord] = []
         self._next_id = 1
         self._stacks = threading.local()
+        self._max_records = max_records
+        #: Records discarded to honour ``max_records``.
+        self.dropped = 0
+
+    def _trim_locked(self) -> None:
+        bound = self._max_records
+        if bound is not None and len(self._records) > bound:
+            excess = len(self._records) - bound
+            del self._records[:excess]
+            self.dropped += excess
 
     # ------------------------------------------------------------------
     # Span lifecycle
@@ -177,6 +197,7 @@ class Tracer:
             stack.pop()
         with self._lock:
             self._records.append(span.record)
+            self._trim_locked()
 
     # ------------------------------------------------------------------
     # Worker record absorption
@@ -202,6 +223,7 @@ class Tracer:
                 record.span_id = mapping[record.span_id]
                 record.parent_id = mapping.get(record.parent_id, parent_id)
                 self._records.append(record)
+            self._trim_locked()
 
     # ------------------------------------------------------------------
     # Read side

@@ -26,6 +26,7 @@ Example::
 from __future__ import annotations
 
 from dataclasses import fields, replace
+from functools import lru_cache
 from typing import TYPE_CHECKING, Any
 
 from ..engine.executor import create_executor
@@ -44,6 +45,12 @@ if TYPE_CHECKING:  # pragma: no cover - types only
 
 #: Cache-key sentinel for the seeded inputs (fixed per session).
 _INPUT_SIGNATURE = ("input",)
+
+#: Bound of the per-session :meth:`MatchSession.probe` result cache.
+#: Large enough that a serving hot set stays resident, small enough
+#: that a crawl over millions of distinct URIs cannot grow the session
+#: without limit (an evicted probe recomputes identically).
+PROBE_CACHE_SIZE = 1024
 
 
 class StaleSessionError(RuntimeError):
@@ -101,6 +108,11 @@ class MatchSession:
         self._cache: dict[tuple, dict[str, Any]] = {}
         self._config_fields = {f.name for f in fields(config)}
         self._kb_versions = (kb1.version, kb2.version)
+        self._probe_ctx: PipelineContext | None = None
+        self._probe_decisions: dict[str, Any] = {}
+        self._probe_cached = lru_cache(maxsize=PROBE_CACHE_SIZE)(
+            self._probe_uncached
+        )
 
     # ------------------------------------------------------------------
     # Cache keys
@@ -239,6 +251,63 @@ class MatchSession:
         return ctx
 
     # ------------------------------------------------------------------
+    # Single-entity probes (the read-only hot path)
+    # ------------------------------------------------------------------
+    def probe(self, uri: str, k: int | None = None):
+        """Read-only resolution view of one E1 entity.
+
+        Returns a :class:`~repro.core.candidates.ProbeResult`: the
+        entity's top-``k`` value and neighbor candidates decoded
+        straight from the packed CSR rows, its best value counterpart,
+        and its standing match decision under the session's own config.
+        Results come from a bounded LRU cache (:data:`PROBE_CACHE_SIZE`
+        distinct ``(uri, k)`` probes) — the resolution daemon's hot read
+        path, but equally useful for interactive lookups over a loaded
+        snapshot.  The first probe runs (or cache-restores) the
+        pipeline; every later one is a pure decode that mutates no
+        stage cache, so probes compose freely with ``match()`` calls.
+        ``k`` defaults to the config's ``top_k_candidates``.
+        """
+        if k is None:
+            k = self.config.top_k_candidates
+        if k is not None and k < 1:
+            raise ValueError("k must be >= 1")
+        self._ensure_probe_context()
+        return self._probe_cached(uri, k)
+
+    def _ensure_probe_context(self) -> None:
+        """Materialize (once) the finished context probes decode from."""
+        if self._probe_ctx is not None:
+            return
+        ctx = self.run_context()
+        decisions: dict[str, Any] = {}
+        for match in ctx.get_or("matches", []):
+            decisions.setdefault(match.uri1, match)
+        self._probe_ctx = ctx
+        self._probe_decisions = decisions
+
+    def _probe_uncached(self, uri: str, k: int | None):
+        from ..core.candidates import ProbeResult, probe_rows
+
+        ctx = self._probe_ctx
+        value_rows, neighbor_rows, best = probe_rows(
+            ctx.get("value_index"), ctx.get("neighbor_index"), uri, k
+        )
+        return ProbeResult(
+            uri=uri,
+            known=uri in self.kb1,
+            value=value_rows,
+            neighbor=neighbor_rows,
+            best=best,
+            match=self._probe_decisions.get(uri),
+        )
+
+    def _drop_probe_state(self) -> None:
+        self._probe_ctx = None
+        self._probe_decisions = {}
+        self._probe_cached.cache_clear()
+
+    # ------------------------------------------------------------------
     # Persistence (the columnar snapshot store)
     # ------------------------------------------------------------------
     def save(self, path) -> "Path":
@@ -370,6 +439,7 @@ class MatchSession:
     def clear(self) -> None:
         """Drop all cached artifacts (counters are kept)."""
         self._cache.clear()
+        self._drop_probe_state()
         self._kb_versions = (self.kb1.version, self.kb2.version)
 
     def invalidate(self, artifact: str) -> int:
@@ -412,6 +482,7 @@ class MatchSession:
         ]
         for signature in stale:
             del self._cache[signature]
+        self._drop_probe_state()
         if tainted >= set(self.graph.names()):
             # Only a full invalidation clears the staleness guard: a
             # narrow one leaves artifacts computed on the old KB state

@@ -1,0 +1,453 @@
+"""The resolution daemon: one writer, many readers, swap-on-publish.
+
+:class:`ResolutionDaemon` owns an :class:`IncrementalMatcher` (loaded
+from a ``repro-snapshot/1`` directory) and a :class:`StateBox` holding
+the published :class:`ServingState`.  The request flow:
+
+- **Reads** (``/match``, ``/candidates``, ``/best``, ``/stats``,
+  ``/healthz``, ``/metrics``) pin the published state with one atomic
+  reference load and answer entirely from it — no lock, no matcher.
+- **Writes** (``/delta``) and **admin** (``/snapshot``, ``/reload``)
+  serialize on the writer lock.  A delta first detaches the matcher
+  from the published state's indices
+  (:meth:`IncrementalMatcher.detach_shared_artifacts` — copy-on-write,
+  CSR columns stay shared), applies the batch, re-matches, and
+  publishes the next generation.  Readers mid-request keep the old
+  state; readers arriving after the swap see the new one; nobody sees
+  a mix.
+
+The HTTP layer is ``http.server.ThreadingHTTPServer`` with non-daemon
+request threads, so ``shutdown()`` (the SIGTERM path) drains in-flight
+requests before ``server_close()`` returns — graceful by construction.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import signal
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Any
+
+from ..incremental import IncrementalMatcher
+from ..obs import Telemetry, prometheus_text
+from . import handlers
+from .json_codec import (
+    DeltaFormatError,
+    DeltaOp,
+    parse_delta,
+    validate_against_membership,
+)
+from .state import ServingState, StateBox
+
+log = logging.getLogger("repro.serve")
+
+#: Span-record retention of the daemon's telemetry: enough to inspect
+#: recent traffic, bounded so an unbounded request stream cannot grow
+#: memory (see docs/OBSERVABILITY.md).
+MAX_SPAN_RECORDS = 4096
+
+
+class ResolutionDaemon:
+    """The serving core (HTTP-agnostic; the handler class drives it)."""
+
+    def __init__(
+        self,
+        matcher: IncrementalMatcher,
+        *,
+        snapshot_source: str | Path | None = None,
+        snapshot_dir: str | Path | None = None,
+        auto_snapshot_every: int = 0,
+        telemetry: Telemetry | None = None,
+    ) -> None:
+        if auto_snapshot_every < 0:
+            raise ValueError("auto_snapshot_every must be >= 0")
+        self.telemetry = telemetry or Telemetry.create(
+            max_span_records=MAX_SPAN_RECORDS
+        )
+        # The matcher's own runs (bootstrap re-match, delta matches)
+        # record into the daemon's telemetry: one registry to scrape.
+        matcher.telemetry = self.telemetry
+        self._matcher = matcher
+        if matcher.last_context is None:
+            with self._span("bootstrap_match", category="run"):
+                matcher.match()
+        self._box = StateBox(
+            ServingState.from_matcher(matcher, generation=1, delta_count=0)
+        )
+        self._writer_lock = threading.RLock()
+        self.snapshot_source = (
+            Path(snapshot_source) if snapshot_source is not None else None
+        )
+        if snapshot_dir is not None:
+            self._snapshot_dir = Path(snapshot_dir)
+        elif self.snapshot_source is not None:
+            self._snapshot_dir = self.snapshot_source.parent
+        else:
+            self._snapshot_dir = Path(".")
+        self.auto_snapshot_every = auto_snapshot_every
+        #: Delta requests applied since the last snapshot (the
+        #: ``--auto-snapshot-every`` counter — deterministic, unlike a
+        #: wall-clock period).
+        self.deltas_since_snapshot = 0
+        #: Whether published state is newer than the last snapshot.
+        self.dirty = False
+        self.last_snapshot_path: Path | None = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_snapshot(
+        cls,
+        path: str | Path,
+        *,
+        engine: str | None = None,
+        workers: int | None = None,
+        snapshot_dir: str | Path | None = None,
+        auto_snapshot_every: int = 0,
+        telemetry: Telemetry | None = None,
+    ) -> "ResolutionDaemon":
+        """A daemon warm-started from a ``repro-snapshot/1`` directory."""
+        matcher = IncrementalMatcher.from_snapshot(
+            path, engine=engine, workers=workers
+        )
+        return cls(
+            matcher,
+            snapshot_source=path,
+            snapshot_dir=snapshot_dir,
+            auto_snapshot_every=auto_snapshot_every,
+            telemetry=telemetry,
+        )
+
+    def _span(self, name: str, category: str = "request", args=None):
+        return self.telemetry.tracer.span(name, category=category, args=args)
+
+    # ------------------------------------------------------------------
+    # Read side
+    # ------------------------------------------------------------------
+    def state(self) -> ServingState:
+        """Pin the published state (the one atomic read)."""
+        return self._box.current()
+
+    def metrics_text(self) -> str:
+        """The ``GET /metrics`` Prometheus exposition."""
+        return prometheus_text(self.telemetry)
+
+    # ------------------------------------------------------------------
+    # Write side (single writer; every path below takes the lock)
+    # ------------------------------------------------------------------
+    def apply_delta(self, ops: tuple[DeltaOp, ...]) -> dict[str, Any]:
+        """Apply one all-or-nothing delta batch and publish the result."""
+        with self._writer_lock:
+            state = self._box.current()
+            # All-or-nothing: walk the batch over simulated membership
+            # before the matcher mutates anything.
+            validate_against_membership(ops, state.uris1, state.uris2)
+            # Copy-on-write epoch: the published state's indices must
+            # never see the in-place patches the refresh applies.
+            self._matcher.detach_shared_artifacts()
+            added = removed = 0
+            for op in ops:
+                if op.op == "add":
+                    added += self._matcher.add_entities(op.kb, op.entities)
+                else:
+                    removed += self._matcher.remove_entities(op.kb, op.uris)
+            result = self._matcher.match()  # records into self.telemetry
+            new_state = ServingState.from_matcher(
+                self._matcher,
+                generation=state.generation + 1,
+                delta_count=state.delta_count + len(ops),
+            )
+            self._box.publish(new_state)
+            self.dirty = True
+            self.deltas_since_snapshot += 1
+            self.telemetry.metrics.counter("serve.delta_applied").inc()
+            payload = {
+                "generation": new_state.generation,
+                "ops": len(ops),
+                "added": added,
+                "removed": removed,
+                "matches": len(result.matches),
+                "matches_digest": new_state.matches_digest,
+            }
+            if (
+                self.auto_snapshot_every
+                and self.deltas_since_snapshot >= self.auto_snapshot_every
+            ):
+                payload["snapshot"] = str(self.save_snapshot())
+            return payload
+
+    def save_snapshot(self, path: str | Path | None = None) -> Path:
+        """Persist the current state to a digest-pinned directory.
+
+        The default directory name carries the generation and the first
+        12 hex digits of the matches digest —
+        ``snap-g<generation>-<digest12>`` under the daemon's snapshot
+        directory — so distinct states can never silently overwrite
+        each other.
+        """
+        with self._writer_lock:
+            state = self._box.current()
+            if path is None:
+                path = self._snapshot_dir / (
+                    f"snap-g{state.generation}-{state.matches_digest[:12]}"
+                )
+            target = self._matcher.save(Path(path))
+            self.dirty = False
+            self.deltas_since_snapshot = 0
+            self.last_snapshot_path = Path(target)
+            self.telemetry.metrics.counter("serve.snapshots_saved").inc()
+            log.info("snapshot saved to %s", target)
+            return Path(target)
+
+    def reload(self, path: str | Path | None = None) -> dict[str, Any]:
+        """Replace the matcher and published state from a snapshot.
+
+        ``path`` defaults to the most recent ``save_snapshot`` target,
+        falling back to the directory the daemon started from.  The
+        generation keeps advancing (a reload is a publish like any
+        other), so readers still observe a strictly monotone sequence.
+        """
+        with self._writer_lock:
+            if path is None:
+                path = self.last_snapshot_path or self.snapshot_source
+            if path is None:
+                raise DeltaFormatError(
+                    "no snapshot path: pass one, or save a snapshot first"
+                )
+            matcher = IncrementalMatcher.from_snapshot(
+                path,
+                engine=self._matcher.config.engine,
+                workers=self._matcher.config.workers,
+            )
+            matcher.telemetry = self.telemetry
+            with self._span("reload_match", category="run"):
+                matcher.match()
+            state = self._box.current()
+            new_state = ServingState.from_matcher(
+                matcher, generation=state.generation + 1, delta_count=0
+            )
+            self._matcher = matcher
+            self._box.publish(new_state)
+            self.dirty = False
+            self.deltas_since_snapshot = 0
+            self.telemetry.metrics.counter("serve.reloads").inc()
+            log.info("reloaded from %s (generation %d)", path, new_state.generation)
+            return {
+                "generation": new_state.generation,
+                "snapshot": str(path),
+                "matches": len(new_state.matches),
+                "matches_digest": new_state.matches_digest,
+            }
+
+    def drain_save(self) -> Path | None:
+        """The SIGTERM epilogue: snapshot unsaved state, if configured."""
+        if self.dirty and self.auto_snapshot_every:
+            return self.save_snapshot()
+        return None
+
+
+# ----------------------------------------------------------------------
+# HTTP layer
+# ----------------------------------------------------------------------
+class ServeHTTPServer(ThreadingHTTPServer):
+    """Threading server that drains request threads on close.
+
+    ``daemon_threads = False`` (unlike stock ``ThreadingHTTPServer``)
+    makes ``server_close()`` join every in-flight request — the "drain"
+    half of graceful shutdown.
+    """
+
+    daemon_threads = False
+    allow_reuse_address = True
+
+
+class _RequestHandler(BaseHTTPRequestHandler):
+    """Routes requests into the daemon; one instance per request."""
+
+    server_version = "repro-serve/1"
+    protocol_version = "HTTP/1.1"
+    daemon: ResolutionDaemon  # set on the subclass build_server creates
+    #: Request body cap: a delta batch measured in tens of MiB is a
+    #: bulk load, which belongs in the batch CLI, not an HTTP POST.
+    max_body_bytes = 64 * 1024 * 1024
+
+    # ------------------------------------------------------------------
+    # Entry points
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 (http.server convention)
+        self._handle("GET")
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._handle("POST")
+
+    def _handle(self, method: str) -> None:
+        daemon = self.daemon
+        metrics = daemon.telemetry.metrics
+        endpoint = "unrouted"
+        try:
+            endpoint, uri, query = handlers.route(method, self.path)
+        except handlers.RequestError as error:
+            metrics.counter("serve.requests").inc()
+            self._send_error(error.status, str(error))
+            return
+        metrics.counter("serve.requests").inc()
+        metrics.counter(f"serve.requests.{endpoint}").inc()
+        with daemon._span(
+            f"http:{endpoint}", args={"method": method}
+        ) as span:
+            try:
+                status, payload = self._dispatch(endpoint, uri, query)
+            except handlers.RequestError as error:
+                span.set(status=error.status)
+                self._send_error(error.status, str(error))
+                return
+            except DeltaFormatError as error:
+                span.set(status=400)
+                self._send_error(400, str(error))
+                return
+            except Exception:  # noqa: BLE001 - the 500 boundary
+                log.exception("unhandled error on %s %s", method, self.path)
+                span.set(status=500)
+                self._send_error(500, "internal error (see daemon log)")
+                return
+            span.set(status=status)
+        metrics.histogram(f"serve.latency_seconds.{endpoint}").observe(
+            span.seconds
+        )
+        if endpoint == "metrics":
+            self._send_text(status, payload)
+        else:
+            self._send_json(status, payload)
+
+    def _dispatch(
+        self, endpoint: str, uri: str | None, query: dict
+    ) -> tuple[int, Any]:
+        daemon = self.daemon
+        # Read endpoints pin ONE state here and never look again.
+        if endpoint == "healthz":
+            return 200, handlers.handle_healthz(daemon.state())
+        if endpoint == "stats":
+            return 200, handlers.handle_stats(daemon.state())
+        if endpoint == "metrics":
+            return 200, daemon.metrics_text()
+        if endpoint == "match":
+            return 200, handlers.handle_match(daemon.state(), uri)
+        if endpoint == "candidates":
+            k = handlers.parse_k(query)
+            return 200, handlers.handle_candidates(daemon.state(), uri, k)
+        if endpoint == "best":
+            return 200, handlers.handle_best(daemon.state(), uri)
+        if endpoint == "delta":
+            ops = parse_delta(self._read_json_body())
+            return 200, daemon.apply_delta(ops)
+        if endpoint == "snapshot":
+            body = self._read_json_body(optional=True) or {}
+            path = daemon.save_snapshot(body.get("path"))
+            state = daemon.state()
+            return 200, {
+                "snapshot": str(path),
+                "generation": state.generation,
+                "matches_digest": state.matches_digest,
+            }
+        if endpoint == "reload":
+            body = self._read_json_body(optional=True) or {}
+            return 200, daemon.reload(body.get("path"))
+        raise handlers.RequestError(404, f"no such endpoint: {endpoint}")
+
+    # ------------------------------------------------------------------
+    # Body / response plumbing
+    # ------------------------------------------------------------------
+    def _read_json_body(self, optional: bool = False) -> Any:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length == 0:
+            if optional:
+                return None
+            raise handlers.RequestError(400, "request body required")
+        if length > self.max_body_bytes:
+            raise handlers.RequestError(
+                413, f"body exceeds {self.max_body_bytes} bytes"
+            )
+        raw = self.rfile.read(length)
+        try:
+            return json.loads(raw)
+        except json.JSONDecodeError as error:
+            raise handlers.RequestError(400, f"invalid JSON body: {error}")
+
+    def _send_json(self, status: int, payload: Any) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self._send_bytes(status, body, "application/json")
+
+    def _send_text(self, status: int, text: str) -> None:
+        self._send_bytes(
+            status, text.encode("utf-8"), "text/plain; version=0.0.4"
+        )
+
+    def _send_error(self, status: int, message: str) -> None:
+        self.daemon.telemetry.metrics.counter("serve.errors").inc()
+        body = json.dumps({"error": message, "status": status}).encode("utf-8")
+        self._send_bytes(status, body, "application/json")
+
+    def _send_bytes(self, status: int, body: bytes, content_type: str) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args: Any) -> None:
+        log.debug("%s - %s", self.address_string(), format % args)
+
+
+def build_server(
+    daemon: ResolutionDaemon, host: str = "127.0.0.1", port: int = 8750
+) -> ServeHTTPServer:
+    """An HTTP server bound to ``host:port`` and wired to ``daemon``.
+
+    ``port=0`` binds an ephemeral port (tests); read the actual one
+    from ``server.server_address``.
+    """
+    handler = type(
+        "BoundRequestHandler", (_RequestHandler,), {"daemon": daemon}
+    )
+    return ServeHTTPServer((host, port), handler)
+
+
+def install_signal_handlers(server: ServeHTTPServer) -> None:
+    """SIGTERM/SIGINT → ``server.shutdown()`` from a side thread.
+
+    ``shutdown()`` blocks until ``serve_forever`` exits, so it must not
+    run on the signal-handling (main) thread itself.
+    """
+
+    def _initiate(signum: int, frame: Any) -> None:
+        log.info("signal %d: draining and shutting down", signum)
+        threading.Thread(
+            target=server.shutdown, name="serve-shutdown", daemon=True
+        ).start()
+
+    signal.signal(signal.SIGTERM, _initiate)
+    signal.signal(signal.SIGINT, _initiate)
+
+
+def run(daemon: ResolutionDaemon, server: ServeHTTPServer) -> None:
+    """Serve until shutdown, then drain in-flight requests and save.
+
+    The epilogue order is the graceful-SIGTERM contract: stop accepting
+    (``serve_forever`` returned), join every request thread
+    (``server_close`` — non-daemon threads), then write the final
+    auto-snapshot if unsaved deltas remain.
+    """
+    host, port = server.server_address[:2]
+    log.info("serving on http://%s:%d (generation %d)",
+             host, port, daemon.state().generation)
+    try:
+        server.serve_forever()
+    finally:
+        server.server_close()
+        saved = daemon.drain_save()
+        if saved is not None:
+            log.info("final snapshot saved to %s", saved)

@@ -1,0 +1,127 @@
+"""A minimal stdlib client for the resolution daemon.
+
+Used by the isolation tests, the serving benchmark and the CI smoke
+job; equally usable interactively::
+
+    from repro.serve.client import ServeClient
+
+    client = ServeClient("http://127.0.0.1:8750")
+    client.healthz()                      # {'status': 'ok', 'generation': 1}
+    client.candidates("http://ex/e1", k=5)
+    client.apply_delta({"ops": [
+        {"op": "remove", "kb": "kb1", "uris": ["http://ex/e1"]},
+    ]})
+    client.snapshot()
+
+Entity URIs are percent-quoted into the path (``quote(uri, safe="")``),
+matching the daemon's routing.  Error responses raise
+:class:`ServeClientError` carrying the HTTP status and the decoded
+``error`` message.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+from urllib.error import HTTPError, URLError
+from urllib.parse import quote, urlencode
+from urllib.request import Request, urlopen
+
+
+class ServeClientError(RuntimeError):
+    """A non-2xx daemon response (or no response at all)."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+
+
+class ServeClient:
+    """Typed wrappers over the daemon's endpoints, one method each."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    def _request(
+        self, method: str, path: str, payload: Any | None = None
+    ) -> tuple[int, str, str]:
+        body = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = Request(
+            self.base_url + path, data=body, headers=headers, method=method
+        )
+        try:
+            with urlopen(request, timeout=self.timeout) as response:
+                return (
+                    response.status,
+                    response.read().decode("utf-8"),
+                    response.headers.get("Content-Type", ""),
+                )
+        except HTTPError as error:
+            raw = error.read().decode("utf-8", errors="replace")
+            try:
+                message = json.loads(raw).get("error", raw)
+            except (json.JSONDecodeError, AttributeError):
+                message = raw
+            raise ServeClientError(error.code, message) from None
+        except URLError as error:
+            raise ServeClientError(0, f"daemon unreachable: {error.reason}")
+
+    def _json(self, method: str, path: str, payload: Any | None = None) -> Any:
+        _, body, _ = self._request(method, path, payload)
+        return json.loads(body)
+
+    @staticmethod
+    def _entity_path(prefix: str, uri: str) -> str:
+        return f"{prefix}/{quote(uri, safe='')}"
+
+    # ------------------------------------------------------------------
+    # Read endpoints
+    # ------------------------------------------------------------------
+    def healthz(self) -> dict[str, Any]:
+        return self._json("GET", "/healthz")
+
+    def stats(self) -> dict[str, Any]:
+        return self._json("GET", "/stats")
+
+    def metrics(self) -> str:
+        """The raw Prometheus text exposition."""
+        _, body, _ = self._request("GET", "/metrics")
+        return body
+
+    def match(self, uri: str) -> dict[str, Any]:
+        return self._json("GET", self._entity_path("/match", uri))
+
+    def candidates(self, uri: str, k: int | None = None) -> dict[str, Any]:
+        path = self._entity_path("/candidates", uri)
+        if k is not None:
+            path += "?" + urlencode({"k": k})
+        return self._json("GET", path)
+
+    def best(self, uri: str) -> dict[str, Any]:
+        return self._json("GET", self._entity_path("/best", uri))
+
+    # ------------------------------------------------------------------
+    # Write / admin endpoints
+    # ------------------------------------------------------------------
+    def apply_delta(self, payload: dict[str, Any]) -> dict[str, Any]:
+        """POST a delta batch (see :mod:`repro.serve.json_codec`)."""
+        return self._json("POST", "/delta", payload)
+
+    def snapshot(self, path: str | None = None) -> dict[str, Any]:
+        body = {"path": path} if path is not None else None
+        return self._json("POST", "/snapshot", body)
+
+    def reload(self, path: str | None = None) -> dict[str, Any]:
+        body = {"path": path} if path is not None else None
+        return self._json("POST", "/reload", body)
+
+    def __repr__(self) -> str:
+        return f"ServeClient({self.base_url!r})"

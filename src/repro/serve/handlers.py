@@ -1,0 +1,141 @@
+"""Endpoint routing and payload builders (pure, state-in → dict-out).
+
+Every read handler takes the :class:`~repro.serve.state.ServingState`
+the request pinned and returns a JSON-ready payload; nothing here
+touches the daemon, the matcher, or any lock.  That is the isolation
+model made syntactic: a handler *cannot* observe two generations,
+because it only ever receives one.
+
+Routing is table-free string matching on purpose — six endpoints do not
+need a framework, and the absence of one is what keeps the daemon
+dependency-free.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+from urllib.parse import parse_qs, unquote, urlsplit
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from .state import ServingState
+
+
+class RequestError(ValueError):
+    """A client error with its HTTP status attached."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+#: (method, endpoint name) per fixed path; entity endpoints are prefixes.
+_FIXED_GET = {"/healthz": "healthz", "/stats": "stats", "/metrics": "metrics"}
+_PREFIX_GET = {"/match/": "match", "/candidates/": "candidates", "/best/": "best"}
+_FIXED_POST = {"/delta": "delta", "/snapshot": "snapshot", "/reload": "reload"}
+
+
+def route(method: str, target: str) -> tuple[str, str | None, dict[str, list[str]]]:
+    """Resolve a request line to ``(endpoint, uri, query)``.
+
+    ``uri`` is the percent-decoded entity URI for the per-entity
+    endpoints (clients quote it with ``urllib.parse.quote(uri,
+    safe="")``), else ``None``.  Raises :class:`RequestError` (404/405)
+    for anything off the map.
+    """
+    split = urlsplit(target)
+    path, query = split.path, parse_qs(split.query)
+    if method == "GET":
+        if path in _FIXED_GET:
+            return _FIXED_GET[path], None, query
+        for prefix, endpoint in _PREFIX_GET.items():
+            if path.startswith(prefix) and len(path) > len(prefix):
+                return endpoint, unquote(path[len(prefix):]), query
+        if path in _FIXED_POST:
+            raise RequestError(405, f"{path} requires POST")
+    elif method == "POST":
+        if path in _FIXED_POST:
+            return _FIXED_POST[path], None, query
+        if path in _FIXED_GET or any(
+            path.startswith(prefix) for prefix in _PREFIX_GET
+        ):
+            raise RequestError(405, f"{path} requires GET")
+    raise RequestError(404, f"no such endpoint: {method} {path}")
+
+
+def parse_k(query: dict[str, list[str]]) -> int | None:
+    """The ``?k=`` candidate-list bound, validated (None = config's K)."""
+    raw = query.get("k")
+    if not raw:
+        return None
+    try:
+        k = int(raw[0])
+    except ValueError:
+        raise RequestError(400, f"k must be an integer, got {raw[0]!r}")
+    if k < 1:
+        raise RequestError(400, f"k must be >= 1, got {k}")
+    return k
+
+
+# ----------------------------------------------------------------------
+# Read-endpoint payloads (one pinned state each)
+# ----------------------------------------------------------------------
+def _match_dict(match) -> dict[str, Any] | None:
+    if match is None:
+        return None
+    return {
+        "uri1": match.uri1,
+        "uri2": match.uri2,
+        "heuristic": match.heuristic,
+        "score": match.score,
+    }
+
+
+def handle_match(state: "ServingState", uri: str) -> dict[str, Any]:
+    """``GET /match/<uri>``: membership + the standing decision.
+
+    Looks the URI up on *both* sides, so a KB2 entity answers with the
+    decision that claimed it.
+    """
+    decision = state.decision_of(uri)
+    return {
+        "uri": uri,
+        "generation": state.generation,
+        "known": uri in state.uris1 or uri in state.uris2,
+        "matched": decision is not None,
+        "match": _match_dict(decision),
+    }
+
+
+def handle_candidates(
+    state: "ServingState", uri: str, k: int | None
+) -> dict[str, Any]:
+    """``GET /candidates/<uri>?k=``: the ranked evidence rows."""
+    try:
+        probe = state.probe(uri, k)
+    except ValueError as error:
+        raise RequestError(400, str(error))
+    payload = probe.as_dict()
+    payload["generation"] = state.generation
+    payload["k"] = k if k is not None else state.config.top_k_candidates
+    return payload
+
+
+def handle_best(state: "ServingState", uri: str) -> dict[str, Any]:
+    """``GET /best/<uri>``: the value index's best counterpart (vmax)."""
+    best = state.value_index.best_candidate(uri)
+    return {
+        "uri": uri,
+        "generation": state.generation,
+        "known": uri in state.uris1,
+        "best": list(best) if best is not None else None,
+    }
+
+
+def handle_stats(state: "ServingState") -> dict[str, Any]:
+    """``GET /stats``: the generation's aggregate view."""
+    return state.stats()
+
+
+def handle_healthz(state: "ServingState") -> dict[str, Any]:
+    """``GET /healthz``: liveness plus the published generation."""
+    return {"status": "ok", "generation": state.generation}

@@ -1,0 +1,225 @@
+"""Immutable published read states and the swap-on-publish box.
+
+The daemon's isolation model in two classes:
+
+- A :class:`ServingState` is one *generation* of resolution evidence —
+  the packed similarity indices, the decided matches, and the KB
+  membership at publish time — frozen forever once constructed.  Every
+  read endpoint resolves entirely against one state object, so a
+  response can never mix evidence from two generations.
+- A :class:`StateBox` holds the single published reference.  Readers do
+  exactly one attribute load (atomic under the GIL) to pin a state for
+  the whole request; the writer constructs the next state off to the
+  side and swaps it in with one attribute store.  No lock appears
+  anywhere on the read path.
+
+The writer's obligation is that published objects are never mutated
+afterwards: before applying a delta it calls
+:meth:`~repro.incremental.IncrementalMatcher.detach_shared_artifacts`,
+so in-place index patches land on private clones while the published
+state keeps the frozen originals.
+"""
+
+from __future__ import annotations
+
+import threading
+from functools import lru_cache
+from typing import TYPE_CHECKING, Any
+
+from ..core.candidates import ProbeResult, probe_rows
+from ..pipeline.digest import artifact_digest
+from ..pipeline.session import PROBE_CACHE_SIZE
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from ..core.heuristics import Match
+    from ..core.neighbors import NeighborSimilarityIndex
+    from ..core.similarity import ValueSimilarityIndex
+    from ..incremental.matcher import IncrementalMatcher
+
+
+class ServingState:
+    """One published generation of read-only resolution evidence.
+
+    Constructed by the single writer, then only ever read.  Each state
+    carries its own bounded probe cache: a new generation starts cold,
+    so a stale cached row can never outlive the state it was decoded
+    from.
+    """
+
+    __slots__ = (
+        "generation",
+        "value_index",
+        "neighbor_index",
+        "matches",
+        "decisions1",
+        "decisions2",
+        "uris1",
+        "uris2",
+        "config",
+        "delta_count",
+        "matches_digest",
+        "_probe_cached",
+    )
+
+    def __init__(
+        self,
+        *,
+        generation: int,
+        value_index: "ValueSimilarityIndex",
+        neighbor_index: "NeighborSimilarityIndex",
+        matches: tuple["Match", ...],
+        uris1: frozenset[str],
+        uris2: frozenset[str],
+        config: Any,
+        delta_count: int,
+        matches_digest: str,
+    ) -> None:
+        self.generation = generation
+        self.value_index = value_index
+        self.neighbor_index = neighbor_index
+        self.matches = matches
+        # First-wins maps mirror the greedy matching order: the first
+        # decision emitted for an entity is its standing decision.
+        decisions1: dict[str, "Match"] = {}
+        decisions2: dict[str, "Match"] = {}
+        for match in matches:
+            decisions1.setdefault(match.uri1, match)
+            decisions2.setdefault(match.uri2, match)
+        self.decisions1 = decisions1
+        self.decisions2 = decisions2
+        self.uris1 = uris1
+        self.uris2 = uris2
+        self.config = config
+        self.delta_count = delta_count
+        self.matches_digest = matches_digest
+        self._probe_cached = lru_cache(maxsize=PROBE_CACHE_SIZE)(
+            self._probe_uncached
+        )
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_matcher(
+        cls,
+        matcher: "IncrementalMatcher",
+        *,
+        generation: int,
+        delta_count: int,
+    ) -> "ServingState":
+        """Freeze the matcher's current (post-``match()``) evidence.
+
+        The caller must have run :meth:`IncrementalMatcher.match` — the
+        state is built from ``last_context``, the same artifact store a
+        snapshot would persist, so a state's ``matches_digest`` equals
+        the ``matches`` entry of the digests a concurrent
+        ``POST /snapshot`` writes.
+        """
+        ctx = matcher.last_context
+        if ctx is None:
+            raise RuntimeError(
+                "matcher has no completed match(); run it before publishing"
+            )
+        matches = ctx.get("matches")
+        kb1, kb2 = matcher.kbs
+        return cls(
+            generation=generation,
+            value_index=ctx.get("value_index"),
+            neighbor_index=ctx.get("neighbor_index"),
+            matches=tuple(matches),
+            uris1=frozenset(kb1.uris()),
+            uris2=frozenset(kb2.uris()),
+            config=matcher.config,
+            delta_count=delta_count,
+            matches_digest=artifact_digest(matches),
+        )
+
+    # ------------------------------------------------------------------
+    # Reads (everything an endpoint needs, no mutation anywhere)
+    # ------------------------------------------------------------------
+    def probe(self, uri: str, k: int | None = None) -> ProbeResult:
+        """This generation's :class:`ProbeResult` for one E1 entity."""
+        if k is None:
+            k = self.config.top_k_candidates
+        if k is not None and k < 1:
+            raise ValueError("k must be >= 1")
+        return self._probe_cached(uri, k)
+
+    def _probe_uncached(self, uri: str, k: int | None) -> ProbeResult:
+        value_rows, neighbor_rows, best = probe_rows(
+            self.value_index, self.neighbor_index, uri, k
+        )
+        return ProbeResult(
+            uri=uri,
+            known=uri in self.uris1,
+            value=value_rows,
+            neighbor=neighbor_rows,
+            best=best,
+            match=self.decisions1.get(uri),
+        )
+
+    def decision_of(self, uri: str) -> "Match | None":
+        """The standing decision mentioning ``uri`` (either side)."""
+        found = self.decisions1.get(uri)
+        if found is None:
+            found = self.decisions2.get(uri)
+        return found
+
+    def stats(self) -> dict[str, Any]:
+        """The ``GET /stats`` payload body (JSON-ready)."""
+        by_heuristic: dict[str, int] = {}
+        for match in self.matches:
+            by_heuristic[match.heuristic] = (
+                by_heuristic.get(match.heuristic, 0) + 1
+            )
+        return {
+            "generation": self.generation,
+            "entities1": len(self.uris1),
+            "entities2": len(self.uris2),
+            "matches": len(self.matches),
+            "by_heuristic": by_heuristic,
+            "delta_count": self.delta_count,
+            "matches_digest": self.matches_digest,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"ServingState(gen={self.generation}, "
+            f"matches={len(self.matches)}, deltas={self.delta_count})"
+        )
+
+
+class StateBox:
+    """The single published-state reference (swap-on-publish).
+
+    ``current()`` is one attribute read — atomic under the GIL, so a
+    reader pins a fully-constructed state or the previous one, never a
+    torn mix.  ``publish()`` is restricted to the daemon's writer path
+    (which additionally serializes writers with its own lock); the box
+    itself also guards the swap so misuse cannot interleave stores.
+    """
+
+    __slots__ = ("_state", "_swap_lock")
+
+    def __init__(self, state: ServingState) -> None:
+        self._state = state
+        self._swap_lock = threading.Lock()
+
+    def current(self) -> ServingState:
+        """The currently published state (lock-free read)."""
+        return self._state
+
+    def publish(self, state: ServingState) -> ServingState:
+        """Swap ``state`` in; returns the state it replaced."""
+        with self._swap_lock:
+            previous = self._state
+            if state.generation <= previous.generation:
+                raise ValueError(
+                    f"generation must advance: {previous.generation} -> "
+                    f"{state.generation}"
+                )
+            self._state = state
+        return previous
+
+    def __repr__(self) -> str:
+        return f"StateBox({self._state!r})"

@@ -336,10 +336,40 @@ class TestIncrementalMatcherSurface:
             IncrementalMatcher(builder.session(kb1, kb2))
         message = str(excinfo.value)
         # The error must name the offending stage(s) and point the user
-        # at both the escape hatch to come and the workaround of today.
+        # at both the opt-in escape hatch and the workaround of today.
         assert "'odd'" in message
         assert "delta hook" in message
+        assert "Stage.apply_delta" in message
         assert "MatchSession.match()" in message
+
+    def test_delta_hook_stage_accepted_and_rerun(self):
+        kb1, kb2 = make_pair()
+        from repro.pipeline import Stage
+
+        runs = []
+
+        class Hooked(Stage):
+            name = "hooked"
+            requires = ("matches",)
+            provides = ("hooked",)
+
+            def run(self, ctx, engine):
+                runs.append(len(ctx.get("matches")))
+                ctx.put("hooked", len(ctx.get("matches")), producer=self.name)
+
+            def apply_delta(self, ctx, delta):  # pragma: no cover - stub
+                pass
+
+        builder = MinoanER.builder().with_stage(Hooked())
+        matcher = IncrementalMatcher(builder.session(kb1, kb2))
+        result = matcher.match()
+        assert matcher.last_context.get("hooked") == len(result.matches)
+        matcher.remove_entities(1, ["a0"])
+        result = matcher.match()
+        # The hook-declaring stage re-ran against the patched context.
+        assert matcher.last_context.get("hooked") == len(result.matches)
+        assert matcher.stage_recomputes["hooked"] == 2
+        assert len(runs) == 2
 
     def test_missing_stage_rejected_by_name(self):
         kb1, kb2 = make_pair()

@@ -176,6 +176,39 @@ class TestTracer:
             record.seconds for record in tracer.records()
         )
 
+    def test_max_records_drops_oldest(self):
+        tracer = Tracer(max_records=3)
+        for index in range(5):
+            with tracer.span(f"span{index}"):
+                pass
+        names = [record.name for record in tracer.records()]
+        assert names == ["span2", "span3", "span4"]
+        assert tracer.dropped == 2
+
+    def test_max_records_applies_to_absorb(self):
+        worker = Tracer()
+        for index in range(4):
+            with worker.span(f"task{index}"):
+                pass
+        driver = Tracer(max_records=2)
+        driver.absorb(worker.records())
+        assert [r.name for r in driver.records()] == ["task2", "task3"]
+        assert driver.dropped == 2
+
+    def test_max_records_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            Tracer(max_records=0)
+
+    def test_telemetry_create_forwards_span_bound(self):
+        from repro.obs import Telemetry
+
+        telemetry = Telemetry.create(max_span_records=1)
+        for index in range(3):
+            with telemetry.tracer.span(f"s{index}"):
+                pass
+        assert [r.name for r in telemetry.tracer.records()] == ["s2"]
+        assert telemetry.tracer.dropped == 2
+
     def test_null_tracer_still_measures_seconds(self):
         """Disabled runs keep ``stage_seconds`` meaningful: null spans
         time their body, they just record nothing."""

@@ -1,0 +1,565 @@
+"""Tests for the resolution daemon (repro.serve).
+
+Covers the JSON delta codec, routing, the immutable ServingState /
+StateBox pair, every HTTP endpoint through a live threaded server, the
+swap-on-publish isolation guarantee under concurrent reads, and digest
+parity between the serve→delta→snapshot cycle and the CLI
+``--apply-delta --save-session`` path.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.incremental import IncrementalMatcher
+from repro.kb.entity import Literal
+from repro.pipeline import MatchSession
+from repro.serve import (
+    DeltaFormatError,
+    ResolutionDaemon,
+    ServeClient,
+    ServeClientError,
+    ServingState,
+    StateBox,
+    build_server,
+    parse_delta,
+)
+from repro.serve.handlers import RequestError, parse_k, route
+from repro.serve.json_codec import (
+    entity_from_dict,
+    validate_against_membership,
+)
+from repro.store import Snapshot
+
+from test_pipeline import make_pair
+
+
+# ----------------------------------------------------------------------
+# Fixtures
+# ----------------------------------------------------------------------
+@pytest.fixture()
+def snapshot_dir(tmp_path):
+    """A saved repro-snapshot/1 directory for the make_pair KBs."""
+    kb1, kb2 = make_pair()
+    session = MatchSession(kb1, kb2)
+    session.match()
+    return session.save(tmp_path / "seed")
+
+
+@pytest.fixture()
+def served(snapshot_dir, tmp_path):
+    """A live daemon + client on an ephemeral port."""
+    daemon = ResolutionDaemon.from_snapshot(
+        snapshot_dir, snapshot_dir=tmp_path / "snaps"
+    )
+    server = build_server(daemon, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    client = ServeClient(f"http://127.0.0.1:{server.server_address[1]}")
+    try:
+        yield daemon, client
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5)
+
+
+# ----------------------------------------------------------------------
+# Delta codec
+# ----------------------------------------------------------------------
+class TestDeltaCodec:
+    def test_parse_round_trip(self):
+        ops = parse_delta(
+            {
+                "ops": [
+                    {
+                        "op": "add",
+                        "kb": "kb1",
+                        "entities": [
+                            {
+                                "uri": "n1",
+                                "pairs": [
+                                    ["name", {"lit": "x"}],
+                                    ["rel", {"ref": "n2"}],
+                                ],
+                            }
+                        ],
+                    },
+                    {"op": "remove", "kb": "KB2", "uris": ["gone"]},
+                ]
+            }
+        )
+        assert [op.op for op in ops] == ["add", "remove"]
+        assert ops[0].kb == "kb1" and ops[1].kb == "kb2"
+        assert ops[0].entities[0].uri == "n1"
+        assert ops[1].uris == ("gone",)
+        assert ops[0].count == 1 and ops[1].count == 1
+
+    def test_entity_decode_matches_io_json_conventions(self):
+        entity = entity_from_dict(
+            {"uri": "e", "pairs": [["a", {"lit": "text"}]]}
+        )
+        pairs = list(entity)
+        assert pairs == [("a", Literal("text"))]
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            "not a dict",
+            {},
+            {"ops": []},
+            {"ops": ["not a dict"]},
+            {"ops": [{"op": "upsert", "kb": "kb1", "uris": ["x"]}]},
+            {"ops": [{"op": "add", "kb": "kb9", "entities": [{"uri": "x"}]}]},
+            {"ops": [{"op": "add", "kb": "kb1", "entities": []}]},
+            {"ops": [{"op": "add", "kb": "kb1", "entities": [{"pairs": []}]}]},
+            {"ops": [{"op": "remove", "kb": "kb1", "uris": []}]},
+            {"ops": [{"op": "remove", "kb": "kb1", "uris": [3]}]},
+            {
+                "ops": [
+                    {
+                        "op": "add",
+                        "kb": "kb1",
+                        "entities": [{"uri": "x", "pairs": [["a", {}]]}],
+                    }
+                ]
+            },
+        ],
+    )
+    def test_malformed_payloads_rejected(self, payload):
+        with pytest.raises(DeltaFormatError):
+            parse_delta(payload)
+
+    def test_membership_simulation_is_order_aware(self):
+        # Removing then re-adding the same URI is legal in order...
+        ops = parse_delta(
+            {
+                "ops": [
+                    {"op": "remove", "kb": "kb1", "uris": ["a"]},
+                    {"op": "add", "kb": "kb1", "entities": [{"uri": "a"}]},
+                ]
+            }
+        )
+        validate_against_membership(ops, frozenset({"a"}), frozenset())
+        # ...but adding an existing URI, or removing a missing one, is not.
+        with pytest.raises(DeltaFormatError, match="already present"):
+            validate_against_membership(
+                parse_delta(
+                    {
+                        "ops": [
+                            {
+                                "op": "add",
+                                "kb": "kb1",
+                                "entities": [{"uri": "a"}],
+                            }
+                        ]
+                    }
+                ),
+                frozenset({"a"}),
+                frozenset(),
+            )
+        with pytest.raises(DeltaFormatError, match="missing"):
+            validate_against_membership(
+                parse_delta(
+                    {"ops": [{"op": "remove", "kb": "kb2", "uris": ["z"]}]}
+                ),
+                frozenset(),
+                frozenset(),
+            )
+
+
+# ----------------------------------------------------------------------
+# Routing
+# ----------------------------------------------------------------------
+class TestRouting:
+    def test_fixed_and_prefix_routes(self):
+        assert route("GET", "/healthz") == ("healthz", None, {})
+        assert route("GET", "/match/a%2Fb")[:2] == ("match", "a/b")
+        endpoint, uri, query = route("GET", "/candidates/x?k=5")
+        assert (endpoint, uri) == ("candidates", "x")
+        assert parse_k(query) == 5
+        assert route("POST", "/delta")[0] == "delta"
+
+    def test_unknown_and_wrong_method(self):
+        with pytest.raises(RequestError) as not_found:
+            route("GET", "/nope")
+        assert not_found.value.status == 404
+        with pytest.raises(RequestError) as wrong_get:
+            route("GET", "/delta")
+        assert wrong_get.value.status == 405
+        with pytest.raises(RequestError) as wrong_post:
+            route("POST", "/candidates/x")
+        assert wrong_post.value.status == 405
+        with pytest.raises(RequestError) as bare_prefix:
+            route("GET", "/match/")
+        assert bare_prefix.value.status == 404
+
+    def test_parse_k_validation(self):
+        assert parse_k({}) is None
+        with pytest.raises(RequestError):
+            parse_k({"k": ["zero"]})
+        with pytest.raises(RequestError):
+            parse_k({"k": ["0"]})
+
+
+# ----------------------------------------------------------------------
+# ServingState / StateBox
+# ----------------------------------------------------------------------
+class TestServingState:
+    def make_state(self, generation=1):
+        kb1, kb2 = make_pair()
+        matcher = IncrementalMatcher(MatchSession(kb1, kb2))
+        matcher.match()
+        return ServingState.from_matcher(
+            matcher, generation=generation, delta_count=0
+        )
+
+    def test_probe_caches_per_state(self):
+        state = self.make_state()
+        probe = state.probe("a1", 2)
+        assert state.probe("a1", 2) is probe
+        assert probe.match is not None and probe.match.uri2 == "b1"
+        assert state.probe("ghost").known is False
+
+    def test_decisions_cover_both_sides(self):
+        state = self.make_state()
+        assert state.decision_of("b1").uri1 == "a1"
+        assert state.decision_of("a1").uri2 == "b1"
+        assert state.decision_of("ghost") is None
+
+    def test_stats_payload_is_json_ready(self):
+        state = self.make_state()
+        payload = state.stats()
+        json.dumps(payload)
+        assert payload["matches"] == len(state.matches)
+        assert sum(payload["by_heuristic"].values()) == payload["matches"]
+
+    def test_box_requires_monotone_generations(self):
+        state1 = self.make_state(1)
+        box = StateBox(state1)
+        assert box.current() is state1
+        state3 = self.make_state(3)
+        assert box.publish(state3) is state1
+        assert box.current() is state3
+        with pytest.raises(ValueError, match="generation"):
+            box.publish(self.make_state(2))
+
+    def test_from_matcher_requires_completed_match(self):
+        kb1, kb2 = make_pair()
+        matcher = IncrementalMatcher.__new__(IncrementalMatcher)
+        matcher.last_context = None
+        with pytest.raises(RuntimeError, match="match"):
+            ServingState.from_matcher(matcher, generation=1, delta_count=0)
+
+
+# ----------------------------------------------------------------------
+# Endpoints over a live server
+# ----------------------------------------------------------------------
+class TestEndpoints:
+    def test_read_endpoints(self, served):
+        _, client = served
+        assert client.healthz() == {"status": "ok", "generation": 1}
+        stats = client.stats()
+        assert stats["generation"] == 1 and stats["matches"] == 3
+
+        matched = client.match("a0")
+        assert matched["matched"] and matched["match"]["uri2"] == "b0"
+        # A KB2 URI answers with the decision that claimed it.
+        assert client.match("b0")["match"]["uri1"] == "a0"
+        assert client.match("ghost") == {
+            "uri": "ghost",
+            "generation": 1,
+            "known": False,
+            "matched": False,
+            "match": None,
+        }
+
+        candidates = client.candidates("a1", k=1)
+        assert candidates["k"] == 1 and len(candidates["value"]) == 1
+        assert candidates["value"][0][0] == "b1"
+        assert client.best("a1")["best"][0] == "b1"
+        assert client.best("ghost")["best"] is None
+
+    def test_metrics_exposition(self, served):
+        _, client = served
+        client.healthz()
+        text = client.metrics()
+        assert "repro_serve_requests" in text
+        assert "repro_serve_requests_healthz" in text
+        assert "repro_serve_latency_seconds_healthz_count" in text
+
+    def test_delta_then_snapshot_then_reload(self, served, tmp_path):
+        daemon, client = served
+        applied = client.apply_delta(
+            {
+                "ops": [
+                    {"op": "remove", "kb": "kb1", "uris": ["a0"]},
+                    {
+                        "op": "add",
+                        "kb": "kb2",
+                        "entities": [
+                            {
+                                "uri": "b9",
+                                "pairs": [["name", {"lit": "ninth"}]],
+                            }
+                        ],
+                    },
+                ]
+            }
+        )
+        assert applied["generation"] == 2
+        assert applied["added"] == 1 and applied["removed"] == 1
+        assert client.match("a0")["known"] is False
+
+        saved = client.snapshot()
+        assert saved["generation"] == 2
+        assert saved["matches_digest"] == applied["matches_digest"]
+        assert "snap-g2-" in saved["snapshot"]
+        assert daemon.dirty is False
+
+        reloaded = client.reload()
+        assert reloaded["generation"] == 3
+        assert reloaded["matches_digest"] == applied["matches_digest"]
+        assert client.stats()["delta_count"] == 0
+
+    def test_error_responses_are_json_and_counted(self, served):
+        daemon, client = served
+        with pytest.raises(ServeClientError) as bad_delta:
+            client.apply_delta({"ops": [{"op": "remove", "kb": "kb1", "uris": ["nope"]}]})
+        assert bad_delta.value.status == 400
+        with pytest.raises(ServeClientError) as not_found:
+            client._json("GET", "/nothing")
+        assert not_found.value.status == 404
+        with pytest.raises(ServeClientError) as bad_k:
+            client.candidates("a1", k=-1)
+        assert bad_k.value.status == 400
+        counters = daemon.telemetry.metrics.counters()
+        assert counters["serve.errors"] >= 3
+
+    def test_failed_delta_applies_nothing(self, served):
+        _, client = served
+        before = client.stats()
+        # Second op is invalid; the first must not land either.
+        with pytest.raises(ServeClientError):
+            client.apply_delta(
+                {
+                    "ops": [
+                        {"op": "remove", "kb": "kb1", "uris": ["a0"]},
+                        {"op": "remove", "kb": "kb1", "uris": ["nope"]},
+                    ]
+                }
+            )
+        assert client.stats() == before
+        assert client.match("a0")["known"] is True
+
+    def test_auto_snapshot_every(self, snapshot_dir, tmp_path):
+        daemon = ResolutionDaemon.from_snapshot(
+            snapshot_dir,
+            snapshot_dir=tmp_path / "auto",
+            auto_snapshot_every=2,
+        )
+        from repro.serve.json_codec import DeltaOp
+
+        first = daemon.apply_delta(
+            (DeltaOp(op="remove", kb="kb1", uris=("a0",)),)
+        )
+        assert "snapshot" not in first and daemon.dirty
+        second = daemon.apply_delta(
+            (DeltaOp(op="remove", kb="kb2", uris=("b0",)),)
+        )
+        assert "snapshot" in second and not daemon.dirty
+        assert daemon.last_snapshot_path is not None
+        # drain_save only re-saves when dirty again.
+        assert daemon.drain_save() is None
+        daemon.apply_delta((DeltaOp(op="remove", kb="kb1", uris=("a1",)),))
+        assert daemon.drain_save() is not None
+
+
+# ----------------------------------------------------------------------
+# Isolation: concurrent readers during delta publish
+# ----------------------------------------------------------------------
+class TestIsolation:
+    def test_pinned_state_survives_delta(self, served):
+        daemon, client = served
+        pinned = daemon.state()
+        before = pinned.probe("a1", 2)
+        client.apply_delta(
+            {"ops": [{"op": "remove", "kb": "kb1", "uris": ["a1"]}]}
+        )
+        # The old generation is frozen: same rows, same decision.
+        after = pinned.probe("a1", 2)
+        assert after == before and after.known
+        # The new generation disagrees — proof the worlds are separate.
+        current = daemon.state()
+        assert current.generation == pinned.generation + 1
+        assert current.probe("a1", 2).known is False
+
+    def test_concurrent_reads_never_mix_generations(self, served):
+        daemon, client = served
+        uri, k = "a1", 2
+        expected = {1: client.candidates(uri, k=k)}
+        stop = threading.Event()
+        observed: list[dict] = []
+        failures: list[str] = []
+
+        def hammer():
+            reader = ServeClient(client.base_url)
+            while not stop.is_set():
+                observed.append(reader.candidates(uri, k=k))
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        try:
+            # Two publishes while the readers hammer: remove a1's best
+            # candidate, then a1 itself — each changes the payload.
+            client.apply_delta(
+                {"ops": [{"op": "remove", "kb": "kb2", "uris": ["b1"]}]}
+            )
+            expected[2] = client.candidates(uri, k=k)
+            client.apply_delta(
+                {"ops": [{"op": "remove", "kb": "kb1", "uris": ["a1"]}]}
+            )
+            expected[3] = client.candidates(uri, k=k)
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=10)
+
+        assert expected[1] != expected[2] != expected[3]
+        assert len(observed) > 0
+        for payload in observed:
+            generation = payload["generation"]
+            if generation not in expected:
+                failures.append(f"impossible generation {generation}")
+            elif payload != expected[generation]:
+                failures.append(
+                    f"generation {generation} payload mixed: {payload} "
+                    f"!= {expected[generation]}"
+                )
+        assert not failures, failures[:3]
+        # The writer really did publish while readers were in flight.
+        generations = {payload["generation"] for payload in observed}
+        assert 1 in generations
+
+
+# ----------------------------------------------------------------------
+# Digest parity with the batch CLI path
+# ----------------------------------------------------------------------
+class TestDigestParity:
+    def write_delta_files(self, tmp_path):
+        add_file = tmp_path / "more.nt"
+        add_file.write_text(
+            '<n1> <info> "zanzibar festival shared" .\n'
+            '<n1> <name> "completely new" .\n',
+            encoding="utf-8",
+        )
+        remove_file = tmp_path / "gone.txt"
+        remove_file.write_text("a0\n", encoding="utf-8")
+        return add_file, remove_file
+
+    def delta_payload(self):
+        return {
+            "ops": [
+                {
+                    "op": "add",
+                    "kb": "kb2",
+                    "entities": [
+                        {
+                            "uri": "n1",
+                            "pairs": [
+                                ["info", {"lit": "zanzibar festival shared"}],
+                                ["name", {"lit": "completely new"}],
+                            ],
+                        }
+                    ],
+                },
+                {"op": "remove", "kb": "kb1", "uris": ["a0"]},
+            ]
+        }
+
+    def test_serve_cycle_matches_cli_apply_delta(
+        self, snapshot_dir, tmp_path
+    ):
+        add_file, remove_file = self.write_delta_files(tmp_path)
+
+        # Batch path: the CLI's --load-session --apply-delta --save-session.
+        cli_out = tmp_path / "cli-session"
+        exit_code = cli_main(
+            [
+                "--quiet",
+                "match",
+                "--load-session",
+                str(snapshot_dir),
+                "--apply-delta",
+                f"add:kb2:{add_file}",
+                "--apply-delta",
+                f"remove:kb1:{remove_file}",
+                "--save-session",
+                str(cli_out),
+                "--output",
+                str(tmp_path / "links.nt"),
+            ]
+        )
+        assert exit_code == 0
+
+        # Serve path: same snapshot, same ops through POST /delta, then
+        # POST /snapshot (via the daemon core; HTTP adds nothing here —
+        # TestEndpoints covers the transport).
+        daemon = ResolutionDaemon.from_snapshot(
+            snapshot_dir, snapshot_dir=tmp_path / "snaps"
+        )
+        daemon.apply_delta(parse_delta(self.delta_payload()))
+        serve_out = daemon.save_snapshot(tmp_path / "serve-session")
+
+        cli_digests = Snapshot.load(cli_out).json("digests")
+        serve_digests = Snapshot.load(serve_out).json("digests")
+        assert serve_digests == cli_digests
+
+        # And a daemon reloaded from its own snapshot republishes the
+        # exact same decisions.
+        reloaded = ResolutionDaemon.from_snapshot(serve_out)
+        assert (
+            reloaded.state().matches_digest
+            == daemon.state().matches_digest
+            == serve_digests["matches"]
+        )
+
+
+# ----------------------------------------------------------------------
+# MatchSession.probe (the standalone satellite)
+# ----------------------------------------------------------------------
+class TestSessionProbe:
+    def test_probe_matches_serving_state(self):
+        kb1, kb2 = make_pair()
+        session = MatchSession(kb1, kb2)
+        probe = session.probe("a1", 2)
+        matcher = IncrementalMatcher(MatchSession(*make_pair()))
+        matcher.match()
+        state = ServingState.from_matcher(matcher, generation=1, delta_count=0)
+        assert probe == state.probe("a1", 2)
+
+    def test_probe_is_cached_and_does_not_rerun_stages(self):
+        kb1, kb2 = make_pair()
+        session = MatchSession(kb1, kb2)
+        session.match()
+        runs_before = dict(session.stage_runs)
+        first = session.probe("a1")
+        assert session.probe("a1") is first
+        assert session.stage_runs == runs_before
+
+    def test_probe_rejects_bad_k(self):
+        kb1, kb2 = make_pair()
+        session = MatchSession(kb1, kb2)
+        with pytest.raises(ValueError, match="k must be"):
+            session.probe("a1", 0)
+
+    def test_invalidate_refreshes_probe_results(self):
+        kb1, kb2 = make_pair()
+        session = MatchSession(kb1, kb2)
+        assert session.probe("a0").known
+        kb1.remove("a0")
+        session.invalidate("kb1")
+        assert session.probe("a0").known is False
