@@ -68,10 +68,12 @@ from repro.obs import Telemetry, activate  # noqa: E402
 DEFAULT_OUT = Path(__file__).parent / "results" / "BENCH_similarity.json"
 DEFAULT_BLOCKING_OUT = Path(__file__).parent / "results" / "BENCH_blocking.json"
 DEFAULT_SERVE_OUT = Path(__file__).parent / "results" / "BENCH_serve.json"
+DEFAULT_ZEROCOPY_OUT = Path(__file__).parent / "results" / "BENCH_zerocopy.json"
 
 SCHEMA = "repro-bench-similarity/1"
 BLOCKING_SCHEMA = "repro-bench-blocking/1"
 SERVE_SCHEMA = "repro-bench-serve/1"
+ZEROCOPY_SCHEMA = "repro-bench-zerocopy/1"
 
 
 # ----------------------------------------------------------------------
@@ -421,6 +423,184 @@ def run_serve_report(profile: str, scale: float, probes: int = 500) -> dict:
     }
 
 
+# ----------------------------------------------------------------------
+# Zero-copy section: mmap warm starts + shared-memory dispatch
+# ----------------------------------------------------------------------
+#: Dispatch labels whose partitions ride shared memory, and the pickled
+#: counterparts they replace.  Blocking dispatches (tokenization ships
+#: entity text by nature) are out of scope on both sides.
+_SHM_DISPATCH_LABELS = (
+    "_value_partial_packed_shm",
+    "_value_partial_vectorized_shm",
+    "_neighbor_partial_packed_shm",
+    "_neighbor_partial_vectorized_shm",
+    "_candidate_span_rows",
+)
+_PICKLED_DISPATCH_LABELS = (
+    "_value_partial_packed",
+    "_value_partial_vectorized",
+    "_neighbor_partial_packed",
+    "_neighbor_partial_vectorized",
+    "_candidate_id_rows",
+)
+
+
+def _dispatch_bytes_shipped(telemetry, labels) -> int:
+    """Summed ``bytes_shipped`` of the named dispatch spans."""
+    names = {f"dispatch:{label}" for label in labels}
+    return sum(
+        record.args.get("bytes_shipped", 0)
+        for record in telemetry.tracer.records()
+        if record.name in names
+    )
+
+
+def _timed_column_touch(snapshot_path: Path, mode: str) -> tuple[float, int]:
+    """Seconds to open a snapshot and touch every array column.
+
+    The snapshot-layer warm-start cost: ``copy`` reads, hashes and
+    decodes each column eagerly; ``mmap`` maps and casts (digest
+    verification deferred).  Best of three, columns counted once.
+    """
+    from repro.store import Snapshot
+
+    best = float("inf")
+    columns = 0
+    for _ in range(3):
+        started = time.perf_counter()
+        with Snapshot.load(snapshot_path, mode=mode) as snapshot:
+            columns = 0
+            for name, entry in snapshot.manifest["columns"].items():
+                if entry["kind"] == "str":
+                    continue
+                snapshot.array(name)
+                columns += 1
+        best = min(best, time.perf_counter() - started)
+    return best, columns
+
+
+def run_zerocopy_report(profile: str, scale: float) -> dict:
+    """Zero-copy section (``repro-bench-zerocopy/1``).
+
+    Three measurements, all against the copying paths they replace:
+
+    - snapshot-layer warm start — open + touch every array column in
+      ``copy`` vs ``mmap`` mode (the acceptance bound is >= 5x);
+    - ``engine.bytes_shipped`` of the shm-backed process dispatches vs
+      the same dispatches with ``REPRO_DISABLE_SHM=1`` (bound >= 10x);
+    - artifact digests across {copy, mmap} loads x {serial, thread,
+      process} engines x {numpy, stdlib} kernels — all bit-identical.
+    """
+    import os
+    import shutil
+    import tempfile
+
+    from repro.ids.arrays import numpy_enabled
+    from repro.pipeline import MatchSession, context_digests
+    from repro.pipeline.digest import artifact_digest
+    from repro.store import load_state
+
+    def fresh_kbs():
+        data = generate_benchmark(profile, scale=scale)
+        return data.kb1, data.kb2
+
+    workdir = Path(tempfile.mkdtemp(prefix="repro-bench-zerocopy-"))
+    try:
+        kb1, kb2 = fresh_kbs()
+        session = MatchSession(kb1, kb2)
+        baseline_digests = context_digests(session.run_context())
+        snapshot_path = session.save(workdir / "snap")
+        # Warm the page cache so copy vs mmap compares decode cost, not
+        # first-read disk latency.
+        for path in snapshot_path.iterdir():
+            path.read_bytes()
+        copy_s, column_count = _timed_column_touch(snapshot_path, "copy")
+        mmap_s, _ = _timed_column_touch(snapshot_path, "mmap")
+
+        # Shared-memory dispatch: the same process-engine run with the
+        # layer on and off; per-dispatch bytes come from the trace.
+        config = MinoanERConfig(engine="process", workers=2)
+        parity: dict[str, dict] = {}
+
+        def traced_run(tag: str) -> Telemetry:
+            kb1, kb2 = fresh_kbs()
+            telemetry = Telemetry.create()
+            with activate(telemetry):
+                parity[tag] = context_digests(
+                    MatchSession(kb1, kb2, config).run_context()
+                )
+            return telemetry
+
+        shm_run = traced_run("process/shm")
+        os.environ["REPRO_DISABLE_SHM"] = "1"
+        try:
+            pickled_run = traced_run("process/pickled")
+        finally:
+            os.environ.pop("REPRO_DISABLE_SHM", None)
+        shm_bytes = _dispatch_bytes_shipped(shm_run, _SHM_DISPATCH_LABELS)
+        pickled_bytes = _dispatch_bytes_shipped(
+            pickled_run, _PICKLED_DISPATCH_LABELS
+        )
+
+        # Digest parity across load mode x engine x kernel.
+        parity["serial/baseline"] = baseline_digests
+        for mode in ("copy", "mmap"):
+            parity[f"load/{mode}"] = {
+                key: artifact_digest(value)
+                for key, value in load_state(
+                    snapshot_path, mode=mode
+                ).artifacts.items()
+                if key in baseline_digests
+            }
+        kernels = ["numpy", "stdlib"] if numpy_enabled() else ["stdlib"]
+        for engine_name in ("serial", "thread", "process"):
+            for kernel in kernels:
+                if kernel == "stdlib":
+                    os.environ["REPRO_DISABLE_NUMPY"] = "1"
+                try:
+                    kb1, kb2 = fresh_kbs()
+                    run_config = MinoanERConfig(
+                        engine=engine_name,
+                        workers=None if engine_name == "serial" else 2,
+                    )
+                    parity[f"{engine_name}/{kernel}"] = context_digests(
+                        MatchSession(kb1, kb2, run_config).run_context()
+                    )
+                finally:
+                    if kernel == "stdlib":
+                        os.environ.pop("REPRO_DISABLE_NUMPY", None)
+        identical = all(
+            digests == baseline_digests for digests in parity.values()
+        )
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+    return {
+        "schema": ZEROCOPY_SCHEMA,
+        "profile": profile,
+        "scale": scale,
+        "python": platform.python_version(),
+        "warm_start": {
+            "array_columns": column_count,
+            "copy_touch_s": round(copy_s, 6),
+            "mmap_touch_s": round(mmap_s, 6),
+            "speedup": round(copy_s / mmap_s, 2) if mmap_s > 0 else None,
+        },
+        "shm_dispatch": {
+            "pickled_bytes_shipped": pickled_bytes,
+            "shm_bytes_shipped": shm_bytes,
+            "reduction": round(pickled_bytes / shm_bytes, 2)
+            if shm_bytes > 0
+            else None,
+        },
+        "digest_parity": {
+            "combinations": sorted(parity),
+            "identical": identical,
+            "matches_digest": baseline_digests.get("matches"),
+        },
+    }
+
+
 def _normalized_wall_time(report: dict) -> float | None:
     """End-to-end seconds per second of same-run baseline index work.
 
@@ -517,6 +697,18 @@ def main(argv: list[str] | None = None) -> int:
         default=500,
         help="sequential read probes for the serving latency sample",
     )
+    parser.add_argument(
+        "--zerocopy-out",
+        type=Path,
+        default=DEFAULT_ZEROCOPY_OUT,
+        help="where the zero-copy (mmap + shared-memory) report is "
+        "written (uncommitted, like every BENCH_*.json)",
+    )
+    parser.add_argument(
+        "--skip-zerocopy",
+        action="store_true",
+        help="skip the zero-copy (mmap + shared-memory) section",
+    )
     args = parser.parse_args(argv)
 
     report = run_report(args.profile, args.scale)
@@ -574,6 +766,31 @@ def main(argv: list[str] | None = None) -> int:
             f"p99 {reads['p99']:.3f}ms over {serve['probes']} probes; "
             f"delta apply {serve['delta']['apply_s']:.3f}s "
             f"({serve['delta']['entities_removed']} removed)"
+        )
+    if not args.skip_zerocopy:
+        zerocopy = run_zerocopy_report(args.profile, args.scale)
+        args.zerocopy_out.parent.mkdir(parents=True, exist_ok=True)
+        args.zerocopy_out.write_text(
+            json.dumps(zerocopy, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"wrote {args.zerocopy_out}")
+        warm = zerocopy["warm_start"]
+        print(
+            f"  mmap warm start: {warm['mmap_touch_s'] * 1000:.2f}ms to "
+            f"touch {warm['array_columns']} columns "
+            f"(copy {warm['copy_touch_s'] * 1000:.2f}ms, "
+            f"{warm['speedup']}x)"
+        )
+        shm = zerocopy["shm_dispatch"]
+        print(
+            f"  shm dispatch: {shm['shm_bytes_shipped']} bytes shipped "
+            f"(pickled {shm['pickled_bytes_shipped']}, "
+            f"{shm['reduction']}x reduction)"
+        )
+        print(
+            f"  digest parity: {len(zerocopy['digest_parity']['combinations'])}"
+            f" combinations identical={zerocopy['digest_parity']['identical']}"
         )
     if args.check is not None:
         return check_regression(report, args.check, args.max_regression)

@@ -162,6 +162,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--engine/--workers apply); composes with --apply-delta for "
         "incremental updates without re-bootstrapping",
     )
+    match.add_argument(
+        "--mmap",
+        action="store_true",
+        help="with --load-session, map the snapshot's columns into "
+        "memory instead of copying them (near-instant warm start; "
+        "column digests are verified lazily as pages are touched)",
+    )
     match.add_argument("--theta", type=float, default=0.6)
     match.add_argument("--top-k", type=int, default=15)
     match.add_argument("--top-n-relations", type=int, default=3)
@@ -222,6 +229,12 @@ def build_parser() -> argparse.ArgumentParser:
         required=True,
         metavar="DIR",
         help="repro-snapshot/1 directory to load at startup",
+    )
+    serve.add_argument(
+        "--mmap",
+        action="store_true",
+        help="map the snapshot's columns into memory instead of copying "
+        "them (near-instant boot; /reload reuses the same mode)",
     )
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8750)
@@ -406,6 +419,7 @@ def _matched_result(args: argparse.Namespace, builder):
 
     parsed = _parse_delta_specs(args.apply_delta) if args.apply_delta else None
     saver = None
+    mode = "mmap" if args.mmap else "copy"
     if args.load_session:
         if args.kb1 is not None or args.kb2 is not None:
             raise _UsageError(
@@ -414,14 +428,20 @@ def _matched_result(args: argparse.Namespace, builder):
         try:
             if parsed is not None:
                 matcher = IncrementalMatcher.from_snapshot(
-                    args.load_session, engine=args.engine, workers=args.workers
+                    args.load_session,
+                    engine=args.engine,
+                    workers=args.workers,
+                    mode=mode,
                 )
                 log.info("warm start from %s", args.load_session)
                 result = _run_deltas(matcher, parsed, args.engine)
                 saver = matcher.save
             else:
                 session = MatchSession.load(
-                    args.load_session, engine=args.engine, workers=args.workers
+                    args.load_session,
+                    engine=args.engine,
+                    workers=args.workers,
+                    mode=mode,
                 )
                 log.info("warm start from %s", args.load_session)
                 result = session.match()
@@ -578,6 +598,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
             workers=args.workers,
             snapshot_dir=args.snapshot_dir,
             auto_snapshot_every=args.auto_snapshot_every,
+            mode="mmap" if args.mmap else "copy",
         )
     except SnapshotError as error:
         print(f"error: cannot load snapshot: {error}", file=sys.stderr)

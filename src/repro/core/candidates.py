@@ -8,6 +8,7 @@ lists too).
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Iterable
 
@@ -16,6 +17,49 @@ from .similarity import ValueSimilarityIndex
 
 if TYPE_CHECKING:  # pragma: no cover - types only
     from .heuristics import Match
+
+
+class ProbeCache:
+    """A bounded LRU map for probe results that holds no back-references.
+
+    ``functools.lru_cache`` over a bound method stores the method — and
+    through ``__self__`` the owner — inside a wrapper the owner itself
+    keeps, a reference cycle that parks every retired owner (a replaced
+    serving generation, a dropped session) in the garbage collector
+    instead of freeing it the moment its last reference dies.  This
+    explicit variant stores only keys and results, so owners are
+    reclaimed promptly by refcount alone.
+    """
+
+    __slots__ = ("maxsize", "_entries", "__weakref__")
+
+    def __init__(self, maxsize: int) -> None:
+        if maxsize < 1:
+            raise ValueError("maxsize must be >= 1")
+        self.maxsize = maxsize
+        self._entries: OrderedDict[Any, Any] = OrderedDict()
+
+    def get(self, key: Any) -> Any:
+        """The cached value for ``key`` (``None`` on a miss)."""
+        entries = self._entries
+        value = entries.get(key)
+        if value is not None:
+            entries.move_to_end(key)
+        return value
+
+    def put(self, key: Any, value: Any) -> None:
+        """Store ``value``, evicting the least recently used overflow."""
+        entries = self._entries
+        entries[key] = value
+        entries.move_to_end(key)
+        if len(entries) > self.maxsize:
+            entries.popitem(last=False)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
 
 
 @dataclass(frozen=True)

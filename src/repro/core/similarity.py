@@ -345,6 +345,44 @@ class PackedSimilarityIndex:
             return None
         return cols[starts[entity_id] : starts[entity_id + 1]]
 
+    def csr_columns(self, side: int) -> tuple[array, array]:
+        """One side's immutable CSR ``(starts, cols)`` columns.
+
+        The buffer-level counterpart of :meth:`csr_row_ids` for
+        publish-once consumers (the shared-memory H3 gather maps the
+        whole ``cols`` column into a segment and ships row *spans*
+        instead of row copies).  The arrays are rebuilt only by full
+        reconstructions — never mutated in place — so views over their
+        buffers stay coherent; patched rows are not represented here and
+        must come from :meth:`csr_row_ids`/:meth:`_row`.
+        """
+        if side == 1:
+            return self._starts1, self._cols1
+        return self._starts2, self._cols2
+
+    def csr_row_span(self, side: int, uri: str) -> tuple[int, int] | None:
+        """One row's ``[start, stop)`` range inside ``csr_columns(side)``.
+
+        ``(0, 0)`` for URIs the index never saw (an empty row), ``None``
+        when the row was patched after construction or lies beyond the
+        CSR build — callers must fall back to :meth:`csr_row_ids`'s
+        decoded path for those, exactly as with row copies.
+        """
+        if side == 1:
+            interner, patched, starts = (
+                self._interner1, self._patched1, self._starts1,
+            )
+        else:
+            interner, patched, starts = (
+                self._interner2, self._patched2, self._starts2,
+            )
+        entity_id = interner.get(uri)
+        if entity_id is None:
+            return (0, 0)
+        if entity_id in patched or entity_id + 1 >= len(starts):
+            return None
+        return starts[entity_id], starts[entity_id + 1]
+
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------

@@ -42,9 +42,13 @@ from .partitioner import (
     partition_entities,
     stable_hash,
 )
+from .shm import SharedArena, SharedSlice, shm_available
 from .similarity import build_neighbor_index, build_value_index
 
 __all__ = [
+    "SharedArena",
+    "SharedSlice",
+    "shm_available",
     "EXECUTOR_NAMES",
     "Executor",
     "PackedPairHasher",

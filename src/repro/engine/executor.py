@@ -56,17 +56,36 @@ def auto_workers() -> int:
     return max(1, os.cpu_count() or 1)
 
 
+class _CountingSink:
+    """A write sink that counts bytes instead of keeping them."""
+
+    __slots__ = ("nbytes",)
+
+    def __init__(self) -> None:
+        self.nbytes = 0
+
+    def write(self, data: bytes) -> int:
+        size = len(data)
+        self.nbytes += size
+        return size
+
+
 def _pickled_size(value: Any) -> int:
     """The pickle byte size of ``value`` (0 when unpicklable).
 
     Used for the ``engine.bytes_shipped``/``engine.bytes_returned``
     counters: the same measure for every executor, whether or not the
     bytes actually cross a process boundary, so the numbers compare.
+    Pickles into a size-counting sink, so measuring never materializes
+    a second copy of the payload.  Only pickling failures map to size
+    0 — anything else (``KeyboardInterrupt`` included) propagates.
     """
+    sink = _CountingSink()
     try:
-        return len(pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL))
-    except Exception:
+        pickle.Pickler(sink, protocol=pickle.HIGHEST_PROTOCOL).dump(value)
+    except (pickle.PicklingError, TypeError, AttributeError, ValueError):
         return 0
+    return sink.nbytes
 
 
 def _fn_label(fn: Callable) -> str:
@@ -218,12 +237,54 @@ class ThreadExecutor(_PooledExecutor):
 
 
 class ProcessExecutor(_PooledExecutor):
-    """A process pool; partition functions and data must be picklable."""
+    """A process pool; partition functions and data must be picklable.
+
+    Exposes a lazily created :class:`~repro.engine.shm.SharedArena` so
+    stages can publish a dispatch's columns into shared memory once and
+    ship workers tiny :class:`~repro.engine.shm.SharedSlice` handles
+    instead of pickled data (see :mod:`repro.engine.shm`).  ``close()``
+    unlinks any segment still live.
+    """
 
     name = "process"
 
+    def __init__(self, workers: int | None = None) -> None:
+        super().__init__(workers)
+        self._arena = None
+
     def _make_pool(self):
+        # Start the stdlib resource tracker before the pool forks:
+        # workers then inherit the one tracker, so their shared-memory
+        # attach registrations land in the same registry the driver's
+        # unlink clears — a per-worker tracker would warn about (and
+        # try to re-unlink) segments the driver already removed.
+        from .shm import ensure_resource_tracker
+
+        ensure_resource_tracker()
         return ProcessPoolExecutor(max_workers=self.workers)
+
+    @property
+    def shared_arena(self):
+        """The executor's shared-memory arena (``None`` if unavailable).
+
+        Stages check ``getattr(engine, "shared_arena", None)`` — serial
+        and thread executors have no such attribute, and this returns
+        ``None`` when the platform lacks POSIX shared memory or
+        ``REPRO_DISABLE_SHM=1`` disables the layer.
+        """
+        from .shm import SharedArena, shm_available
+
+        if not shm_available():
+            return None
+        if self._arena is None:
+            self._arena = SharedArena()
+        return self._arena
+
+    def close(self) -> None:
+        super().close()
+        if self._arena is not None:
+            self._arena.close()
+            self._arena = None
 
 
 def create_executor(name: str = "serial", workers: int | None = None) -> Executor:

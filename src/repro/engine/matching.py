@@ -35,7 +35,7 @@ from __future__ import annotations
 
 from array import array
 from functools import partial
-from typing import Iterable, Sequence
+from typing import Any, Iterable, Sequence
 
 from ..core.candidates import CandidateIndex, CandidateLists
 from ..core.heuristics import (
@@ -48,6 +48,7 @@ from ..core.similarity import ValueSimilarityIndex
 from ..obs.runtime import current as _telemetry_current
 from .executor import Executor, SerialExecutor
 from .partitioner import chunk_evenly, partition_count
+from .shm import attach
 
 
 def h2_value_matches_engine(
@@ -112,10 +113,50 @@ def _candidate_id_rows(
     return out
 
 
+def _candidate_span_rows(
+    spans: Sequence[tuple[int, int, int, int, int]],
+    value_cols: Any,
+    neighbor_cols: Any,
+    neighbor_to_value2: Any,
+    k: int,
+    restrict: bool,
+) -> list[tuple[int, list[int], list[int]]]:
+    """:func:`_candidate_id_rows` over shared-memory CSR columns.
+
+    Each span is ``(position, value start, value stop, neighbor start,
+    neighbor stop)`` into the two published full ``cols`` columns; the
+    rows are reassembled as zero-copy views, so a chunk ships a handful
+    of integers per entity instead of its row copies.
+    """
+    with attach(value_cols.segment) as reader:
+        value_view = reader.view(value_cols)
+        neighbor_view = reader.view(neighbor_cols)
+        translation = reader.view(neighbor_to_value2)
+        rows = [
+            (
+                position,
+                value_view[value_start:value_stop],
+                neighbor_view[neighbor_start:neighbor_stop],
+            )
+            for position, value_start, value_stop,
+            neighbor_start, neighbor_stop in spans
+        ]
+        result = _candidate_id_rows(rows, translation, k, restrict)
+        rows.clear()
+    return result
+
+
 def _preload_candidate_lists(
     uris: Sequence[str], candidate_index: CandidateIndex, engine: Executor
 ) -> None:
-    """Warm the candidate cache for ``uris`` via the packed row protocol."""
+    """Warm the candidate cache for ``uris`` via the packed row protocol.
+
+    With a shared-memory arena on the engine, the driver publishes the
+    two full CSR ``cols`` columns plus the translation column once and
+    ships per-entity row *spans* (five integers); otherwise it ships
+    per-entity row copies.  Both protocols feed the identical
+    trim/filter, so the gathered lists cannot differ.
+    """
     _telemetry_current().metrics.counter(
         "matching.candidate_lists_built"
     ).inc(len(uris))
@@ -128,32 +169,64 @@ def _preload_candidate_lists(
     translation = array(
         "i", (value2_ids.get(uri, -1) for uri in neighbor_decode)
     )
+    arena = getattr(engine, "shared_arena", None)
 
-    rows: list[tuple[int, array, array]] = []
+    # Candidate lists are a pure function of the uri, so — unlike the
+    # floating-point-summing stages — the chunk count may follow the
+    # worker count; chunking only schedules, it cannot change any
+    # gathered list.
+    built: list[list[tuple[int, list[int], list[int]]]] = []
     fallback: list[str] = []
-    for position, uri in enumerate(uris):
-        value_cols = value_index.csr_row_ids(1, uri)
-        neighbor_cols = neighbor_index.csr_row_ids(1, uri)
-        if value_cols is None or neighbor_cols is None:
-            fallback.append(uri)  # patched row: decoded path, driver-side
-        else:
-            rows.append((position, value_cols, neighbor_cols))
-
-    if rows:
-        # Candidate lists are a pure function of the uri, so — unlike
-        # the floating-point-summing stages — the chunk count may follow
-        # the worker count; chunking only schedules, it cannot change
-        # any gathered list.
-        n_chunks = min(partition_count(len(rows)), engine.workers)
-        built = engine.map_partitions(
-            partial(
-                _candidate_id_rows,
-                neighbor_to_value2=translation,
-                k=candidate_index.k,
-                restrict=candidate_index.restrict_neighbors,
-            ),
-            chunk_evenly(rows, n_chunks),
-        )
+    if arena is not None:
+        spans: list[tuple[int, int, int, int, int]] = []
+        for position, uri in enumerate(uris):
+            value_span = value_index.csr_row_span(1, uri)
+            neighbor_span = neighbor_index.csr_row_span(1, uri)
+            if value_span is None or neighbor_span is None:
+                fallback.append(uri)  # patched row: decoded path, driver-side
+            else:
+                spans.append((position, *value_span, *neighbor_span))
+        if spans:
+            with arena.publish(
+                [
+                    ("i", value_index.csr_columns(1)[1]),
+                    ("i", neighbor_index.csr_columns(1)[1]),
+                    ("i", translation),
+                ]
+            ) as segment:
+                n_chunks = min(partition_count(len(spans)), engine.workers)
+                built = engine.map_partitions(
+                    partial(
+                        _candidate_span_rows,
+                        value_cols=segment.slices[0],
+                        neighbor_cols=segment.slices[1],
+                        neighbor_to_value2=segment.slices[2],
+                        k=candidate_index.k,
+                        restrict=candidate_index.restrict_neighbors,
+                    ),
+                    chunk_evenly(spans, n_chunks),
+                )
+    else:
+        rows: list[tuple[int, array, array]] = []
+        for position, uri in enumerate(uris):
+            value_cols = value_index.csr_row_ids(1, uri)
+            neighbor_cols = neighbor_index.csr_row_ids(1, uri)
+            if value_cols is None or neighbor_cols is None:
+                fallback.append(uri)  # patched row: decoded path, driver-side
+            else:
+                rows.append((position, value_cols, neighbor_cols))
+        if rows:
+            n_chunks = min(partition_count(len(rows)), engine.workers)
+            built = engine.map_partitions(
+                partial(
+                    _candidate_id_rows,
+                    neighbor_to_value2=translation,
+                    k=candidate_index.k,
+                    restrict=candidate_index.restrict_neighbors,
+                ),
+                chunk_evenly(rows, n_chunks),
+            )
+    if built:
         candidate_index.preload_entity1(
             (
                 uris[position],

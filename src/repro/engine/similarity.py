@@ -51,6 +51,7 @@ from .partitioner import (
     partition_count,
     stable_hash,
 )
+from .shm import attach
 
 PairSums = dict[Pair, float]
 
@@ -300,6 +301,77 @@ def _encoded_block_columns(
     ]
 
 
+#: Column typecodes of one vectorized encoded-block shard
+#: ``(weights, ids1 flat, ids1 counts, ids2 flat, ids2 counts)``.
+_VALUE_SHARD_TYPECODES = ("d", "i", "q", "i", "q")
+
+#: Column typecodes of one flattened stdlib encoded-block shard
+#: ``(weights, counts1, ids1 flat, counts2, ids2 flat)``.
+_VALUE_SHARD_TYPECODES_PACKED = ("d", "q", "i", "q", "i")
+
+
+def _flattened_block_columns(
+    encoded_shards: list[list[tuple[float, array, array]]],
+) -> list[tuple[array, array, array, array, array]]:
+    """Per-shard flat ``array`` columns of the id-encoded blocks.
+
+    The stdlib analogue of :func:`_encoded_block_columns`, laid out for
+    shared-memory publication: ``(weights, counts1, ids1 flat, counts2,
+    ids2 flat)`` per shard, blocks in shard order — the information of
+    the per-block tuples with no per-block objects to pickle.
+    """
+    out = []
+    for shard in encoded_shards:
+        weights = array("d")
+        counts1 = array("q")
+        ids1 = array("i")
+        counts2 = array("q")
+        ids2 = array("i")
+        for weight, block_ids1, block_ids2 in shard:
+            weights.append(weight)
+            counts1.append(len(block_ids1))
+            ids1.extend(block_ids1)
+            counts2.append(len(block_ids2))
+            ids2.extend(block_ids2)
+        out.append((weights, counts1, ids1, counts2, ids2))
+    return out
+
+
+def _value_partial_packed_shm(shard) -> PackedColumns:
+    """:func:`_value_partial_packed` over shared-memory block columns.
+
+    ``shard`` is five :class:`~repro.engine.shm.SharedSlice` handles in
+    :data:`_VALUE_SHARD_TYPECODES_PACKED` order; the blocks are
+    reassembled as zero-copy views and scanned in the identical
+    block/id order, so the partial columns are bit-identical.
+    """
+    with attach(shard[0].segment) as reader:
+        weights, counts1, ids1, counts2, ids2 = (
+            reader.view(handle) for handle in shard
+        )
+        blocks: list[tuple[float, array, array]] = []
+        at1 = at2 = 0
+        for i in range(len(weights)):
+            n1, n2 = counts1[i], counts2[i]
+            blocks.append(
+                (weights[i], ids1[at1 : at1 + n1], ids2[at2 : at2 + n2])
+            )
+            at1 += n1
+            at2 += n2
+        result = _value_partial_packed(blocks)
+        blocks.clear()
+    return result
+
+
+def _value_partial_vectorized_shm(shard) -> tuple:
+    """:func:`_value_partial_vectorized` over shared-memory columns."""
+    with attach(shard[0].segment) as reader:
+        result = _value_partial_vectorized(
+            tuple(reader.numpy(handle) for handle in shard)
+        )
+    return result
+
+
 def _merge_partial_columns(partials) -> PackedSums:
     """Merge per-shard ``(keys, subtotals)`` NumPy columns, in shard order.
 
@@ -345,13 +417,50 @@ def build_value_index(
         encoded = _encoded_block_shards(
             token_blocks, interner1, interner2, n_partitions
         )
+    arena = getattr(engine, "shared_arena", None)
     if numpy_enabled():
-        partials = engine.map_partitions(
-            _value_partial_vectorized, _encoded_block_columns(encoded)
-        )
+        columns = _encoded_block_columns(encoded)
+        if arena is not None and columns:
+            with arena.publish(
+                [
+                    (typecode, column)
+                    for shard in columns
+                    for typecode, column in zip(
+                        _VALUE_SHARD_TYPECODES, shard
+                    )
+                ]
+            ) as segment:
+                partials = engine.map_partitions(
+                    _value_partial_vectorized_shm,
+                    [
+                        tuple(segment.slices[5 * i : 5 * i + 5])
+                        for i in range(len(columns))
+                    ],
+                )
+        else:
+            partials = engine.map_partitions(_value_partial_vectorized, columns)
         merged = _merge_partial_columns(partials)
     else:
-        partials = engine.map_partitions(_value_partial_packed, encoded)
+        if arena is not None and encoded:
+            flattened = _flattened_block_columns(encoded)
+            with arena.publish(
+                [
+                    (typecode, column)
+                    for shard in flattened
+                    for typecode, column in zip(
+                        _VALUE_SHARD_TYPECODES_PACKED, shard
+                    )
+                ]
+            ) as segment:
+                partials = engine.map_partitions(
+                    _value_partial_packed_shm,
+                    [
+                        tuple(segment.slices[5 * i : 5 * i + 5])
+                        for i in range(len(flattened))
+                    ],
+                )
+        else:
+            partials = engine.map_partitions(_value_partial_packed, encoded)
         merged = engine.reduce(merge_packed_columns, partials, {})
     _telemetry_current().metrics.counter(
         "similarity.value_pairs_scored"
@@ -411,6 +520,32 @@ def _neighbor_partial_packed(
                 pair = base | entity2
                 sums[pair] = sums.get(pair, 0.0) + sim
     return array("q", sums.keys()), array("d", sums.values())
+
+
+def _neighbor_partial_packed_shm(
+    shard,
+    reverse1: dict[int, array],
+    reverse2: dict[int, array],
+) -> PackedColumns:
+    """:func:`_neighbor_partial_packed` over shared-memory value columns."""
+    with attach(shard[0].segment) as reader:
+        result = _neighbor_partial_packed(
+            (reader.view(shard[0]), reader.view(shard[1])),
+            reverse1,
+            reverse2,
+        )
+    return result
+
+
+def _neighbor_partial_vectorized_shm(shard, reverse1, reverse2) -> tuple:
+    """:func:`_neighbor_partial_vectorized` over shared-memory columns."""
+    with attach(shard[0].segment) as reader:
+        result = _neighbor_partial_vectorized(
+            (reader.numpy(shard[0]), reader.numpy(shard[1])),
+            reverse1,
+            reverse2,
+        )
+    return result
 
 
 def _dense_reverse_columns(
@@ -523,16 +658,41 @@ def build_neighbor_index(
     packed = value_index.packed_items()
     n_partitions = partition_count(len(packed))
     sort_stable = value1.is_sorted and value2.is_sorted
+    arena = getattr(engine, "shared_arena", None)
     if numpy_enabled() and sort_stable:
-        worker = partial(
-            _neighbor_partial_vectorized,
-            reverse1=_dense_reverse_columns(top_neighbors1, parents1, value1),
-            reverse2=_dense_reverse_columns(top_neighbors2, parents2, value2),
-        )
         shards = _vectorized_value_shards(
             packed, n_partitions, packed_pair_hasher(value1, value2)
         )
-        partials = engine.map_partitions(worker, shards)
+        reverse1 = _dense_reverse_columns(top_neighbors1, parents1, value1)
+        reverse2 = _dense_reverse_columns(top_neighbors2, parents2, value2)
+        if arena is not None and shards:
+            with arena.publish(
+                [
+                    (typecode, column)
+                    for keys, sims in shards
+                    for typecode, column in (("q", keys), ("d", sims))
+                ]
+            ) as segment:
+                partials = engine.map_partitions(
+                    partial(
+                        _neighbor_partial_vectorized_shm,
+                        reverse1=reverse1,
+                        reverse2=reverse2,
+                    ),
+                    [
+                        (segment.slices[2 * i], segment.slices[2 * i + 1])
+                        for i in range(len(shards))
+                    ],
+                )
+        else:
+            partials = engine.map_partitions(
+                partial(
+                    _neighbor_partial_vectorized,
+                    reverse1=reverse1,
+                    reverse2=reverse2,
+                ),
+                shards,
+            )
         merged = _merge_partial_columns(partials)
         _telemetry_current().metrics.counter(
             "similarity.neighbor_pairs_scored"
@@ -554,18 +714,42 @@ def build_neighbor_index(
                 uris2[key & PAIR_ID_MASK],
             ),
         )
-    worker = partial(
-        _neighbor_partial_packed,
-        reverse1=_packed_reverse_index(top_neighbors1, parents1, value1),
-        reverse2=_packed_reverse_index(top_neighbors2, parents2, value2),
-    )
+    reverse1 = _packed_reverse_index(top_neighbors1, parents1, value1)
+    reverse2 = _packed_reverse_index(top_neighbors2, parents2, value2)
     shards = hash_partitions_packed(
         ordered_keys,
         (packed[key] for key in ordered_keys),
         n_partitions,
         packed_pair_hasher(value1, value2),
     )
-    partials = engine.map_partitions(worker, shards)
+    if arena is not None and shards:
+        with arena.publish(
+            [
+                (typecode, column)
+                for keys, sims in shards
+                for typecode, column in (("q", keys), ("d", sims))
+            ]
+        ) as segment:
+            partials = engine.map_partitions(
+                partial(
+                    _neighbor_partial_packed_shm,
+                    reverse1=reverse1,
+                    reverse2=reverse2,
+                ),
+                [
+                    (segment.slices[2 * i], segment.slices[2 * i + 1])
+                    for i in range(len(shards))
+                ],
+            )
+    else:
+        partials = engine.map_partitions(
+            partial(
+                _neighbor_partial_packed,
+                reverse1=reverse1,
+                reverse2=reverse2,
+            ),
+            shards,
+        )
     merged = engine.reduce(merge_packed_columns, partials, {})
     _telemetry_current().metrics.counter(
         "similarity.neighbor_pairs_scored"

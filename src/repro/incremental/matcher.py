@@ -207,6 +207,7 @@ class IncrementalMatcher:
         engine: str | None = None,
         workers: int | None = None,
         telemetry: "Telemetry | None" = None,
+        mode: str = "copy",
     ) -> "IncrementalMatcher":
         """A matcher warm-restarted from a ``repro-snapshot/1`` directory.
 
@@ -216,11 +217,12 @@ class IncrementalMatcher:
         afterwards behave exactly as they would on the matcher that was
         saved — bit-identical to a cold batch run on the final KB state.
         ``engine``/``workers`` override the stored execution-engine
-        fields.
+        fields; ``mode="mmap"`` maps column files instead of copying
+        them (see :meth:`repro.store.Snapshot.load`).
         """
         from ..store import load_state
 
-        state = load_state(path, engine=engine, workers=workers)
+        state = load_state(path, engine=engine, workers=workers, mode=mode)
         matcher = cls.__new__(cls)
         matcher._init_state(state.session)
         matcher.telemetry = telemetry

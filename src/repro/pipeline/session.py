@@ -26,7 +26,6 @@ Example::
 from __future__ import annotations
 
 from dataclasses import fields, replace
-from functools import lru_cache
 from typing import TYPE_CHECKING, Any
 
 from ..engine.executor import create_executor
@@ -110,9 +109,13 @@ class MatchSession:
         self._kb_versions = (kb1.version, kb2.version)
         self._probe_ctx: PipelineContext | None = None
         self._probe_decisions: dict[str, Any] = {}
-        self._probe_cached = lru_cache(maxsize=PROBE_CACHE_SIZE)(
-            self._probe_uncached
-        )
+        # An explicit bounded LRU rather than lru_cache over the bound
+        # method: the wrapper would hold the method (and through it the
+        # session), a cycle that defers freeing dropped sessions to the
+        # garbage collector.
+        from ..core.candidates import ProbeCache
+
+        self._probe_cache = ProbeCache(PROBE_CACHE_SIZE)
 
     # ------------------------------------------------------------------
     # Cache keys
@@ -273,7 +276,11 @@ class MatchSession:
         if k is not None and k < 1:
             raise ValueError("k must be >= 1")
         self._ensure_probe_context()
-        return self._probe_cached(uri, k)
+        result = self._probe_cache.get((uri, k))
+        if result is None:
+            result = self._probe_uncached(uri, k)
+            self._probe_cache.put((uri, k), result)
+        return result
 
     def _ensure_probe_context(self) -> None:
         """Materialize (once) the finished context probes decode from."""
@@ -305,7 +312,7 @@ class MatchSession:
     def _drop_probe_state(self) -> None:
         self._probe_ctx = None
         self._probe_decisions = {}
-        self._probe_cached.cache_clear()
+        self._probe_cache.clear()
 
     # ------------------------------------------------------------------
     # Persistence (the columnar snapshot store)
@@ -384,7 +391,12 @@ class MatchSession:
 
     @classmethod
     def load(
-        cls, path, *, engine: str | None = None, workers: int | None = None
+        cls,
+        path,
+        *,
+        engine: str | None = None,
+        workers: int | None = None,
+        mode: str = "copy",
     ) -> "MatchSession":
         """Restore a saved session with its stage cache pre-seeded.
 
@@ -394,11 +406,12 @@ class MatchSession:
         ``workers`` override the stored execution-engine fields (they
         never affect artifact identity); any *other* config change at
         ``match(...)`` time re-runs exactly the stages it taints, as
-        usual.
+        usual.  ``mode="mmap"`` maps column files instead of copying
+        them (see :meth:`repro.store.Snapshot.load`).
         """
         from ..store import load_session
 
-        return load_session(path, engine=engine, workers=workers)
+        return load_session(path, engine=engine, workers=workers, mode=mode)
 
     def seed_cache(self, artifacts: dict[str, Any]) -> None:
         """Pre-populate the stage cache from restored artifacts.

@@ -61,6 +61,7 @@ class ResolutionDaemon:
         snapshot_dir: str | Path | None = None,
         auto_snapshot_every: int = 0,
         telemetry: Telemetry | None = None,
+        load_mode: str = "copy",
     ) -> None:
         if auto_snapshot_every < 0:
             raise ValueError("auto_snapshot_every must be >= 0")
@@ -87,6 +88,9 @@ class ResolutionDaemon:
             self._snapshot_dir = self.snapshot_source.parent
         else:
             self._snapshot_dir = Path(".")
+        #: Snapshot load mode (``copy`` or ``mmap``) used at boot and
+        #: reused by every ``reload()``.
+        self.load_mode = load_mode
         self.auto_snapshot_every = auto_snapshot_every
         #: Delta requests applied since the last snapshot (the
         #: ``--auto-snapshot-every`` counter — deterministic, unlike a
@@ -109,10 +113,15 @@ class ResolutionDaemon:
         snapshot_dir: str | Path | None = None,
         auto_snapshot_every: int = 0,
         telemetry: Telemetry | None = None,
+        mode: str = "copy",
     ) -> "ResolutionDaemon":
-        """A daemon warm-started from a ``repro-snapshot/1`` directory."""
+        """A daemon warm-started from a ``repro-snapshot/1`` directory.
+
+        ``mode="mmap"`` maps the snapshot's columns instead of copying
+        them — near-instant boot; see :meth:`Snapshot.load`.
+        """
         matcher = IncrementalMatcher.from_snapshot(
-            path, engine=engine, workers=workers
+            path, engine=engine, workers=workers, mode=mode
         )
         return cls(
             matcher,
@@ -120,6 +129,7 @@ class ResolutionDaemon:
             snapshot_dir=snapshot_dir,
             auto_snapshot_every=auto_snapshot_every,
             telemetry=telemetry,
+            load_mode=mode,
         )
 
     def _span(self, name: str, category: str = "request", args=None):
@@ -222,6 +232,7 @@ class ResolutionDaemon:
                 path,
                 engine=self._matcher.config.engine,
                 workers=self._matcher.config.workers,
+                mode=self.load_mode,
             )
             matcher.telemetry = self.telemetry
             with self._span("reload_match", category="run"):

@@ -23,10 +23,9 @@ state keeps the frozen originals.
 from __future__ import annotations
 
 import threading
-from functools import lru_cache
 from typing import TYPE_CHECKING, Any
 
-from ..core.candidates import ProbeResult, probe_rows
+from ..core.candidates import ProbeCache, ProbeResult, probe_rows
 from ..pipeline.digest import artifact_digest
 from ..pipeline.session import PROBE_CACHE_SIZE
 
@@ -43,7 +42,10 @@ class ServingState:
     Constructed by the single writer, then only ever read.  Each state
     carries its own bounded probe cache: a new generation starts cold,
     so a stale cached row can never outlive the state it was decoded
-    from.
+    from.  The cache is a :class:`~repro.core.candidates.ProbeCache`
+    holding no reference back to the state — a retired generation is
+    freed the instant its last reader returns, not at the next garbage
+    collection pass.
     """
 
     __slots__ = (
@@ -58,7 +60,8 @@ class ServingState:
         "config",
         "delta_count",
         "matches_digest",
-        "_probe_cached",
+        "_probe_cache",
+        "__weakref__",
     )
 
     def __init__(
@@ -92,9 +95,7 @@ class ServingState:
         self.config = config
         self.delta_count = delta_count
         self.matches_digest = matches_digest
-        self._probe_cached = lru_cache(maxsize=PROBE_CACHE_SIZE)(
-            self._probe_uncached
-        )
+        self._probe_cache = ProbeCache(PROBE_CACHE_SIZE)
 
     # ------------------------------------------------------------------
     # Construction
@@ -143,7 +144,11 @@ class ServingState:
             k = self.config.top_k_candidates
         if k is not None and k < 1:
             raise ValueError("k must be >= 1")
-        return self._probe_cached(uri, k)
+        result = self._probe_cache.get((uri, k))
+        if result is None:
+            result = self._probe_uncached(uri, k)
+            self._probe_cache.put((uri, k), result)
+        return result
 
     def _probe_uncached(self, uri: str, k: int | None) -> ProbeResult:
         value_rows, neighbor_rows, best = probe_rows(

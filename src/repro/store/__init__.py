@@ -22,6 +22,7 @@ determinism contract.
 """
 
 from .snapshot import (
+    LOAD_MODES,
     MANIFEST_NAME,
     SNAPSHOT_SCHEMA,
     Snapshot,
@@ -38,6 +39,7 @@ from .session_state import (
 )
 
 __all__ = [
+    "LOAD_MODES",
     "MANIFEST_NAME",
     "RestoredState",
     "SNAPSHOT_SCHEMA",

@@ -23,6 +23,7 @@ silently warping artifacts.
 from __future__ import annotations
 
 import hashlib
+import sys
 from array import array
 from pathlib import Path
 from typing import Iterable
@@ -43,8 +44,8 @@ class ColumnError(ValueError):
     """A column cannot be encoded or decoded faithfully."""
 
 
-def bytes_sha256(raw: bytes) -> str:
-    """The SHA-256 hex digest of a byte string."""
+def bytes_sha256(raw: "bytes | memoryview") -> str:
+    """The SHA-256 hex digest of a byte buffer (no copy for views)."""
     return hashlib.sha256(raw).hexdigest()
 
 
@@ -97,31 +98,54 @@ def write_array_column(path: Path, values: array) -> dict:
     }
 
 
-def decode_array_column(
-    raw: bytes, entry: dict, byteorder: str, name: str
-) -> array:
-    """Decode one array column's bytes against its manifest entry."""
+def _checked_array_entry(
+    raw: "bytes | memoryview", entry: dict, name: str
+) -> tuple[str, int]:
+    """Validate an array column entry; returns (typecode, itemsize)."""
     kind = entry.get("kind")
     if kind not in ARRAY_KINDS:
         raise ColumnError(f"unknown array column kind {kind!r}")
     typecode, itemsize = ARRAY_KINDS[kind]
-    values = array(typecode)
-    if values.itemsize != itemsize:
+    if array(typecode).itemsize != itemsize:
         raise ColumnError(
             f"cannot decode a {kind} column: array({typecode!r}) is "
-            f"{values.itemsize} bytes on this platform, not {itemsize}"
+            f"{array(typecode).itemsize} bytes on this platform, not {itemsize}"
         )
     if len(raw) != entry["count"] * itemsize:
         raise ColumnError(
             f"{name}: expected {entry['count']} x {itemsize} bytes, "
             f"found {len(raw)}"
         )
-    values.frombytes(raw)
-    import sys
+    return typecode, itemsize
 
+
+def decode_array_column(
+    raw: "bytes | memoryview", entry: dict, byteorder: str, name: str
+) -> array:
+    """Decode one array column's bytes against its manifest entry."""
+    typecode, _ = _checked_array_entry(raw, entry, name)
+    values = array(typecode)
+    values.frombytes(raw)
     if byteorder != sys.byteorder:
         values.byteswap()
     return values
+
+
+def view_array_column(
+    raw: "bytes | memoryview", entry: dict, byteorder: str, name: str
+) -> "memoryview | array":
+    """A zero-copy typed view over one array column's buffer.
+
+    Returns a cast :class:`memoryview` sharing ``raw``'s memory when the
+    writing platform's byte order matches this one; a foreign-endian
+    column cannot be viewed in place, so it falls back to the copying
+    decode (byteswap requires materializing the elements).
+    """
+    typecode, _ = _checked_array_entry(raw, entry, name)
+    if byteorder != sys.byteorder:
+        return decode_array_column(raw, entry, byteorder, name)
+    view = raw if isinstance(raw, memoryview) else memoryview(raw)
+    return view.cast(typecode)
 
 
 def write_string_column(path: Path, items: Iterable[str]) -> dict:

@@ -335,6 +335,7 @@ def load_state(
     *,
     engine: str | None = None,
     workers: int | None = None,
+    mode: str = "copy",
 ) -> RestoredState:
     """Load a snapshot into a cache-seeded session plus delta state.
 
@@ -343,10 +344,16 @@ def load_state(
     by the executor bit-identity contract); everything else restores as
     saved.  Overriding to the serial engine without naming a worker
     count drops any stored worker count (serial rejects one).
+
+    ``mode="mmap"`` maps column files instead of copying them (see
+    :meth:`Snapshot.load`); every restored artifact is materialized
+    before this returns, so the maps are released on exit and per-byte
+    digest verification of array columns is skipped — the decode-level
+    ``context_digests`` check still guards bit-identity on replay.
     """
     from ..pipeline.builder import PipelineBuilder
 
-    snapshot = Snapshot.load(path)
+    snapshot = Snapshot.load(path, mode=mode)
     config = MinoanERConfig(**snapshot.json("config"))
     if engine is not None or workers is not None:
         new_engine = engine if engine is not None else config.engine
@@ -422,6 +429,7 @@ def load_state(
 
     session = MatchSession(kb1, kb2, config, graph=graph)
     session.seed_cache(artifacts)
+    snapshot.close()  # everything is materialized; release any maps
     return RestoredState(
         session=session,
         artifacts=artifacts,
@@ -439,21 +447,26 @@ def load_session(
     *,
     engine: str | None = None,
     workers: int | None = None,
+    mode: str = "copy",
 ) -> "MatchSession":
     """Restore a :class:`~repro.pipeline.session.MatchSession` whose
     stage cache is pre-seeded with the saved artifacts — ``match()``
     under the saved configuration replays without recomputing a stage."""
-    return load_state(path, engine=engine, workers=workers).session
+    return load_state(path, engine=engine, workers=workers, mode=mode).session
 
 
-def verify_snapshot(path: str | Path) -> dict[str, str]:
+def verify_snapshot(path: str | Path, mode: str = "copy") -> dict[str, str]:
     """Recompute every restored artifact's digest against the manifest.
 
     Returns the recomputed digests; raises :class:`SnapshotError` on the
     first divergence.  This is the strong (decode-level) check on top of
-    the per-column SHA-256 verification every load performs.
+    the per-column SHA-256 verification every copy-mode load performs
+    (mmap mode verifies columns separately, hashing the maps in place).
     """
-    state = load_state(path)
+    if mode == "mmap":
+        with Snapshot.load(path, mode="mmap") as snapshot:
+            snapshot.verify_columns()
+    state = load_state(path, mode=mode)
     recomputed = {
         key: artifact_digest(state.artifacts[key])
         for key in DIGESTED_ARTIFACTS

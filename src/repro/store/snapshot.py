@@ -16,6 +16,7 @@ twice produces byte-identical directories.
 from __future__ import annotations
 
 import json
+import mmap
 import sys
 from array import array
 from pathlib import Path
@@ -27,6 +28,7 @@ from .columns import (
     bytes_sha256,
     decode_array_column,
     decode_string_column,
+    view_array_column,
     write_array_column,
     write_string_column,
 )
@@ -35,6 +37,10 @@ from .columns import (
 SNAPSHOT_SCHEMA = "repro-snapshot/1"
 
 MANIFEST_NAME = "manifest.json"
+
+#: Supported load modes: eager digest-checked copies, or lazy read-only
+#: maps with deferred digest verification (see :meth:`Snapshot.load`).
+LOAD_MODES = ("copy", "mmap")
 
 
 class SnapshotError(RuntimeError):
@@ -101,16 +107,46 @@ class SnapshotWriter:
 
 
 class Snapshot:
-    """A loaded manifest with digest-verified column access."""
+    """A loaded manifest with digest-verified column access.
 
-    def __init__(self, path: Path, manifest: dict) -> None:
+    ``mode="copy"`` (the default) reads each column file into process
+    memory and verifies its SHA-256 before decoding — one read per
+    column, corruption fails the load.
+
+    ``mode="mmap"`` maps each column file read-only and returns array
+    columns as cast :class:`memoryview` objects sharing the mapped
+    pages: opening is near-O(1) regardless of snapshot size and columns
+    larger than RAM page in lazily.  Because an eager hash would fault
+    in every page (defeating both properties), per-byte digest
+    verification is deferred: call :meth:`verify_columns` to hash the
+    mapped buffers in place (no copies) when you want the integrity
+    check.  String columns are decoded (materialized) in either mode,
+    so they keep eager verification — hashed over the mapped buffer.
+    :meth:`close` releases the maps (outstanding views pin their pages
+    until garbage collected); a foreign-endian column cannot be viewed
+    in place and silently falls back to the copying decode.
+    """
+
+    def __init__(
+        self, path: Path, manifest: dict, mode: str = "copy"
+    ) -> None:
+        if mode not in LOAD_MODES:
+            raise SnapshotError(
+                f"unknown snapshot load mode {mode!r}; expected one of "
+                f"{LOAD_MODES}"
+            )
         self.path = path
         self.manifest = manifest
+        self.mode = mode
+        #: name -> (mmap, memoryview) for columns mapped so far.
+        self._maps: dict[str, tuple[mmap.mmap, memoryview]] = {}
+        self._closed = False
 
     @classmethod
-    def load(cls, path: str | Path) -> "Snapshot":
+    def load(cls, path: str | Path, mode: str = "copy") -> "Snapshot":
         """Open a snapshot directory (schema-checked; columns verify on
-        read)."""
+        read in ``copy`` mode, on :meth:`verify_columns` in ``mmap``
+        mode)."""
         root = Path(path)
         manifest_path = root / MANIFEST_NAME
         if not manifest_path.is_file():
@@ -127,7 +163,99 @@ class Snapshot:
             )
         if manifest.get("byteorder") not in ("little", "big"):
             raise SnapshotError("manifest does not declare a byte order")
-        return cls(root, manifest)
+        return cls(root, manifest, mode=mode)
+
+    # ------------------------------------------------------------------
+    # mmap lifetime
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release every mapped column.
+
+        Column views handed out by :meth:`array` that are still
+        referenced keep their pages alive until they are garbage
+        collected (the map itself closes when the last view dies); no
+        new columns can be mapped afterwards.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        maps, self._maps = self._maps, {}
+        for mapped, view in maps.values():
+            view.release()
+            try:
+                mapped.close()
+            except BufferError:
+                # an exported column view is still alive; the map frees
+                # itself once the last view is collected
+                pass
+
+    def __enter__(self) -> "Snapshot":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def __del__(self) -> None:
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def _mapped_view(self, name: str, path: Path, entry: dict) -> memoryview:
+        """A read-only map of the column file (cached per column)."""
+        if self._closed:
+            raise SnapshotError(f"snapshot {self.path} is closed")
+        cached = self._maps.get(name)
+        if cached is not None:
+            return cached[1]
+        size = path.stat().st_size
+        with path.open("rb") as handle:
+            if size == 0:
+                # mmap rejects zero-length maps; an empty column has an
+                # empty buffer either way.
+                mapped = None
+                view = memoryview(b"")
+            else:
+                mapped = mmap.mmap(
+                    handle.fileno(), 0, access=mmap.ACCESS_READ
+                )
+                view = memoryview(mapped)
+        if mapped is not None:
+            self._maps[name] = (mapped, view)
+        _telemetry_current().metrics.counter("snapshot.bytes_mapped").inc(
+            len(view)
+        )
+        return view
+
+    def verify_columns(self) -> int:
+        """Hash every column against the manifest; returns bytes hashed.
+
+        In ``mmap`` mode this is the deferred integrity check: each
+        mapped buffer is hashed in place without copying.  In ``copy``
+        mode it re-reads and re-checks every file.  Raises
+        :class:`SnapshotError` naming the first corrupt column.
+        """
+        total = 0
+        for name in self.manifest["columns"]:
+            entry = self.manifest["columns"][name]
+            path = self.path / entry["file"]
+            if not path.is_file():
+                raise SnapshotError(
+                    f"column file {entry['file']!r} is missing"
+                )
+            if self.mode == "mmap":
+                raw: bytes | memoryview = self._mapped_view(name, path, entry)
+            else:
+                raw = path.read_bytes()
+            actual = bytes_sha256(raw)
+            if actual != entry["sha256"]:
+                raise SnapshotError(
+                    f"column {name!r} failed digest verification "
+                    f"({entry['file']}: expected {entry['sha256'][:12]}..., "
+                    f"found {actual[:12]}...)"
+                )
+            total += len(raw)
+        return total
 
     # ------------------------------------------------------------------
     # Verified reads
@@ -161,21 +289,45 @@ class Snapshot:
             )
         return raw
 
-    def array(self, name: str) -> array:
-        """One array column, digest-verified."""
+    def array(self, name: str) -> "array | memoryview":
+        """One array column.
+
+        ``copy`` mode returns a digest-verified :class:`array.array`.
+        ``mmap`` mode returns a typed :class:`memoryview` over the
+        mapped file (digest check deferred to :meth:`verify_columns`);
+        a foreign-endian column falls back to a byteswapped copy.
+        """
         path, entry = self._entry(name, ("i32", "i64", "f64"))
-        raw = self._verified_bytes(name, path, entry)
+        byteorder = self.manifest["byteorder"]
         try:
-            return decode_array_column(
-                raw, entry, self.manifest["byteorder"], name
-            )
+            if self.mode == "mmap":
+                view = self._mapped_view(name, path, entry)
+                return view_array_column(view, entry, byteorder, name)
+            raw = self._verified_bytes(name, path, entry)
+            return decode_array_column(raw, entry, byteorder, name)
         except ColumnError as error:
             raise SnapshotError(f"column {name!r}: {error}") from error
 
     def strings(self, name: str) -> list[str]:
-        """One string column, digest-verified."""
+        """One string column, digest-verified.
+
+        Decoding materializes the rows in either mode; ``mmap`` mode
+        hashes the mapped buffer in place (no extra copy) before
+        decoding, so string columns keep eager verification.
+        """
         path, entry = self._entry(name, ("str",))
-        raw = self._verified_bytes(name, path, entry)
+        if self.mode == "mmap":
+            view = self._mapped_view(name, path, entry)
+            actual = bytes_sha256(view)
+            if actual != entry["sha256"]:
+                raise SnapshotError(
+                    f"column {name!r} failed digest verification "
+                    f"({entry['file']}: expected {entry['sha256'][:12]}..., "
+                    f"found {actual[:12]}...)"
+                )
+            raw = bytes(view)
+        else:
+            raw = self._verified_bytes(name, path, entry)
         try:
             return decode_string_column(raw, entry, name)
         except ColumnError as error:

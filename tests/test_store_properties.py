@@ -1,0 +1,154 @@
+"""Property suites for the column codec: escaping and zero-copy views.
+
+Two contracts the snapshot store's byte-level substrate must hold for
+*arbitrary* data, not just the fixtures:
+
+- string-column escaping round-trips any rows exactly — including
+  newlines, carriage returns, backslashes, empty rows, and the
+  zero-rows-vs-one-empty-row distinction (both encode to an empty
+  file; only the manifest ``count`` separates them);
+- an mmap-style zero-copy view of an array column reads the same
+  elements, bit for bit, as the copying decode — for every array kind
+  and for both byte orders (a foreign-endian column falls back to the
+  byteswapped copy).
+"""
+
+import sys
+from array import array
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.store.columns import (
+    ColumnError,
+    decode_array_column,
+    decode_string_column,
+    view_array_column,
+    write_array_column,
+    write_string_column,
+)
+
+_RELAXED = settings(
+    suppress_health_check=[HealthCheck.function_scoped_fixture]
+)
+
+#: Rows biased toward the characters the escaper must handle.
+row_text = st.text(
+    alphabet=st.one_of(
+        st.sampled_from("\n\r\\"),
+        st.characters(codec="utf-8"),
+    ),
+    max_size=40,
+)
+
+
+# ----------------------------------------------------------------------
+# String-column escaping
+# ----------------------------------------------------------------------
+@_RELAXED
+@given(rows=st.lists(row_text, max_size=20))
+def test_string_column_roundtrips_any_rows(tmp_path, rows):
+    entry = write_string_column(tmp_path / "col.txt", rows)
+    raw = (tmp_path / "col.txt").read_bytes()
+    assert decode_string_column(raw, entry, "col") == rows
+
+
+def test_zero_rows_and_one_empty_row_both_roundtrip(tmp_path):
+    # Both columns serialize to an empty file; the manifest count is
+    # what tells them apart, and decoding must honour it.
+    empty = write_string_column(tmp_path / "zero.txt", [])
+    one = write_string_column(tmp_path / "one.txt", [""])
+    assert (tmp_path / "zero.txt").read_bytes() == b""
+    assert (tmp_path / "one.txt").read_bytes() == b""
+    assert empty["count"] == 0 and one["count"] == 1
+    assert decode_string_column(b"", empty, "zero") == []
+    assert decode_string_column(b"", one, "one") == [""]
+
+
+@_RELAXED
+@given(rows=st.lists(st.sampled_from(["", "\n", "\r", "\\", "\\n"]), max_size=8))
+def test_escape_heavy_rows_roundtrip(tmp_path, rows):
+    entry = write_string_column(tmp_path / "col.txt", rows)
+    raw = (tmp_path / "col.txt").read_bytes()
+    assert decode_string_column(raw, entry, "col") == rows
+
+
+def test_invalid_escape_sequence_rejected():
+    entry = {"file": "col.txt", "kind": "str", "count": 1, "sha256": ""}
+    with pytest.raises(ColumnError, match="escape"):
+        decode_string_column(b"bad\\x", entry, "col")
+
+
+# ----------------------------------------------------------------------
+# Zero-copy views vs copying decode, per array kind
+# ----------------------------------------------------------------------
+_I32 = st.integers(min_value=-(2**31), max_value=2**31 - 1)
+_I64 = st.integers(min_value=-(2**63), max_value=2**63 - 1)
+_F64 = st.floats(allow_nan=True, allow_infinity=True)
+
+_ARRAY_STRATEGIES = [
+    ("i", st.lists(_I32, max_size=50)),
+    ("q", st.lists(_I64, max_size=50)),
+    ("d", st.lists(_F64, max_size=50)),
+]
+
+
+@pytest.mark.parametrize(
+    "typecode,values_strategy", _ARRAY_STRATEGIES, ids=["i32", "i64", "f64"]
+)
+def test_view_equals_copy_for_every_kind(tmp_path, typecode, values_strategy):
+    @_RELAXED
+    @given(values=values_strategy)
+    def check(values):
+        column = array(typecode, values)
+        entry = write_array_column(tmp_path / "col.bin", column)
+        raw = (tmp_path / "col.bin").read_bytes()
+        copied = decode_array_column(raw, entry, sys.byteorder, "col")
+        viewed = view_array_column(
+            memoryview(raw), entry, sys.byteorder, "col"
+        )
+        assert isinstance(viewed, memoryview)
+        assert viewed.format == typecode
+        # Bit-level equality (NaN payloads included), then element-level.
+        assert bytes(viewed) == copied.tobytes() == column.tobytes()
+        assert len(viewed) == len(copied) == len(column)
+
+    check()
+
+
+@pytest.mark.parametrize(
+    "typecode,values",
+    [
+        ("i", [1, -2, 2**31 - 1]),
+        ("q", [1, -2, 3 << 40]),
+        ("d", [0.5, -1.25, 3e300]),
+    ],
+    ids=["i32", "i64", "f64"],
+)
+def test_opposite_byteorder_roundtrips(tmp_path, typecode, values):
+    # A manifest written on an opposite-endian machine: the raw bytes
+    # are byteswapped, the manifest's byteorder says so, and decoding
+    # must swap them back — exercising the byteswap branch directly.
+    native = array(typecode, values)
+    foreign = array(typecode, values)
+    foreign.byteswap()
+    other = "big" if sys.byteorder == "little" else "little"
+    entry = write_array_column(tmp_path / "col.bin", foreign)
+    raw = (tmp_path / "col.bin").read_bytes()
+
+    decoded = decode_array_column(raw, entry, other, "col")
+    assert decoded == native
+    # The zero-copy path cannot view foreign bytes in place: it must
+    # fall back to the same byteswapped copy.
+    viewed = view_array_column(memoryview(raw), entry, other, "col")
+    assert isinstance(viewed, array)
+    assert viewed == native
+
+
+def test_view_rejects_truncated_buffer(tmp_path):
+    column = array("q", [1, 2, 3])
+    entry = write_array_column(tmp_path / "col.bin", column)
+    raw = (tmp_path / "col.bin").read_bytes()[:-8]
+    with pytest.raises(ColumnError, match="expected"):
+        view_array_column(memoryview(raw), entry, sys.byteorder, "col")
