@@ -69,11 +69,15 @@ DEFAULT_OUT = Path(__file__).parent / "results" / "BENCH_similarity.json"
 DEFAULT_BLOCKING_OUT = Path(__file__).parent / "results" / "BENCH_blocking.json"
 DEFAULT_SERVE_OUT = Path(__file__).parent / "results" / "BENCH_serve.json"
 DEFAULT_ZEROCOPY_OUT = Path(__file__).parent / "results" / "BENCH_zerocopy.json"
+DEFAULT_DURABILITY_OUT = (
+    Path(__file__).parent / "results" / "BENCH_durability.json"
+)
 
 SCHEMA = "repro-bench-similarity/1"
 BLOCKING_SCHEMA = "repro-bench-blocking/1"
 SERVE_SCHEMA = "repro-bench-serve/1"
 ZEROCOPY_SCHEMA = "repro-bench-zerocopy/1"
+DURABILITY_SCHEMA = "repro-bench-durability/1"
 
 
 # ----------------------------------------------------------------------
@@ -601,6 +605,153 @@ def run_zerocopy_report(profile: str, scale: float) -> dict:
     }
 
 
+# ----------------------------------------------------------------------
+# Durability section: what the fsync barrier and WAL replay cost
+# ----------------------------------------------------------------------
+def run_durability_report(
+    profile: str, scale: float, appends: int = 200, replay_deltas: int = 10
+) -> dict:
+    """Durability section (``repro-bench-durability/1``).
+
+    Three costs of the ISSUE-9 durability layer, measured in one run:
+
+    - raw WAL append latency (p50/p99 over ``appends`` records), with
+      the fsync barrier on and with ``REPRO_NO_FSYNC=1`` — the spread
+      *is* the price of crash durability per logged batch;
+    - end-to-end ``POST /delta`` apply latency through a WAL-backed
+      daemon, fsync on vs off — how much of a real delta's wall time
+      the barrier accounts for once matching is included;
+    - recovery replay: boot a daemon from snapshot + a WAL holding
+      ``replay_deltas`` applied batches, normalized to seconds per 100
+      replayed ops.
+    """
+    import os
+    import shutil
+    import tempfile
+
+    from repro.pipeline import MatchSession
+    from repro.serve import (
+        WAL_NAME,
+        ResolutionDaemon,
+        WriteAheadLog,
+        parse_delta,
+    )
+
+    record = {
+        "ops": [{"op": "remove", "kb": "kb1", "uris": ["bench-uri"]}],
+    }
+
+    def timed_appends(wal_dir: Path) -> list[float]:
+        latencies = []
+        with WriteAheadLog(wal_dir / WAL_NAME) as wal:
+            for index in range(appends):
+                _, seconds = _timed(wal.log_delta, record["ops"], index + 2)
+                latencies.append(seconds)
+        latencies.sort()
+        return latencies
+
+    def append_stats(latencies: list[float]) -> dict:
+        return {
+            "p50_us": round(_percentile(latencies, 0.50) * 1e6, 1),
+            "p99_us": round(_percentile(latencies, 0.99) * 1e6, 1),
+            "mean_us": round(sum(latencies) / len(latencies) * 1e6, 1),
+        }
+
+    def no_fsync(enabled: bool):
+        if enabled:
+            os.environ["REPRO_NO_FSYNC"] = "1"
+        else:
+            os.environ.pop("REPRO_NO_FSYNC", None)
+
+    data = generate_benchmark(profile, scale=scale)
+    session = MatchSession(data.kb1, data.kb2)
+    session.match()
+    workdir = Path(tempfile.mkdtemp(prefix="repro-bench-durability-"))
+    try:
+        snapshot = session.save(workdir / "seed")
+
+        fsync_appends = timed_appends(workdir / "wal-append-on")
+        no_fsync(True)
+        try:
+            nofsync_appends = timed_appends(workdir / "wal-append-off")
+        finally:
+            no_fsync(False)
+
+        def timed_deltas(wal_dir: Path) -> tuple[list[float], Path]:
+            daemon = ResolutionDaemon.from_snapshot(
+                snapshot, wal_dir=wal_dir
+            )
+            uris = sorted(daemon.state().uris1)[:replay_deltas]
+            latencies = []
+            for uri in uris:
+                payload = {
+                    "ops": [{"op": "remove", "kb": "kb1", "uris": [uri]}]
+                }
+                _, seconds = _timed(
+                    daemon.apply_delta,
+                    parse_delta(payload),
+                    payload["ops"],
+                )
+                latencies.append(seconds)
+            daemon.wal.close()
+            latencies.sort()
+            return latencies, wal_dir
+
+        fsync_deltas, replay_dir = timed_deltas(workdir / "wal-delta-on")
+        no_fsync(True)
+        try:
+            nofsync_deltas, _ = timed_deltas(workdir / "wal-delta-off")
+        finally:
+            no_fsync(False)
+
+        recovered, replay_s = _timed(
+            lambda: ResolutionDaemon.from_snapshot(
+                snapshot, wal_dir=replay_dir
+            )
+        )
+        replayed = recovered.robustness_stats()["wal_replayed"]
+        if replayed != replay_deltas:
+            raise AssertionError(
+                f"replay recovered {replayed} deltas, expected "
+                f"{replay_deltas}"
+            )
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+    def mean_ms(latencies: list[float]) -> float:
+        return round(sum(latencies) / len(latencies) * 1000, 3)
+
+    fsync_mean = sum(fsync_deltas) / len(fsync_deltas)
+    nofsync_mean = sum(nofsync_deltas) / len(nofsync_deltas)
+    return {
+        "schema": DURABILITY_SCHEMA,
+        "profile": profile,
+        "scale": scale,
+        "python": platform.python_version(),
+        "entities": [len(data.kb1), len(data.kb2)],
+        "wal_append": {
+            "samples": appends,
+            "fsync": append_stats(fsync_appends),
+            "no_fsync": append_stats(nofsync_appends),
+        },
+        "delta_apply": {
+            "samples": replay_deltas,
+            "fsync_mean_ms": mean_ms(fsync_deltas),
+            "no_fsync_mean_ms": mean_ms(nofsync_deltas),
+            "fsync_overhead_ms": round(
+                (fsync_mean - nofsync_mean) * 1000, 3
+            ),
+        },
+        "recovery": {
+            "replayed_deltas": replay_deltas,
+            "replay_s": round(replay_s, 4),
+            "replay_s_per_100_ops": round(
+                replay_s / replay_deltas * 100, 4
+            ),
+        },
+    }
+
+
 def _normalized_wall_time(report: dict) -> float | None:
     """End-to-end seconds per second of same-run baseline index work.
 
@@ -709,6 +860,18 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="skip the zero-copy (mmap + shared-memory) section",
     )
+    parser.add_argument(
+        "--durability-out",
+        type=Path,
+        default=DEFAULT_DURABILITY_OUT,
+        help="where the durability (WAL + fsync + replay) report is "
+        "written (uncommitted, like every BENCH_*.json)",
+    )
+    parser.add_argument(
+        "--skip-durability",
+        action="store_true",
+        help="skip the durability (WAL + fsync + replay) section",
+    )
     args = parser.parse_args(argv)
 
     report = run_report(args.profile, args.scale)
@@ -791,6 +954,32 @@ def main(argv: list[str] | None = None) -> int:
         print(
             f"  digest parity: {len(zerocopy['digest_parity']['combinations'])}"
             f" combinations identical={zerocopy['digest_parity']['identical']}"
+        )
+    if not args.skip_durability:
+        durability = run_durability_report(args.profile, args.scale)
+        args.durability_out.parent.mkdir(parents=True, exist_ok=True)
+        args.durability_out.write_text(
+            json.dumps(durability, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"wrote {args.durability_out}")
+        append = durability["wal_append"]
+        print(
+            f"  WAL append: p50 {append['fsync']['p50_us']:.0f}us "
+            f"p99 {append['fsync']['p99_us']:.0f}us with fsync "
+            f"(no-fsync p50 {append['no_fsync']['p50_us']:.0f}us)"
+        )
+        delta = durability["delta_apply"]
+        print(
+            f"  delta apply: {delta['fsync_mean_ms']:.2f}ms with fsync, "
+            f"{delta['no_fsync_mean_ms']:.2f}ms without "
+            f"(barrier {delta['fsync_overhead_ms']:.2f}ms)"
+        )
+        recovery = durability["recovery"]
+        print(
+            f"  recovery replay: {recovery['replay_s']:.3f}s for "
+            f"{recovery['replayed_deltas']} deltas "
+            f"({recovery['replay_s_per_100_ops']:.3f}s per 100 ops)"
         )
     if args.check is not None:
         return check_regression(report, args.check, args.max_regression)

@@ -25,6 +25,7 @@ from __future__ import annotations
 import argparse
 import csv
 import logging
+import os
 import sys
 from pathlib import Path
 
@@ -192,6 +193,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker count for parallel engines (default: one per CPU)",
     )
     match.add_argument(
+        "--no-degrade",
+        action="store_true",
+        help="with --engine process, fail the run instead of degrading "
+        "to inline execution after repeated worker crashes",
+    )
+    match.add_argument(
         "--trace",
         default=None,
         metavar="FILE",
@@ -265,6 +272,20 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="directory new snapshots are written under (default: the "
         "loaded snapshot's parent directory)",
+    )
+    serve.add_argument(
+        "--wal-dir",
+        default=None,
+        metavar="DIR",
+        help="enable the write-ahead delta log in DIR: every POST /delta "
+        "is durably logged before it is applied, and unsnapshotted "
+        "batches found there replay on boot (see docs/PERSISTENCE.md)",
+    )
+    serve.add_argument(
+        "--no-degrade",
+        action="store_true",
+        help="with a process engine, fail a dispatch instead of "
+        "degrading to inline execution after repeated worker crashes",
     )
     return parser
 
@@ -483,6 +504,8 @@ def cmd_match(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.no_degrade:
+        os.environ["REPRO_ENGINE_NO_DEGRADE"] = "1"
     config = MinoanERConfig(
         theta=args.theta,
         top_k_candidates=args.top_k,
@@ -589,8 +612,11 @@ def cmd_serve(args: argparse.Namespace) -> int:
         install_signal_handlers,
         run,
     )
+    from .serve.wal import WalError
     from .store import SnapshotError
 
+    if args.no_degrade:
+        os.environ["REPRO_ENGINE_NO_DEGRADE"] = "1"
     try:
         daemon = ResolutionDaemon.from_snapshot(
             args.snapshot,
@@ -599,7 +625,11 @@ def cmd_serve(args: argparse.Namespace) -> int:
             snapshot_dir=args.snapshot_dir,
             auto_snapshot_every=args.auto_snapshot_every,
             mode="mmap" if args.mmap else "copy",
+            wal_dir=args.wal_dir,
         )
+    except WalError as error:
+        print(f"error: cannot replay WAL: {error}", file=sys.stderr)
+        return 2
     except SnapshotError as error:
         print(f"error: cannot load snapshot: {error}", file=sys.stderr)
         return 2

@@ -38,12 +38,15 @@ from __future__ import annotations
 
 import os
 import pickle
+import time
 from abc import ABC, abstractmethod
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from functools import partial
 from typing import Any, Callable, Sequence, TypeVar
 
 from ..obs.runtime import Telemetry, current, run_traced_partition
+from ..testing.failpoints import failpoint
 
 P = TypeVar("P")
 R = TypeVar("R")
@@ -236,6 +239,37 @@ class ThreadExecutor(_PooledExecutor):
         return ThreadPoolExecutor(max_workers=self.workers)
 
 
+def _env_float(name: str, default: float) -> float:
+    try:
+        return float(os.environ[name])
+    except (KeyError, ValueError):
+        return default
+
+
+def _env_int(name: str, default: int) -> int:
+    try:
+        return int(os.environ[name])
+    except (KeyError, ValueError):
+        return default
+
+
+def _worker_entry(fn: Callable[[P], R], partition: P) -> R:
+    """Pool-side task wrapper: the ``engine.worker`` failpoint site.
+
+    Runs in the worker process (it must stay module-level picklable).
+    The failpoint is evaluated here — not on the driver's inline or
+    degraded paths — so an armed ``crash`` spec kills pool workers,
+    never the driver.
+    """
+    failpoint("engine.worker")
+    return fn(partition)
+
+
+#: Retry backoff: base doubles per consecutive failure, capped.
+_BACKOFF_BASE_SECONDS = 0.05
+_BACKOFF_CAP_SECONDS = 1.0
+
+
 class ProcessExecutor(_PooledExecutor):
     """A process pool; partition functions and data must be picklable.
 
@@ -244,13 +278,153 @@ class ProcessExecutor(_PooledExecutor):
     ship workers tiny :class:`~repro.engine.shm.SharedSlice` handles
     instead of pickled data (see :mod:`repro.engine.shm`).  ``close()``
     unlinks any segment still live.
+
+    Dispatches are fault-tolerant.  A crashed worker (``SIGKILL``, OOM
+    kill — surfacing as :class:`BrokenProcessPool`) or a dispatch
+    deadline overrun discards the broken pool, rebuilds it, and — after
+    a capped exponential backoff — resubmits only the partitions that
+    never finished.  After ``max_retries`` consecutive failed rounds the
+    dispatch degrades to running the remaining partitions inline in the
+    driver (bit-identical by the executor parity contract) unless
+    degradation is disabled, in which case it raises.  Genuine worker
+    exceptions (a bug in the partition function) propagate immediately
+    and are never retried.  Shared-memory segments published for the
+    dispatch stay alive across pool rebuilds — retried and degraded
+    partitions re-attach to (or read in-process) the same segment, which
+    the owning stage unlinks when the dispatch ends, success or failure.
+
+    Knobs (constructor arguments override the environment):
+
+    - ``REPRO_DISPATCH_DEADLINE`` — seconds one submission round may
+      take before its stragglers are treated as crashed (0 = no
+      deadline, the default);
+    - ``REPRO_ENGINE_MAX_RETRIES`` — failed rounds tolerated before
+      degrading (default 2);
+    - ``REPRO_ENGINE_NO_DEGRADE=1`` — fail the dispatch instead of
+      degrading to inline execution (the CLI's ``--no-degrade``).
+
+    Counters (ambient telemetry): ``engine.worker_retries`` (partition
+    resubmissions), ``engine.pool_rebuilds``, and
+    ``engine.degraded_dispatches`` — all surfaced in the daemon's
+    ``/stats``.
     """
 
     name = "process"
 
-    def __init__(self, workers: int | None = None) -> None:
+    def __init__(
+        self,
+        workers: int | None = None,
+        *,
+        dispatch_deadline: float | None = None,
+        max_retries: int | None = None,
+        degrade: bool | None = None,
+    ) -> None:
         super().__init__(workers)
         self._arena = None
+        self.dispatch_deadline = (
+            dispatch_deadline
+            if dispatch_deadline is not None
+            else _env_float("REPRO_DISPATCH_DEADLINE", 0.0)
+        )
+        self.max_retries = (
+            max_retries
+            if max_retries is not None
+            else _env_int("REPRO_ENGINE_MAX_RETRIES", 2)
+        )
+        self.degrade = (
+            degrade
+            if degrade is not None
+            else os.environ.get("REPRO_ENGINE_NO_DEGRADE") != "1"
+        )
+
+    def _discard_pool(self) -> None:
+        """Drop a broken/stalled pool without waiting on its corpses."""
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            try:
+                pool.shutdown(wait=False, cancel_futures=True)
+            except Exception:  # pragma: no cover - shutdown races
+                pass
+
+    def _run_batch(
+        self,
+        task: Callable[[P], R],
+        partitions: Sequence[P],
+        pending: list[int],
+    ) -> tuple[dict[int, R], list[int]]:
+        """Submit ``pending`` partition indices once.
+
+        Returns ``(completed, unfinished)`` where ``unfinished`` holds
+        indices lost to a pool crash or still running at the deadline.
+        A non-crash exception from a task propagates — that is a bug in
+        the partition function, not a fault to retry.
+        """
+        if self._pool is None:
+            self._pool = self._make_pool()
+        try:
+            futures = {
+                self._pool.submit(task, partitions[index]): index
+                for index in pending
+            }
+        except (BrokenProcessPool, RuntimeError):
+            # The pool broke before (or while) accepting work; nothing
+            # was completed this round.
+            return {}, list(pending)
+        done, not_done = wait(
+            futures, timeout=self.dispatch_deadline or None
+        )
+        completed: dict[int, R] = {}
+        unfinished = [futures[future] for future in not_done]
+        for future in done:
+            index = futures[future]
+            try:
+                completed[index] = future.result()
+            except BrokenProcessPool:
+                unfinished.append(index)
+        return completed, unfinished
+
+    def _map(self, fn: Callable[[P], R], partitions: Sequence[P]) -> list[R]:
+        if len(partitions) <= 1 or self.workers == 1:
+            return [fn(partition) for partition in partitions]
+        task = partial(_worker_entry, fn)
+        metrics = current().metrics
+        results: dict[int, R] = {}
+        pending = list(range(len(partitions)))
+        failed_rounds = 0
+        while pending:
+            completed, unfinished = self._run_batch(
+                task, partitions, pending
+            )
+            results.update(completed)
+            if not unfinished:
+                break
+            failed_rounds += 1
+            metrics.counter("engine.pool_rebuilds").inc()
+            self._discard_pool()
+            unfinished.sort()
+            if failed_rounds > self.max_retries:
+                if not self.degrade:
+                    raise BrokenProcessPool(
+                        f"dispatch failed {failed_rounds} round(s); "
+                        f"{len(unfinished)} partition(s) unfinished and "
+                        "degradation is disabled"
+                    )
+                # Last resort: the driver runs the stragglers itself.
+                # Inline execution calls ``fn`` directly (no failpoint
+                # wrapper) and is bit-identical by the parity contract.
+                metrics.counter("engine.degraded_dispatches").inc()
+                for index in unfinished:
+                    results[index] = fn(partitions[index])
+                break
+            metrics.counter("engine.worker_retries").inc(len(unfinished))
+            time.sleep(
+                min(
+                    _BACKOFF_BASE_SECONDS * 2 ** (failed_rounds - 1),
+                    _BACKOFF_CAP_SECONDS,
+                )
+            )
+            pending = unfinished
+        return [results[index] for index in range(len(partitions))]
 
     def _make_pool(self):
         # Start the stdlib resource tracker before the pool forks:

@@ -189,19 +189,37 @@ class PublishedSegment:
         self._shm = _shared_memory.SharedMemory(
             create=True, size=max(total, 1)
         )
-        self.name = self._shm.name
-        self.nbytes = total
-        self.slices: list[SharedSlice] = []
-        buf = self._shm.buf
-        for (typecode, _), (raw, nbytes), start in zip(
-            columns, sizes, offsets
-        ):
-            if nbytes:
-                buf[start : start + nbytes] = raw
-            raw.release()
-            self.slices.append(
-                SharedSlice(self.name, typecode, start, nbytes)
-            )
+        # From here the OS object exists but no registry knows it yet
+        # (the arena registers only after __init__ returns), so any
+        # failure during the copy must unlink it right here — otherwise
+        # the segment would leak until interpreter shutdown.
+        try:
+            from ..testing.failpoints import failpoint
+
+            failpoint("shm.publish")
+            self.name = self._shm.name
+            self.nbytes = total
+            self.slices: list[SharedSlice] = []
+            buf = self._shm.buf
+            for (typecode, _), (raw, nbytes), start in zip(
+                columns, sizes, offsets
+            ):
+                if nbytes:
+                    buf[start : start + nbytes] = raw
+                raw.release()
+                self.slices.append(
+                    SharedSlice(self.name, typecode, start, nbytes)
+                )
+        except BaseException:
+            try:
+                self._shm.close()
+            except BufferError:  # pragma: no cover - defensive
+                pass
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+            raise
         self._arena = arena
         self._closed = False
         self._owner_pid = os.getpid()

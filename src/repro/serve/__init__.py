@@ -29,8 +29,9 @@ from .app import (
     run,
 )
 from .client import ServeClient, ServeClientError
-from .json_codec import DeltaFormatError, DeltaOp, parse_delta
+from .json_codec import DeltaFormatError, DeltaOp, delta_to_payload, parse_delta
 from .state import ServingState, StateBox
+from .wal import WAL_NAME, WAL_SCHEMA, WalError, WriteAheadLog
 
 __all__ = [
     "MAX_SPAN_RECORDS",
@@ -42,7 +43,12 @@ __all__ = [
     "StateBox",
     "DeltaFormatError",
     "DeltaOp",
+    "WAL_NAME",
+    "WAL_SCHEMA",
+    "WalError",
+    "WriteAheadLog",
     "build_server",
+    "delta_to_payload",
     "install_signal_handlers",
     "parse_delta",
     "run",

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import json
 import logging
+import os
 import signal
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -33,14 +34,17 @@ from typing import Any
 
 from ..incremental import IncrementalMatcher
 from ..obs import Telemetry, prometheus_text
+from ..testing.failpoints import failpoint
 from . import handlers
 from .json_codec import (
     DeltaFormatError,
     DeltaOp,
+    delta_to_payload,
     parse_delta,
     validate_against_membership,
 )
 from .state import ServingState, StateBox
+from .wal import WAL_NAME, WalError, WriteAheadLog
 
 log = logging.getLogger("repro.serve")
 
@@ -62,6 +66,7 @@ class ResolutionDaemon:
         auto_snapshot_every: int = 0,
         telemetry: Telemetry | None = None,
         load_mode: str = "copy",
+        wal_dir: str | Path | None = None,
     ) -> None:
         if auto_snapshot_every < 0:
             raise ValueError("auto_snapshot_every must be >= 0")
@@ -99,6 +104,14 @@ class ResolutionDaemon:
         #: Whether published state is newer than the last snapshot.
         self.dirty = False
         self.last_snapshot_path: Path | None = None
+        #: The write-ahead delta log, when durability is enabled via
+        #: ``wal_dir``.  Opening it replays any batches the previous
+        #: process acknowledged (or had in flight) after its last
+        #: snapshot — see :mod:`repro.serve.wal`.
+        self.wal: WriteAheadLog | None = None
+        if wal_dir is not None:
+            self.wal = WriteAheadLog(Path(wal_dir) / WAL_NAME)
+            self._replay_wal()
 
     # ------------------------------------------------------------------
     # Construction
@@ -114,11 +127,14 @@ class ResolutionDaemon:
         auto_snapshot_every: int = 0,
         telemetry: Telemetry | None = None,
         mode: str = "copy",
+        wal_dir: str | Path | None = None,
     ) -> "ResolutionDaemon":
         """A daemon warm-started from a ``repro-snapshot/1`` directory.
 
         ``mode="mmap"`` maps the snapshot's columns instead of copying
         them — near-instant boot; see :meth:`Snapshot.load`.
+        ``wal_dir`` enables the write-ahead delta log (and replays any
+        unsnapshotted batches found there before serving).
         """
         matcher = IncrementalMatcher.from_snapshot(
             path, engine=engine, workers=workers, mode=mode
@@ -130,6 +146,7 @@ class ResolutionDaemon:
             auto_snapshot_every=auto_snapshot_every,
             telemetry=telemetry,
             load_mode=mode,
+            wal_dir=wal_dir,
         )
 
     def _span(self, name: str, category: str = "request", args=None):
@@ -149,46 +166,148 @@ class ResolutionDaemon:
     # ------------------------------------------------------------------
     # Write side (single writer; every path below takes the lock)
     # ------------------------------------------------------------------
-    def apply_delta(self, ops: tuple[DeltaOp, ...]) -> dict[str, Any]:
-        """Apply one all-or-nothing delta batch and publish the result."""
+    def apply_delta(
+        self,
+        ops: tuple[DeltaOp, ...],
+        raw_ops: list[dict] | None = None,
+    ) -> dict[str, Any]:
+        """Apply one all-or-nothing delta batch and publish the result.
+
+        With a WAL enabled, the validated batch is durably logged (in
+        the wire grammar — ``raw_ops`` when the HTTP handler already has
+        it, re-encoded otherwise) *before* the matcher mutates anything,
+        and the new generation's digest is logged after it publishes.
+        """
         with self._writer_lock:
             state = self._box.current()
             # All-or-nothing: walk the batch over simulated membership
             # before the matcher mutates anything.
             validate_against_membership(ops, state.uris1, state.uris2)
-            # Copy-on-write epoch: the published state's indices must
-            # never see the in-place patches the refresh applies.
-            self._matcher.detach_shared_artifacts()
-            added = removed = 0
-            for op in ops:
-                if op.op == "add":
-                    added += self._matcher.add_entities(op.kb, op.entities)
-                else:
-                    removed += self._matcher.remove_entities(op.kb, op.uris)
-            result = self._matcher.match()  # records into self.telemetry
-            new_state = ServingState.from_matcher(
-                self._matcher,
-                generation=state.generation + 1,
-                delta_count=state.delta_count + len(ops),
-            )
-            self._box.publish(new_state)
-            self.dirty = True
-            self.deltas_since_snapshot += 1
-            self.telemetry.metrics.counter("serve.delta_applied").inc()
-            payload = {
-                "generation": new_state.generation,
-                "ops": len(ops),
-                "added": added,
-                "removed": removed,
-                "matches": len(result.matches),
-                "matches_digest": new_state.matches_digest,
-            }
+            if self.wal is not None:
+                self.wal.log_delta(
+                    raw_ops if raw_ops is not None else delta_to_payload(ops),
+                    state.generation + 1,
+                )
+            # A SIGKILL here (the armed-failpoint case) loses nothing:
+            # the delta is on disk and boot replays it.
+            failpoint("serve.apply_delta")
+            payload = self._apply_validated(ops, state)
+            if self.wal is not None:
+                self.wal.log_commit(
+                    payload["generation"], payload["matches_digest"]
+                )
             if (
                 self.auto_snapshot_every
                 and self.deltas_since_snapshot >= self.auto_snapshot_every
             ):
                 payload["snapshot"] = str(self.save_snapshot())
             return payload
+
+    def _apply_validated(
+        self, ops: tuple[DeltaOp, ...], state: ServingState
+    ) -> dict[str, Any]:
+        """Apply a membership-validated batch against ``state``.
+
+        The shared core of live applies and WAL replay — no logging, no
+        auto-snapshot, so replay can never re-log what it is replaying.
+        Caller holds the writer lock and passes the pinned state.
+        """
+        # Copy-on-write epoch: the published state's indices must
+        # never see the in-place patches the refresh applies.
+        self._matcher.detach_shared_artifacts()
+        added = removed = 0
+        for op in ops:
+            if op.op == "add":
+                added += self._matcher.add_entities(op.kb, op.entities)
+            else:
+                removed += self._matcher.remove_entities(op.kb, op.uris)
+        result = self._matcher.match()  # records into self.telemetry
+        new_state = ServingState.from_matcher(
+            self._matcher,
+            generation=state.generation + 1,
+            delta_count=state.delta_count + len(ops),
+        )
+        self._box.publish(new_state)
+        self.dirty = True
+        self.deltas_since_snapshot += 1
+        self.telemetry.metrics.counter("serve.delta_applied").inc()
+        return {
+            "generation": new_state.generation,
+            "ops": len(ops),
+            "added": added,
+            "removed": removed,
+            "matches": len(result.matches),
+            "matches_digest": new_state.matches_digest,
+        }
+
+    def _replay_wal(self) -> None:
+        """Re-apply every recovered WAL batch against the boot state.
+
+        Each ``delta`` record was validated and durably logged by the
+        previous process after its last snapshot, so replaying them in
+        order reconverges deterministically; ``commit`` records pin the
+        generation digests the original run produced, turning "should
+        be deterministic" into a checked invariant.  Divergence raises
+        :class:`WalError` — refusing to serve is strictly better than
+        serving silently different matches.
+        """
+        assert self.wal is not None
+        if self.wal.torn_dropped:
+            self.telemetry.metrics.counter("serve.wal_torn_dropped").inc(
+                self.wal.torn_dropped
+            )
+            log.warning(
+                "%s: dropped a torn trailing record", self.wal.path
+            )
+        replayed = 0
+        last_payload: dict[str, Any] | None = None
+        for index, record in enumerate(self.wal.recovered):
+            kind = record.get("type")
+            if kind == "delta":
+                ops = parse_delta({"ops": record.get("ops")})
+                with self._writer_lock:
+                    state = self._box.current()
+                    validate_against_membership(
+                        ops, state.uris1, state.uris2
+                    )
+                    last_payload = self._apply_validated(ops, state)
+                expected = record.get("expected_generation")
+                if expected is not None and expected != last_payload["generation"]:
+                    raise WalError(
+                        f"{self.wal.path}: record {index + 1} replayed to "
+                        f"generation {last_payload['generation']}, log "
+                        f"expected {expected}"
+                    )
+                replayed += 1
+            elif kind == "commit":
+                if last_payload is None or record.get("generation") != (
+                    last_payload["generation"]
+                ):
+                    raise WalError(
+                        f"{self.wal.path}: record {index + 1} commits "
+                        f"generation {record.get('generation')!r} out of "
+                        "order"
+                    )
+                if record.get("matches_digest") != last_payload["matches_digest"]:
+                    raise WalError(
+                        f"{self.wal.path}: replay of generation "
+                        f"{last_payload['generation']} diverged from the "
+                        "logged matches digest"
+                    )
+            else:
+                raise WalError(
+                    f"{self.wal.path}: record {index + 1} has unknown "
+                    f"type {kind!r}"
+                )
+        if replayed:
+            self.telemetry.metrics.counter("serve.wal_replayed").inc(
+                replayed
+            )
+            log.info(
+                "replayed %d WAL delta batch(es); now at generation %d",
+                replayed,
+                self._box.current().generation,
+            )
 
     def save_snapshot(self, path: str | Path | None = None) -> Path:
         """Persist the current state to a digest-pinned directory.
@@ -209,6 +328,9 @@ class ResolutionDaemon:
             self.dirty = False
             self.deltas_since_snapshot = 0
             self.last_snapshot_path = Path(target)
+            if self.wal is not None:
+                # The snapshot now owns everything the log held.
+                self.wal.reset()
             self.telemetry.metrics.counter("serve.snapshots_saved").inc()
             log.info("snapshot saved to %s", target)
             return Path(target)
@@ -245,6 +367,10 @@ class ResolutionDaemon:
             self._box.publish(new_state)
             self.dirty = False
             self.deltas_since_snapshot = 0
+            if self.wal is not None:
+                # Logged batches predate the reloaded snapshot; replaying
+                # them against it would be wrong, so the log restarts.
+                self.wal.reset()
             self.telemetry.metrics.counter("serve.reloads").inc()
             log.info("reloaded from %s (generation %d)", path, new_state.generation)
             return {
@@ -259,6 +385,25 @@ class ResolutionDaemon:
         if self.dirty and self.auto_snapshot_every:
             return self.save_snapshot()
         return None
+
+    def robustness_stats(self) -> dict[str, Any]:
+        """Fault-tolerance counters for the ``/stats`` payload.
+
+        Engine recovery counters accumulate in the daemon's telemetry
+        because the matcher's executors run under it; zeros mean no
+        faults were survived (the healthy steady state).
+        """
+        counters = self.telemetry.metrics.counters()
+        return {
+            "worker_retries": counters.get("engine.worker_retries", 0),
+            "pool_rebuilds": counters.get("engine.pool_rebuilds", 0),
+            "degraded_dispatches": counters.get(
+                "engine.degraded_dispatches", 0
+            ),
+            "wal_enabled": self.wal is not None,
+            "wal_replayed": counters.get("serve.wal_replayed", 0),
+            "wal_torn_dropped": counters.get("serve.wal_torn_dropped", 0),
+        }
 
 
 # ----------------------------------------------------------------------
@@ -342,7 +487,9 @@ class _RequestHandler(BaseHTTPRequestHandler):
         if endpoint == "healthz":
             return 200, handlers.handle_healthz(daemon.state())
         if endpoint == "stats":
-            return 200, handlers.handle_stats(daemon.state())
+            payload = handlers.handle_stats(daemon.state())
+            payload["robustness"] = daemon.robustness_stats()
+            return 200, payload
         if endpoint == "metrics":
             return 200, daemon.metrics_text()
         if endpoint == "match":
@@ -353,8 +500,11 @@ class _RequestHandler(BaseHTTPRequestHandler):
         if endpoint == "best":
             return 200, handlers.handle_best(daemon.state(), uri)
         if endpoint == "delta":
-            ops = parse_delta(self._read_json_body())
-            return 200, daemon.apply_delta(ops)
+            body = self._read_json_body()
+            ops = parse_delta(body)
+            # Hand the WAL the exact wire-format ops we just validated —
+            # no re-encoding on the hot write path.
+            return 200, daemon.apply_delta(ops, raw_ops=body["ops"])
         if endpoint == "snapshot":
             body = self._read_json_body(optional=True) or {}
             path = daemon.save_snapshot(body.get("path"))
@@ -373,7 +523,23 @@ class _RequestHandler(BaseHTTPRequestHandler):
     # Body / response plumbing
     # ------------------------------------------------------------------
     def _read_json_body(self, optional: bool = False) -> Any:
-        length = int(self.headers.get("Content-Length") or 0)
+        raw_length = self.headers.get("Content-Length")
+        if raw_length is None:
+            length = 0
+        else:
+            # A malformed header is the client's error (400), not an
+            # unhandled ValueError escalating to the 500 boundary; a
+            # negative length must never reach rfile.read().
+            try:
+                length = int(raw_length.strip())
+            except ValueError:
+                raise handlers.RequestError(
+                    400, f"invalid Content-Length: {raw_length!r}"
+                ) from None
+            if length < 0:
+                raise handlers.RequestError(
+                    400, f"invalid Content-Length: {raw_length!r}"
+                )
         if length == 0:
             if optional:
                 return None
@@ -414,15 +580,28 @@ class _RequestHandler(BaseHTTPRequestHandler):
 
 
 def build_server(
-    daemon: ResolutionDaemon, host: str = "127.0.0.1", port: int = 8750
+    daemon: ResolutionDaemon,
+    host: str = "127.0.0.1",
+    port: int = 8750,
+    max_body_bytes: int | None = None,
 ) -> ServeHTTPServer:
     """An HTTP server bound to ``host:port`` and wired to ``daemon``.
 
     ``port=0`` binds an ephemeral port (tests); read the actual one
-    from ``server.server_address``.
+    from ``server.server_address``.  The request-body cap defaults to
+    the handler's 64 MiB and can be overridden per server or via the
+    ``REPRO_MAX_BODY_BYTES`` environment variable.
     """
+    if max_body_bytes is None:
+        max_body_bytes = int(
+            os.environ.get(
+                "REPRO_MAX_BODY_BYTES", _RequestHandler.max_body_bytes
+            )
+        )
     handler = type(
-        "BoundRequestHandler", (_RequestHandler,), {"daemon": daemon}
+        "BoundRequestHandler",
+        (_RequestHandler,),
+        {"daemon": daemon, "max_body_bytes": max_body_bytes},
     )
     return ServeHTTPServer((host, port), handler)
 
@@ -462,3 +641,5 @@ def run(daemon: ResolutionDaemon, server: ServeHTTPServer) -> None:
         saved = daemon.drain_save()
         if saved is not None:
             log.info("final snapshot saved to %s", saved)
+        if daemon.wal is not None:
+            daemon.wal.close()

@@ -82,6 +82,50 @@ def entity_from_dict(record: Any) -> EntityDescription:
     return entity
 
 
+def entity_to_dict(entity: EntityDescription) -> dict:
+    """Encode one entity back into the request grammar above.
+
+    The exact inverse of :func:`entity_from_dict` — the write-ahead log
+    stores operation batches in the wire format, so programmatic
+    ``apply_delta`` callers (no HTTP body to reuse) need this to produce
+    replayable records.
+    """
+    pairs = []
+    for attribute, value in entity:
+        box = (
+            {"ref": str(value)}
+            if isinstance(value, UriRef)
+            else {"lit": str(value)}
+        )
+        pairs.append([attribute, box])
+    return {"uri": entity.uri, "pairs": pairs}
+
+
+def delta_to_payload(ops: tuple[DeltaOp, ...]) -> list[dict]:
+    """Encode parsed operations back into a JSON ``ops`` list.
+
+    Round-trips through :func:`parse_delta` bit-identically: the WAL
+    relies on ``parse_delta({"ops": delta_to_payload(ops)}) == ops``.
+    """
+    payload: list[dict] = []
+    for op in ops:
+        if op.op == "add":
+            payload.append(
+                {
+                    "op": "add",
+                    "kb": op.kb,
+                    "entities": [
+                        entity_to_dict(entity) for entity in op.entities
+                    ],
+                }
+            )
+        else:
+            payload.append(
+                {"op": "remove", "kb": op.kb, "uris": list(op.uris)}
+            )
+    return payload
+
+
 _KB_NAMES = ("kb1", "kb2", "1", "2")
 
 

@@ -29,6 +29,7 @@ from pathlib import Path
 from typing import Iterable
 
 from ..obs.runtime import current as _telemetry_current
+from ..testing.failpoints import failpoint
 
 #: Logical column kind -> ``array`` typecode (and the expected itemsize).
 ARRAY_KINDS = {"i32": ("i", 4), "i64": ("q", 8), "f64": ("d", 8)}
@@ -88,6 +89,7 @@ def write_array_column(path: Path, values: array) -> dict:
             f"on this platform; snapshots require {expected_itemsize}"
         )
     raw = values.tobytes()
+    failpoint("store.write_column")
     path.write_bytes(raw)
     _telemetry_current().metrics.counter("snapshot.bytes_written").inc(len(raw))
     return {
@@ -152,6 +154,7 @@ def write_string_column(path: Path, items: Iterable[str]) -> dict:
     """Write one string column; returns its manifest entry (sans name)."""
     rows = [_escape_row(row) for row in items]
     raw = "\n".join(rows).encode("utf-8")
+    failpoint("store.write_column")
     path.write_bytes(raw)
     _telemetry_current().metrics.counter("snapshot.bytes_written").inc(len(raw))
     return {

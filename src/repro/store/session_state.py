@@ -271,41 +271,57 @@ def write_session_snapshot(
     top_neighbors: tuple[dict[str, set[str]], dict[str, set[str]]],
     digests: dict[str, str],
 ) -> Path:
-    """Serialize one bootstrapped pipeline state (see module docstring)."""
+    """Serialize one bootstrapped pipeline state (see module docstring).
+
+    Crash-atomic: everything stages into a ``<path>.tmp`` sibling and an
+    error at any point aborts the staging directory, leaving whatever
+    snapshot already lived at ``path`` untouched and loadable.
+    """
     writer = SnapshotWriter(path)
-    _pack_kb(writer, "kb1", kb1)
-    _pack_kb(writer, "kb2", kb2)
+    try:
+        _pack_kb(writer, "kb1", kb1)
+        _pack_kb(writer, "kb2", kb2)
 
-    token_key_ids = _pack_placements(writer, "tokens", token_rows)
-    kept = artifacts["token_blocks"].keys()
-    writer.add_array(
-        "tokens_kept", array("i", sorted(token_key_ids[key] for key in kept))
-    )
-    if name_rows is not None:
-        _pack_placements(writer, "names", name_rows)
+        token_key_ids = _pack_placements(writer, "tokens", token_rows)
+        kept = artifacts["token_blocks"].keys()
+        writer.add_array(
+            "tokens_kept",
+            array("i", sorted(token_key_ids[key] for key in kept)),
+        )
+        if name_rows is not None:
+            _pack_placements(writer, "names", name_rows)
 
-    _pack_index(writer, "value", artifacts["value_index"])
-    _pack_index(writer, "neighbor", artifacts["neighbor_index"])
-    _pack_top_neighbors(writer, "topnbr_side1", top_neighbors[0], kb1.uris())
-    _pack_top_neighbors(writer, "topnbr_side2", top_neighbors[1], kb2.uris())
+        _pack_index(writer, "value", artifacts["value_index"])
+        _pack_index(writer, "neighbor", artifacts["neighbor_index"])
+        _pack_top_neighbors(
+            writer, "topnbr_side1", top_neighbors[0], kb1.uris()
+        )
+        _pack_top_neighbors(
+            writer, "topnbr_side2", top_neighbors[1], kb2.uris()
+        )
 
-    writer.add_json("config", asdict(config))
-    writer.add_json("graph_stages", list(graph_names))
-    writer.add_json("has_names", name_rows is not None)
-    report = artifacts.get("purging_report")
-    writer.add_json("purging_report", None if report is None else asdict(report))
-    for key in (
-        "name_attributes1",
-        "name_attributes2",
-        "top_relations1",
-        "top_relations2",
-    ):
-        if key in artifacts:
-            writer.add_json(key, list(artifacts[key]))
-    for key in ("matches", "pre_h4_matches", "discarded_by_h4"):
-        writer.add_json(key, _matches_json(artifacts[key]))
-    writer.add_json("digests", dict(digests))
-    return writer.commit()
+        writer.add_json("config", asdict(config))
+        writer.add_json("graph_stages", list(graph_names))
+        writer.add_json("has_names", name_rows is not None)
+        report = artifacts.get("purging_report")
+        writer.add_json(
+            "purging_report", None if report is None else asdict(report)
+        )
+        for key in (
+            "name_attributes1",
+            "name_attributes2",
+            "top_relations1",
+            "top_relations2",
+        ):
+            if key in artifacts:
+                writer.add_json(key, list(artifacts[key]))
+        for key in ("matches", "pre_h4_matches", "discarded_by_h4"):
+            writer.add_json(key, _matches_json(artifacts[key]))
+        writer.add_json("digests", dict(digests))
+        return writer.commit()
+    except BaseException:
+        writer.abort()
+        raise
 
 
 # ----------------------------------------------------------------------

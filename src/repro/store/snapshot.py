@@ -17,12 +17,15 @@ from __future__ import annotations
 
 import json
 import mmap
+import os
+import shutil
 import sys
 from array import array
 from pathlib import Path
 from typing import Any, Iterable
 
 from ..obs.runtime import current as _telemetry_current
+from ..testing.failpoints import failpoint
 from .columns import (
     ColumnError,
     bytes_sha256,
@@ -47,19 +50,69 @@ class SnapshotError(RuntimeError):
     """A snapshot directory cannot be written or faithfully loaded."""
 
 
+def fsync_enabled() -> bool:
+    """Durability barriers are on unless ``REPRO_NO_FSYNC=1`` (bench)."""
+    return os.environ.get("REPRO_NO_FSYNC") != "1"
+
+
+def _fsync_file(path: Path) -> None:
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def fsync_dir(path: Path) -> None:
+    """fsync a directory so its entries survive a power loss.
+
+    Best-effort: some filesystems refuse directory fsync, which only
+    weakens durability, never atomicity — the rename either happened or
+    it didn't.
+    """
+    if not fsync_enabled():
+        return
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform-specific
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - platform-specific
+        pass
+    finally:
+        os.close(fd)
+
+
 class SnapshotWriter:
     """Accumulates columns and JSON values, then commits a manifest.
 
-    Nothing is valid until :meth:`commit` writes the manifest; a crash
-    mid-write leaves a directory without one, which :class:`Snapshot`
-    refuses to load.
+    Writes are crash-atomic.  Columns are staged into a ``<path>.tmp``
+    sibling directory; :meth:`commit` writes the manifest last, fsyncs
+    every staged file and the staging directory, and renames the staging
+    directory into place — the rename is the commit point, so a crash at
+    any instant leaves either the previous snapshot (or nothing) at
+    ``path``, never a partial directory.  An existing snapshot at the
+    target is moved aside and removed only after the new directory has
+    landed.  :meth:`abort` discards the staging directory; a crash
+    before commit leaves only ``<path>.tmp`` debris, which the next
+    writer to the same path clears.
+
+    Set ``REPRO_NO_FSYNC=1`` to skip the fsync barriers (atomicity is
+    kept; durability against power loss is not) — used by benchmarks to
+    measure the fsync cost.
     """
 
     def __init__(self, path: str | Path) -> None:
         self.path = Path(path)
-        self.path.mkdir(parents=True, exist_ok=True)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.staging = self.path.parent / (self.path.name + ".tmp")
+        if self.staging.exists():
+            shutil.rmtree(self.staging)
+        self.staging.mkdir()
         self._columns: dict[str, dict] = {}
         self._json: dict[str, Any] = {}
+        self._committed = False
 
     def _register(self, name: str, entry: dict) -> None:
         if name in self._columns:
@@ -69,7 +122,7 @@ class SnapshotWriter:
     def add_array(self, name: str, values: array) -> None:
         """Add one ``array('i'|'q'|'d')`` column."""
         try:
-            entry = write_array_column(self.path / f"{name}.bin", values)
+            entry = write_array_column(self.staging / f"{name}.bin", values)
         except ColumnError as error:
             raise SnapshotError(f"column {name!r}: {error}") from error
         self._register(name, entry)
@@ -77,7 +130,7 @@ class SnapshotWriter:
     def add_strings(self, name: str, items: Iterable[str]) -> None:
         """Add one string column (newline-joined UTF-8)."""
         try:
-            entry = write_string_column(self.path / f"{name}.txt", items)
+            entry = write_string_column(self.staging / f"{name}.txt", items)
         except ColumnError as error:
             raise SnapshotError(f"column {name!r}: {error}") from error
         self._register(name, entry)
@@ -88,8 +141,24 @@ class SnapshotWriter:
             raise SnapshotError(f"duplicate manifest value {name!r}")
         self._json[name] = value
 
+    def abort(self) -> None:
+        """Discard the staging directory; the target is untouched."""
+        if self._committed:
+            return
+        if self.staging.exists():
+            shutil.rmtree(self.staging)
+
     def commit(self) -> Path:
-        """Write the manifest; the snapshot becomes loadable."""
+        """Durably publish the staged snapshot at ``path``.
+
+        Ordering: manifest written last into staging, every staged file
+        fsynced, staging directory fsynced, then one atomic rename into
+        place, then the parent directory fsynced.  After the rename a
+        loader sees either the complete new snapshot or whatever was
+        there before — never a directory missing its manifest or holding
+        a half-written column.
+        """
+        failpoint("store.commit_manifest")
         manifest = {
             "schema": SNAPSHOT_SCHEMA,
             "byteorder": sys.byteorder,
@@ -98,11 +167,29 @@ class SnapshotWriter:
             },
             "json": {name: self._json[name] for name in sorted(self._json)},
         }
-        target = self.path / MANIFEST_NAME
-        target.write_text(
+        (self.staging / MANIFEST_NAME).write_text(
             json.dumps(manifest, indent=2, sort_keys=True) + "\n",
             encoding="utf-8",
         )
+        if fsync_enabled():
+            for child in self.staging.iterdir():
+                _fsync_file(child)
+        fsync_dir(self.staging)
+        if self.path.exists():
+            # A directory rename cannot replace a non-empty directory,
+            # so retire the old snapshot via a second atomic rename.
+            # Open mmap readers of the old snapshot keep their pages:
+            # the files are unlinked, not truncated.
+            aside = self.path.parent / (self.path.name + ".old")
+            if aside.exists():
+                shutil.rmtree(aside)
+            os.rename(self.path, aside)
+            os.rename(self.staging, self.path)
+            shutil.rmtree(aside)
+        else:
+            os.rename(self.staging, self.path)
+        fsync_dir(self.path.parent)
+        self._committed = True
         return self.path
 
 

@@ -1,0 +1,25 @@
+"""Test-support machinery shipped with the library.
+
+Currently one module: :mod:`repro.testing.failpoints`, the deterministic
+fault-injection registry the robustness tests and the chaos CI job use
+to *prove* crash recovery instead of asserting it.  Production code
+paths call :func:`failpoint` at named sites; the call is a no-op unless
+``REPRO_FAILPOINTS`` arms a site, so shipping the hooks costs one env
+lookup per site evaluation.
+"""
+
+from .failpoints import (
+    FailpointSpecError,
+    failpoint,
+    failpoints_active,
+    parse_failpoints,
+    reset_failpoints,
+)
+
+__all__ = [
+    "FailpointSpecError",
+    "failpoint",
+    "failpoints_active",
+    "parse_failpoints",
+    "reset_failpoints",
+]

@@ -1,0 +1,146 @@
+"""Deterministic fault-injection registry (`repro.testing.failpoints`).
+
+The failpoint grammar is the backbone of every chaos test in this
+suite, so its parsing and counting semantics get direct coverage here:
+spec parsing, once/Nth/every-hit firing, later-pair-wins overrides, and
+the file-backed cross-process hit counters.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.testing.failpoints import (
+    ENV_SPEC,
+    ENV_STATE,
+    FailpointSpecError,
+    failpoint,
+    failpoints_active,
+    parse_failpoints,
+    reset_failpoints,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_failpoints(monkeypatch):
+    monkeypatch.delenv(ENV_SPEC, raising=False)
+    monkeypatch.delenv(ENV_STATE, raising=False)
+    reset_failpoints()
+    yield
+    reset_failpoints()
+
+
+def arm(monkeypatch, spec: str) -> None:
+    monkeypatch.setenv(ENV_SPEC, spec)
+    reset_failpoints()
+
+
+class TestParse:
+    def test_empty_spec_is_empty(self):
+        assert parse_failpoints("") == {}
+        assert parse_failpoints("  ") == {}
+
+    def test_once_mode(self):
+        spec = parse_failpoints("store.write_column=once:OSError")
+        point = spec["store.write_column"]
+        assert point.action == "raise"
+        assert point.exception is OSError
+        assert point.at == 1
+
+    def test_nth_hit_mode(self):
+        spec = parse_failpoints("engine.worker=RuntimeError@3")
+        point = spec["engine.worker"]
+        assert point.exception is RuntimeError
+        assert point.at == 3
+
+    def test_every_hit_mode(self):
+        spec = parse_failpoints("wal.append=OSError")
+        assert spec["wal.append"].at is None
+
+    def test_crash_modes(self):
+        spec = parse_failpoints("engine.worker=crash,serve.apply_delta=crash@2")
+        assert spec["engine.worker"].action == "crash"
+        assert spec["engine.worker"].at is None
+        assert spec["serve.apply_delta"].at == 2
+
+    def test_later_pair_wins_and_off_disarms(self):
+        spec = parse_failpoints("a=OSError,a=RuntimeError")
+        assert spec["a"].exception is RuntimeError
+        assert "a" not in parse_failpoints("a=OSError,a=off")
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "noequals",
+            "a=once:NotAnException",
+            "a=once:print",  # a builtin, but not an exception type
+            "a=OSError@zero",
+            "a=OSError@0",
+            "=OSError",
+        ],
+    )
+    def test_bad_specs_raise(self, bad):
+        with pytest.raises(FailpointSpecError):
+            parse_failpoints(bad)
+
+
+class TestFire:
+    def test_inactive_without_env(self):
+        assert not failpoints_active()
+        failpoint("anything")  # no-op
+
+    def test_once_fires_exactly_once(self, monkeypatch):
+        arm(monkeypatch, "p=once:OSError")
+        assert failpoints_active()
+        with pytest.raises(OSError):
+            failpoint("p")
+        failpoint("p")
+        failpoint("p")
+
+    def test_nth_hit_fires_on_that_hit_only(self, monkeypatch):
+        arm(monkeypatch, "p=RuntimeError@3")
+        failpoint("p")
+        failpoint("p")
+        with pytest.raises(RuntimeError):
+            failpoint("p")
+        failpoint("p")
+
+    def test_every_hit_always_fires(self, monkeypatch):
+        arm(monkeypatch, "p=ValueError")
+        for _ in range(3):
+            with pytest.raises(ValueError):
+                failpoint("p")
+
+    def test_unarmed_names_pass_through(self, monkeypatch):
+        arm(monkeypatch, "p=once:OSError")
+        failpoint("other")
+        with pytest.raises(OSError):
+            failpoint("p")
+
+    def test_respec_resets_counters(self, monkeypatch):
+        arm(monkeypatch, "p=once:OSError")
+        with pytest.raises(OSError):
+            failpoint("p")
+        failpoint("p")
+        arm(monkeypatch, "p=once:OSError")  # same spec, fresh counters
+        with pytest.raises(OSError):
+            failpoint("p")
+
+
+class TestSharedState:
+    def test_file_backed_counter_spans_resets(self, monkeypatch, tmp_path):
+        """With a state dir the hit count survives cache resets, which is
+        what makes `crash@N` deterministic across pool-worker respawns."""
+        monkeypatch.setenv(ENV_STATE, str(tmp_path))
+        arm(monkeypatch, "p=OSError@3")
+        failpoint("p")
+        reset_failpoints()  # a fresh process would also start cold
+        failpoint("p")
+        reset_failpoints()
+        with pytest.raises(OSError):
+            failpoint("p")
+        hits = tmp_path / "p.hits"
+        assert hits.exists()
+        assert os.path.getsize(hits) == 3

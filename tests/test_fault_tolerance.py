@@ -1,0 +1,259 @@
+"""Chaos tests: the ISSUE-9 fault matrix, driven by deterministic failpoints.
+
+Each scenario injects a real fault — a SIGKILLed pool worker, an
+interrupted snapshot write, a daemon SIGKILLed mid-delta — and asserts
+the recovery contract: the system comes back with **bit-identical**
+digests to an uninterrupted run, never a partial state.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.engine import ProcessExecutor, SerialExecutor
+from repro.obs import Telemetry, activate
+from repro.pipeline import MatchSession
+from repro.serve import ResolutionDaemon, parse_delta
+from repro.store import Snapshot
+from repro.testing.failpoints import ENV_SPEC, ENV_STATE, reset_failpoints
+from concurrent.futures.process import BrokenProcessPool
+
+from test_pipeline import make_pair
+from test_serve import snapshot_dir  # noqa: F401  (fixture re-export)
+
+
+@pytest.fixture(autouse=True)
+def _clean_failpoints(monkeypatch):
+    monkeypatch.delenv(ENV_SPEC, raising=False)
+    monkeypatch.delenv(ENV_STATE, raising=False)
+    reset_failpoints()
+    yield
+    reset_failpoints()
+
+
+def arm(monkeypatch, spec, state_dir=None):
+    monkeypatch.setenv(ENV_SPEC, spec)
+    if state_dir is not None:
+        monkeypatch.setenv(ENV_STATE, str(state_dir))
+    reset_failpoints()
+
+
+def _square(values):
+    return [v * v for v in values]
+
+
+PARTITIONS = [[1, 2], [3], [4, 5], [6], [7, 8], [9]]
+
+
+# ----------------------------------------------------------------------
+# Worker crashes: retry, degrade, --no-degrade
+# ----------------------------------------------------------------------
+class TestWorkerCrashRecovery:
+    def expected(self):
+        return SerialExecutor().map_partitions(_square, PARTITIONS)
+
+    def test_sigkilled_worker_is_retried_bit_identically(
+        self, monkeypatch, tmp_path
+    ):
+        # The shared hit counter makes this exact: hit 2 — and only
+        # hit 2 — across every pool worker SIGKILLs its process.
+        arm(monkeypatch, "engine.worker=crash@2", state_dir=tmp_path)
+        telemetry = Telemetry.create()
+        with activate(telemetry):
+            with ProcessExecutor(2) as executor:
+                results = executor.map_partitions(_square, PARTITIONS)
+        assert results == self.expected()
+        counters = telemetry.metrics.counters()
+        assert counters["engine.pool_rebuilds"] >= 1
+        assert counters["engine.worker_retries"] >= 1
+        assert "engine.degraded_dispatches" not in counters
+
+    def test_persistent_crashes_degrade_to_inline(self, monkeypatch):
+        # Every worker evaluation crashes; with zero retries the first
+        # failed round degrades the dispatch to the driver.
+        arm(monkeypatch, "engine.worker=crash")
+        telemetry = Telemetry.create()
+        with activate(telemetry):
+            with ProcessExecutor(2, max_retries=0) as executor:
+                results = executor.map_partitions(_square, PARTITIONS)
+        assert results == self.expected()
+        counters = telemetry.metrics.counters()
+        assert counters["engine.degraded_dispatches"] == 1
+        assert counters["engine.pool_rebuilds"] == 1
+
+    def test_no_degrade_raises_after_retry_budget(self, monkeypatch):
+        arm(monkeypatch, "engine.worker=crash")
+        with ProcessExecutor(2, max_retries=0, degrade=False) as executor:
+            with pytest.raises(BrokenProcessPool, match="degradation"):
+                executor.map_partitions(_square, PARTITIONS)
+
+    def test_env_knobs_configure_executor(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DISPATCH_DEADLINE", "2.5")
+        monkeypatch.setenv("REPRO_ENGINE_MAX_RETRIES", "5")
+        monkeypatch.setenv("REPRO_ENGINE_NO_DEGRADE", "1")
+        executor = ProcessExecutor(2)
+        assert executor.dispatch_deadline == 2.5
+        assert executor.max_retries == 5
+        assert executor.degrade is False
+
+    def test_genuine_worker_exception_propagates_unretried(
+        self, monkeypatch
+    ):
+        # A raising failpoint stands in for a partition-function bug:
+        # no retry, no degrade — the error surfaces immediately.
+        arm(monkeypatch, "engine.worker=ValueError@1")
+        telemetry = Telemetry.create()
+        with activate(telemetry):
+            with ProcessExecutor(2) as executor:
+                with pytest.raises(ValueError, match="engine.worker"):
+                    executor.map_partitions(_square, PARTITIONS)
+        assert "engine.pool_rebuilds" not in telemetry.metrics.counters()
+
+    def test_pipeline_digests_survive_worker_crash(
+        self, monkeypatch, tmp_path
+    ):
+        kb1, kb2 = make_pair()
+        clean = MatchSession(kb1, kb2)
+        clean.match()
+        clean_path = clean.save(tmp_path / "clean")
+
+        from repro.core.config import MinoanERConfig
+
+        arm(monkeypatch, "engine.worker=crash@2", state_dir=tmp_path / "fp")
+        (tmp_path / "fp").mkdir()
+        crashed = MatchSession(
+            *make_pair(), MinoanERConfig(engine="process", workers=2)
+        )
+        crashed.match()
+        crashed_path = crashed.save(tmp_path / "crashed")
+
+        assert (
+            Snapshot.load(crashed_path).json("digests")
+            == Snapshot.load(clean_path).json("digests")
+        )
+
+
+# ----------------------------------------------------------------------
+# Interrupted snapshot writes: the old snapshot must survive intact
+# ----------------------------------------------------------------------
+class TestAtomicSnapshot:
+    def seed(self, tmp_path):
+        session = MatchSession(*make_pair())
+        session.match()
+        path = session.save(tmp_path / "snap")
+        return session, path, Snapshot.load(path).json("digests")
+
+    def assert_intact(self, path, digests):
+        assert Snapshot.load(path).json("digests") == digests
+        assert not (path.parent / (path.name + ".tmp")).exists()
+        assert not (path.parent / (path.name + ".old")).exists()
+
+    def test_interrupted_column_write_preserves_old_snapshot(
+        self, monkeypatch, tmp_path
+    ):
+        session, path, digests = self.seed(tmp_path)
+        arm(monkeypatch, "store.write_column=once:OSError")
+        with pytest.raises(OSError):
+            session.save(path)
+        self.assert_intact(path, digests)
+
+    def test_interrupted_manifest_commit_preserves_old_snapshot(
+        self, monkeypatch, tmp_path
+    ):
+        session, path, digests = self.seed(tmp_path)
+        arm(monkeypatch, "store.commit_manifest=once:OSError")
+        with pytest.raises(OSError):
+            session.save(path)
+        self.assert_intact(path, digests)
+
+    def test_clean_resave_after_interruption(self, monkeypatch, tmp_path):
+        session, path, digests = self.seed(tmp_path)
+        arm(monkeypatch, "store.write_column=once:OSError")
+        with pytest.raises(OSError):
+            session.save(path)
+        reset_failpoints()
+        monkeypatch.delenv(ENV_SPEC)
+        # The aborted attempt left no debris: the next save succeeds
+        # and lands the same digests.
+        session.save(path)
+        self.assert_intact(path, digests)
+
+
+# ----------------------------------------------------------------------
+# Daemon SIGKILLed mid-delta (the satellite subprocess test)
+# ----------------------------------------------------------------------
+DELTA_1 = {"ops": [{"op": "remove", "kb": "kb1", "uris": ["a0"]}]}
+DELTA_2 = {
+    "ops": [
+        {
+            "op": "add",
+            "kb": "kb2",
+            "entities": [
+                {"uri": "b9", "pairs": [["name", {"lit": "ninth"}]]}
+            ],
+        }
+    ]
+}
+
+CHILD_SCRIPT = """
+import json, sys
+from repro.serve import ResolutionDaemon, parse_delta
+
+snapshot, wal_dir = sys.argv[1], sys.argv[2]
+daemon = ResolutionDaemon.from_snapshot(snapshot, wal_dir=wal_dir)
+for payload in json.loads(sys.argv[3]):
+    daemon.apply_delta(parse_delta(payload), raw_ops=payload["ops"])
+print("survived every delta")  # unreachable when the failpoint fires
+"""
+
+
+class TestDaemonKill9:
+    def test_kill9_mid_delta_replays_to_identical_digests(
+        self, snapshot_dir, tmp_path  # noqa: F811
+    ):
+        import json as json_module
+
+        wal_dir = tmp_path / "wal"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(
+            Path(__file__).resolve().parent.parent / "src"
+        )
+        # Hit 1 (delta 1) applies cleanly; hit 2 SIGKILLs the daemon
+        # after delta 2 hit the WAL but before the matcher applied it.
+        env[ENV_SPEC] = "serve.apply_delta=crash@2"
+        env.pop(ENV_STATE, None)
+        child = subprocess.run(
+            [
+                sys.executable,
+                "-c",
+                CHILD_SCRIPT,
+                str(snapshot_dir),
+                str(wal_dir),
+                json_module.dumps([DELTA_1, DELTA_2]),
+            ],
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert child.returncode == -signal.SIGKILL, child.stderr
+        assert "survived" not in child.stdout
+
+        # Recovery: boot from the same snapshot + WAL.  The committed
+        # delta 1 and the in-flight delta 2 both replay.
+        recovered = ResolutionDaemon.from_snapshot(
+            snapshot_dir, wal_dir=wal_dir
+        )
+        reference = ResolutionDaemon.from_snapshot(snapshot_dir)
+        for payload in (DELTA_1, DELTA_2):
+            reference.apply_delta(parse_delta(payload))
+        assert recovered.state().generation == reference.state().generation
+        assert (
+            recovered.state().matches_digest
+            == reference.state().matches_digest
+        )
+        assert recovered.robustness_stats()["wal_replayed"] == 2

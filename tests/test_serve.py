@@ -378,6 +378,74 @@ class TestEndpoints:
 
 
 # ----------------------------------------------------------------------
+# Request hardening: hostile Content-Length headers and body caps
+# ----------------------------------------------------------------------
+class TestRequestHardening:
+    def raw_post(self, client, content_length, body=b""):
+        """POST /delta with a hand-rolled Content-Length header."""
+        import http.client
+
+        host, _, port = client.base_url.rpartition(":")
+        conn = http.client.HTTPConnection(
+            host.split("//")[1], int(port), timeout=10
+        )
+        try:
+            conn.putrequest("POST", "/delta", skip_host=False)
+            if content_length is not None:
+                conn.putheader("Content-Length", content_length)
+            conn.endheaders()
+            if body:
+                conn.send(body)
+            response = conn.getresponse()
+            return response.status, json.loads(response.read())
+        finally:
+            conn.close()
+
+    @pytest.mark.parametrize("bogus", ["banana", "-5", "1e3", ""])
+    def test_malformed_content_length_is_400_not_500(self, served, bogus):
+        _, client = served
+        status, payload = self.raw_post(client, bogus)
+        assert status == 400
+        assert "Content-Length" in payload["error"]
+
+    def test_missing_body_is_400(self, served):
+        _, client = served
+        status, payload = self.raw_post(client, None)
+        assert status == 400
+        assert "required" in payload["error"]
+
+    def test_oversized_body_is_413(self, snapshot_dir):
+        daemon = ResolutionDaemon.from_snapshot(snapshot_dir)
+        server = build_server(daemon, port=0, max_body_bytes=64)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        client = ServeClient(
+            f"http://127.0.0.1:{server.server_address[1]}"
+        )
+        try:
+            with pytest.raises(ServeClientError) as too_big:
+                client.apply_delta(
+                    {"ops": [{"op": "remove", "kb": "kb1", "uris": ["x" * 200]}]}
+                )
+            assert too_big.value.status == 413
+            # A request under the cap still works on the same server.
+            assert client.healthz()["status"] == "ok"
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)
+
+    def test_body_cap_env_override(self, snapshot_dir, monkeypatch):
+        monkeypatch.setenv("REPRO_MAX_BODY_BYTES", "128")
+        daemon = ResolutionDaemon.from_snapshot(snapshot_dir)
+        server = build_server(daemon, port=0)
+        try:
+            assert server.RequestHandlerClass.max_body_bytes == 128
+        finally:
+            server.server_close()
+
+
+# ----------------------------------------------------------------------
 # Isolation: concurrent readers during delta publish
 # ----------------------------------------------------------------------
 class TestIsolation:

@@ -221,6 +221,32 @@ def test_segment_close_is_owner_only():
 
 
 @pytest.mark.skipif(not shm_available(), reason="no shared memory")
+def test_failed_publish_leaks_no_segment(monkeypatch):
+    # A fault between segment creation and arena registration is the
+    # one window no registry covers: PublishedSegment itself must
+    # unlink on that path (see shm.publish in engine/shm.py).
+    from repro.testing.failpoints import ENV_SPEC, reset_failpoints
+
+    before = shm_segments()
+    monkeypatch.setenv(ENV_SPEC, "shm.publish=once:RuntimeError")
+    reset_failpoints()
+    try:
+        with SharedArena() as arena:
+            with pytest.raises(RuntimeError, match="shm.publish"):
+                arena.publish([("i", array("i", [1, 2, 3]))])
+            assert arena.live_segments == 0
+            assert shm_segments() <= before
+            # The arena itself is still usable after the fault.
+            with arena.publish([("i", array("i", [9]))]) as segment:
+                with attach(segment.name) as reader:
+                    assert reader.view(segment.slices[0]).tolist() == [9]
+    finally:
+        monkeypatch.delenv(ENV_SPEC)
+        reset_failpoints()
+    assert shm_segments() <= before
+
+
+@pytest.mark.skipif(not shm_available(), reason="no shared memory")
 def test_disable_flag_turns_arena_off(monkeypatch):
     monkeypatch.setenv("REPRO_DISABLE_SHM", "1")
     assert not shm_available()
