@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import argparse
 import csv
+import json
 import logging
 import os
 import sys
@@ -286,6 +287,39 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="with a process engine, fail a dispatch instead of "
         "degrading to inline execution after repeated worker crashes",
+    )
+
+    resolve = commands.add_parser(
+        "resolve",
+        help="online-resolve raw records against a saved session",
+        description="Resolve never-seen records without a daemon: load a "
+        "repro-snapshot/1 session, tokenize each record, probe the packed "
+        "token blocks and run the online H1-H4 ladder.  Records whose URI "
+        "already exists in KB1 answer from the precomputed probe path.  "
+        "One JSON object per record is printed, in input order.",
+    )
+    resolve.add_argument(
+        "--session",
+        required=True,
+        metavar="DIR",
+        help="repro-snapshot/1 directory to resolve against",
+    )
+    resolve.add_argument(
+        "--records",
+        required=True,
+        metavar="FILE",
+        help="records to resolve: a JSON array of record objects, or JSON "
+        "Lines with one record per line; each record uses the delta wire "
+        'format {"uri": ..., "pairs": [["attr", {"lit": ...}], ...]} '
+        "('-' reads stdin)",
+    )
+    resolve.add_argument(
+        "--k", type=int, default=None, help="candidate-list bound"
+    )
+    resolve.add_argument(
+        "--mmap",
+        action="store_true",
+        help="map the snapshot's columns instead of copying them",
     )
     return parser
 
@@ -653,12 +687,79 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _read_records_file(path: str) -> list:
+    """Parse ``--records``: a JSON array, or JSON Lines (one per line)."""
+    from .serve.json_codec import DeltaFormatError, entity_from_dict
+
+    if path == "-":
+        raw = sys.stdin.read()
+    else:
+        if not Path(path).is_file():
+            raise _UsageError(f"error: records file not found: {path}")
+        raw = Path(path).read_text(encoding="utf-8")
+    text = raw.strip()
+    if not text:
+        raise _UsageError(f"error: records file is empty: {path}")
+    try:
+        if text.startswith("["):
+            entries = json.loads(text)
+        else:
+            entries = [
+                json.loads(line)
+                for line in text.splitlines()
+                if line.strip()
+            ]
+    except json.JSONDecodeError as error:
+        raise _UsageError(f"error: bad JSON in {path}: {error}")
+    try:
+        return [entity_from_dict(entry) for entry in entries]
+    except DeltaFormatError as error:
+        raise _UsageError(f"error: bad record in {path}: {error}")
+
+
+def cmd_resolve(args: argparse.Namespace) -> int:
+    from .pipeline import MatchSession
+    from .store import SnapshotError
+
+    if args.k is not None and args.k < 1:
+        print("error: --k must be >= 1", file=sys.stderr)
+        return 2
+    try:
+        records = _read_records_file(args.records)
+    except _UsageError as error:
+        print(error, file=sys.stderr)
+        return 2
+    try:
+        session = MatchSession.load(
+            args.session, mode="mmap" if args.mmap else "copy"
+        )
+    except SnapshotError as error:
+        print(f"error: cannot load session: {error}", file=sys.stderr)
+        return 2
+    results = session.resolve_batch(records, args.k)
+    matched = 0
+    for result in results:
+        if result.match is not None:
+            matched += 1
+        print(json.dumps(result.as_dict()))
+    # The summary goes to stderr: stdout is a JSONL stream piped into
+    # other tools (the repro logger writes progress to stdout, which
+    # would corrupt it).
+    print(
+        f"resolved {len(results)} record(s): {matched} matched, "
+        f"{sum(1 for result in results if result.known)} known",
+        file=sys.stderr,
+    )
+    return 0
+
+
 COMMANDS = {
     "generate": cmd_generate,
     "match": cmd_match,
     "evaluate": cmd_evaluate,
     "stats": cmd_stats,
     "serve": cmd_serve,
+    "resolve": cmd_resolve,
 }
 
 

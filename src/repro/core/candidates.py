@@ -31,12 +31,24 @@ class ProbeCache:
     reclaimed promptly by refcount alone.
     """
 
-    __slots__ = ("maxsize", "_entries", "__weakref__")
+    __slots__ = (
+        "maxsize",
+        "hits",
+        "misses",
+        "evictions",
+        "_entries",
+        "__weakref__",
+    )
 
     def __init__(self, maxsize: int) -> None:
         if maxsize < 1:
             raise ValueError("maxsize must be >= 1")
         self.maxsize = maxsize
+        #: Lifetime counters (never reset by :meth:`clear`): operators
+        #: read them at ``/metrics`` to judge cache effectiveness.
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
         self._entries: OrderedDict[Any, Any] = OrderedDict()
 
     def get(self, key: Any) -> Any:
@@ -44,7 +56,10 @@ class ProbeCache:
         entries = self._entries
         value = entries.get(key)
         if value is not None:
+            self.hits += 1
             entries.move_to_end(key)
+        else:
+            self.misses += 1
         return value
 
     def put(self, key: Any, value: Any) -> None:
@@ -54,9 +69,19 @@ class ProbeCache:
         entries.move_to_end(key)
         if len(entries) > self.maxsize:
             entries.popitem(last=False)
+            self.evictions += 1
 
     def clear(self) -> None:
         self._entries.clear()
+
+    def stats(self) -> dict[str, int]:
+        """The lifetime counters plus current size, JSON-ready."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "size": len(self._entries),
+        }
 
     def __len__(self) -> int:
         return len(self._entries)

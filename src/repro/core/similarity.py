@@ -383,6 +383,33 @@ class PackedSimilarityIndex:
             return None
         return starts[entity_id], starts[entity_id + 1]
 
+    def ranked_ids(self, side: int, uri: str) -> list[tuple[int, float]]:
+        """One row as ``(counterpart id, similarity)`` pairs, ranked.
+
+        The id-space twin of ``candidates_of_entity{side}``: identical
+        order (best first, counterpart URI breaking ties), no URI
+        decode.  Patched rows are re-encoded through the counterpart
+        interner, so the online resolver can always consume ids.
+        """
+        if side == 1:
+            interner, patched = self._interner1, self._patched1
+            starts, cols, sims = self._starts1, self._cols1, self._sims1
+            other = self._interner2
+        else:
+            interner, patched = self._interner2, self._patched2
+            starts, cols, sims = self._starts2, self._cols2, self._sims2
+            other = self._interner1
+        entity_id = interner.get(uri)
+        if entity_id is None:
+            return []
+        row = patched.get(entity_id)
+        if row is not None:
+            return [(other.id_of(counterpart), sim) for counterpart, sim in row]
+        if entity_id + 1 >= len(starts):
+            return []
+        start, stop = starts[entity_id], starts[entity_id + 1]
+        return [(cols[j], sims[j]) for j in range(start, stop)]
+
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------

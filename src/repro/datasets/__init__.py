@@ -10,10 +10,12 @@ from .generator import (
     KbPairGenerator,
     LatentEntity,
     PairProfile,
+    QueryRecord,
     RelationSpec,
     SideSpec,
     TypeSpec,
     generate,
+    query_stream,
 )
 from .ground_truth import GroundTruth
 from .io import load_dataset, read_ground_truth_csv, save_dataset
@@ -37,6 +39,7 @@ __all__ = [
     "PROFILE_BUILDERS",
     "PROFILE_ORDER",
     "PairProfile",
+    "QueryRecord",
     "RelationSpec",
     "SideSpec",
     "TypeSpec",
@@ -49,6 +52,7 @@ __all__ = [
     "read_ground_truth_csv",
     "save_dataset",
     "pseudo_word",
+    "query_stream",
     "restaurant_profile",
     "rexa_dblp_profile",
     "word_pool",

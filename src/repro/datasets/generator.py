@@ -574,3 +574,93 @@ def _decorate_name(rng: random.Random, name_tokens: Sequence[str]) -> str:
 def generate(profile: PairProfile) -> GeneratedDataset:
     """Convenience wrapper: ``generate(profile)``."""
     return KbPairGenerator(profile).generate()
+
+
+# ----------------------------------------------------------------------
+# Held-out query records (the online-resolution workload)
+# ----------------------------------------------------------------------
+@dataclass
+class QueryRecord:
+    """One held-out record for the resolve path, with its expected match.
+
+    ``record`` carries a fresh never-seen URI (``urn:query:<n>``);
+    ``expected`` is the KB2 entity the record was derived from, and
+    ``variant`` names how it was dirtied (``"clean"``,
+    ``"token_dropped"`` or ``"near_miss"``).
+    """
+
+    record: EntityDescription
+    expected: str
+    variant: str
+
+
+def query_stream(
+    source: GeneratedDataset | PairProfile,
+    n: int,
+    dirtiness: float = 0.3,
+    seed: int = 0,
+) -> list[QueryRecord]:
+    """Held-out never-seen records derived from KB2 entities.
+
+    The online-resolution workload generator: each emitted record is a
+    fresh-URI re-rendering of one matched KB2 entity, cycling through
+    three variants —
+
+    - **clean**: every literal copied verbatim (the resolver should
+      find the counterpart with maximal evidence);
+    - **token_dropped**: each literal dropped with probability
+      ``dirtiness`` (at least one always survives), modelling a query
+      with partial evidence;
+    - **near_miss**: within each kept literal every token is dropped
+      with probability ``dirtiness`` and one noise token is appended,
+      modelling OCR-grade dirt.
+
+    Relation links are translated into the record's (KB1-style) frame:
+    each outgoing KB2 edge becomes an edge under the aligned KB1
+    relation name pointing at the target's KB1 counterpart, when both
+    exist — exactly what a client holding partial knowledge of KB1
+    would submit.  Entities are drawn in sorted-URI order from a seeded
+    RNG, so a ``(source, n, dirtiness, seed)`` tuple is reproducible.
+    """
+    if isinstance(source, PairProfile):
+        source = generate(source)
+    if n < 0:
+        raise ValueError("n must be >= 0")
+    if not 0.0 <= dirtiness <= 1.0:
+        raise ValueError("dirtiness must be in [0, 1]")
+    matched2 = sorted(source.ground_truth.entities2())
+    if not matched2:
+        raise ValueError("dataset has no matched KB2 entities to query")
+    rng = random.Random(seed)
+    reverse_alignment = {
+        name2: name1 for name1, name2 in source.relation_alignment.items()
+    }
+    variants = ("clean", "token_dropped", "near_miss")
+    out: list[QueryRecord] = []
+    for index in range(n):
+        uri2 = matched2[rng.randrange(len(matched2))]
+        entity = source.kb2.get(uri2)
+        variant = variants[index % len(variants)]
+        record = EntityDescription(f"urn:query:{index}")
+        literals = list(entity.literal_pairs())
+        if variant == "token_dropped":
+            kept = [
+                pair for pair in literals if rng.random() >= dirtiness
+            ]
+            literals = kept or [literals[rng.randrange(len(literals))]]
+        for attribute, value in literals:
+            if variant == "near_miss":
+                tokens = value.split()
+                surviving = [
+                    token for token in tokens if rng.random() >= dirtiness
+                ]
+                surviving.append(f"qnoise{rng.randrange(10_000)}")
+                value = " ".join(surviving)
+            record.add_literal(attribute, value)
+        for relation2, target2 in entity.relation_pairs():
+            relation1 = reverse_alignment.get(relation2)
+            target1 = source.ground_truth.match_of_entity2(target2)
+            if relation1 is not None and target1 is not None:
+                record.add_relation(relation1, target1)
+        out.append(QueryRecord(record=record, expected=uri2, variant=variant))
+    return out

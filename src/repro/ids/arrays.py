@@ -107,6 +107,47 @@ def ranked_csr(keys, sims, n_entities1, n_entities2):
     )
 
 
+def gathered_candidate_sums(
+    ids_flat, span_starts, span_stops, span_values, span_bases=None
+):
+    """Per-candidate totals over selected slices of a flat id column.
+
+    The online-resolution kernel: each span ``i`` selects the slice
+    ``ids_flat[span_starts[i] : span_stops[i]]`` (one probed block row)
+    and contributes ``span_values[i]`` (the block's token weight) to
+    every id in it.  Elements are emitted in exactly the nested-loop
+    order ``for span: for id in slice`` and summed per key by
+    :func:`sequential_unique_sums`, so the float accumulation order —
+    and with it every sum — is bit-identical to the pure-Python
+    ``for lo, hi, w in spans: for j in range(lo, hi): acc[ids[j]] += w``
+    fallback.  Returns ``(unique keys ascending, per-key sums)``.
+
+    With ``span_bases`` given, each gathered id is OR-ed with its
+    span's ``int64`` base before summing; the batch variant packs
+    ``record_index << 32`` there, so one call scores a whole batch of
+    records and the ascending unique keys come out grouped by record.
+    Per key the contribution order is unchanged (a key only receives
+    elements of its own record's spans, in the same relative order as a
+    single-record call), so batch scores equal sequential scores
+    bit-for-bit.
+    """
+    counts = span_stops.astype(_np.int64) - span_starts
+    total = int(counts.sum())
+    if total == 0:
+        return (
+            _np.empty(0, dtype=_np.int64),
+            _np.empty(0, dtype=_np.float64),
+        )
+    offsets = _np.zeros(len(counts), dtype=_np.int64)
+    _np.cumsum(counts[:-1], out=offsets[1:])
+    within = _np.arange(total, dtype=_np.int64) - _np.repeat(offsets, counts)
+    idx = _np.repeat(span_starts.astype(_np.int64), counts) + within
+    keys = ids_flat[idx].astype(_np.int64)
+    if span_bases is not None:
+        keys |= _np.repeat(span_bases.astype(_np.int64), counts)
+    return sequential_unique_sums(keys, _np.repeat(span_values, counts))
+
+
 # ----------------------------------------------------------------------
 # Vectorized CRC32 (zlib-compatible) over per-row byte strings
 # ----------------------------------------------------------------------

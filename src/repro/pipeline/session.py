@@ -109,6 +109,7 @@ class MatchSession:
         self._kb_versions = (kb1.version, kb2.version)
         self._probe_ctx: PipelineContext | None = None
         self._probe_decisions: dict[str, Any] = {}
+        self._resolver: Any = None
         # An explicit bounded LRU rather than lru_cache over the bound
         # method: the wrapper would hold the method (and through it the
         # session), a cycle that defers freeing dropped sessions to the
@@ -309,10 +310,77 @@ class MatchSession:
             match=self._probe_decisions.get(uri),
         )
 
+    # ------------------------------------------------------------------
+    # Online resolution (never-seen records)
+    # ------------------------------------------------------------------
+    def resolve(self, record, k: int | None = None):
+        """Resolve one raw record against this session's indices.
+
+        Returns a :class:`~repro.core.resolve.ResolveResult`: the
+        record is tokenized, probed against the packed token blocks,
+        scored (value + neighbor) and pushed through the online H1–H4
+        ladder — all read-only, so resolves compose freely with
+        :meth:`match` and :meth:`probe`.  A record whose URI already
+        exists in KB1 short-circuits to the precomputed probe rows and
+        its standing decision.  Results share the probe LRU cache,
+        keyed by the record's full content.
+        """
+        from ..core.resolve import resolve_cache_key
+
+        resolver = self._ensure_resolver()
+        key = resolve_cache_key(record, k)
+        result = self._probe_cache.get(key)
+        if result is None:
+            result = resolver.resolve(record, k)
+            self._probe_cache.put(key, result)
+        return result
+
+    def resolve_batch(self, records, k: int | None = None):
+        """Resolve many records at once (amortized probes and scoring).
+
+        Equal to ``[self.resolve(r, k) for r in records]`` in order and
+        in every score; cached results are reused, and only the cache
+        misses go through the batched scorer.
+        """
+        from ..core.resolve import resolve_cache_key
+
+        resolver = self._ensure_resolver()
+        results: list[Any] = [None] * len(records)
+        misses: list[int] = []
+        for position, record in enumerate(records):
+            cached = self._probe_cache.get(resolve_cache_key(record, k))
+            if cached is not None:
+                results[position] = cached
+            else:
+                misses.append(position)
+        if misses:
+            fresh = resolver.resolve_batch(
+                [records[position] for position in misses], k
+            )
+            for position, result in zip(misses, fresh):
+                results[position] = result
+                self._probe_cache.put(
+                    resolve_cache_key(records[position], k), result
+                )
+        return results
+
+    def _ensure_resolver(self):
+        """The lazily-built :class:`~repro.core.resolve.OnlineResolver`
+        over this session's finished context."""
+        if self._resolver is None:
+            from ..core.resolve import OnlineResolver
+
+            self._ensure_probe_context()
+            self._resolver = OnlineResolver.from_context(
+                self._probe_ctx, self.kb1, self.kb2
+            )
+        return self._resolver
+
     def _drop_probe_state(self) -> None:
         self._probe_ctx = None
         self._probe_decisions = {}
         self._probe_cache.clear()
+        self._resolver = None
 
     # ------------------------------------------------------------------
     # Persistence (the columnar snapshot store)

@@ -4,9 +4,10 @@
 from a ``repro-snapshot/1`` directory) and a :class:`StateBox` holding
 the published :class:`ServingState`.  The request flow:
 
-- **Reads** (``/match``, ``/candidates``, ``/best``, ``/stats``,
-  ``/healthz``, ``/metrics``) pin the published state with one atomic
-  reference load and answer entirely from it — no lock, no matcher.
+- **Reads** (``/match``, ``/candidates``, ``/best``, ``/resolve``,
+  ``/resolve_batch``, ``/stats``, ``/healthz``, ``/metrics``) pin the
+  published state with one atomic reference load and answer entirely
+  from it — no lock, no matcher.
 - **Writes** (``/delta``) and **admin** (``/snapshot``, ``/reload``)
   serialize on the writer lock.  A delta first detaches the matcher
   from the published state's indices
@@ -160,7 +161,21 @@ class ResolutionDaemon:
         return self._box.current()
 
     def metrics_text(self) -> str:
-        """The ``GET /metrics`` Prometheus exposition."""
+        """The ``GET /metrics`` Prometheus exposition.
+
+        Probe-cache effectiveness gauges are sampled from the published
+        generation's cache at scrape time — counters live on the cache
+        (not the registry) so the hot read path never pays for a second
+        increment.
+        """
+        cache_stats = self.state().probe_cache_stats()
+        gauges = self.telemetry.metrics
+        gauges.gauge("serve.probe_cache_hits").set(cache_stats["hits"])
+        gauges.gauge("serve.probe_cache_misses").set(cache_stats["misses"])
+        gauges.gauge("serve.probe_cache_evictions").set(
+            cache_stats["evictions"]
+        )
+        gauges.gauge("serve.probe_cache_size").set(cache_stats["size"])
         return prometheus_text(self.telemetry)
 
     # ------------------------------------------------------------------
@@ -414,11 +429,14 @@ class ServeHTTPServer(ThreadingHTTPServer):
 
     ``daemon_threads = False`` (unlike stock ``ThreadingHTTPServer``)
     makes ``server_close()`` join every in-flight request — the "drain"
-    half of graceful shutdown.
+    half of graceful shutdown.  Nagle is disabled on accepted sockets:
+    responses flush in two writes (headers, body), and a latency
+    daemon should not trade sub-millisecond probes for coalescing.
     """
 
     daemon_threads = False
     allow_reuse_address = True
+    disable_nagle_algorithm = True
 
 
 class _RequestHandler(BaseHTTPRequestHandler):
@@ -499,6 +517,20 @@ class _RequestHandler(BaseHTTPRequestHandler):
             return 200, handlers.handle_candidates(daemon.state(), uri, k)
         if endpoint == "best":
             return 200, handlers.handle_best(daemon.state(), uri)
+        if endpoint == "resolve":
+            body = self._read_json_body()
+            if not isinstance(body, dict):
+                raise handlers.RequestError(400, "body must be a JSON object")
+            payload = handlers.handle_resolve(daemon.state(), body)
+            self._count_resolved((payload,))
+            return 200, payload
+        if endpoint == "resolve_batch":
+            body = self._read_json_body()
+            if not isinstance(body, dict):
+                raise handlers.RequestError(400, "body must be a JSON object")
+            payload = handlers.handle_resolve_batch(daemon.state(), body)
+            self._count_resolved(payload["results"])
+            return 200, payload
         if endpoint == "delta":
             body = self._read_json_body()
             ops = parse_delta(body)
@@ -518,6 +550,19 @@ class _RequestHandler(BaseHTTPRequestHandler):
             body = self._read_json_body(optional=True) or {}
             return 200, daemon.reload(body.get("path"))
         raise handlers.RequestError(404, f"no such endpoint: {endpoint}")
+
+    def _count_resolved(self, results) -> None:
+        """Per-record resolve counters (records, known/unknown split)."""
+        metrics = self.daemon.telemetry.metrics
+        known = sum(1 for result in results if result["known"])
+        metrics.counter("serve.resolve_records").inc(len(results))
+        if known:
+            metrics.counter("serve.resolve_known").inc(known)
+        if len(results) - known:
+            metrics.counter("serve.resolve_unknown").inc(len(results) - known)
+        matched = sum(1 for result in results if result["match"] is not None)
+        if matched:
+            metrics.counter("serve.resolve_matched").inc(matched)
 
     # ------------------------------------------------------------------
     # Body / response plumbing
@@ -555,7 +600,9 @@ class _RequestHandler(BaseHTTPRequestHandler):
             raise handlers.RequestError(400, f"invalid JSON body: {error}")
 
     def _send_json(self, status: int, payload: Any) -> None:
-        body = json.dumps(payload).encode("utf-8")
+        # Compact separators: batch resolve responses run to ~100KB,
+        # and the whitespace is pure encode/transfer/decode overhead.
+        body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
         self._send_bytes(status, body, "application/json")
 
     def _send_text(self, status: int, text: str) -> None:

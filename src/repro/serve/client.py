@@ -8,19 +8,25 @@ job; equally usable interactively::
     client = ServeClient("http://127.0.0.1:8750")
     client.healthz()                      # {'status': 'ok', 'generation': 1}
     client.candidates("http://ex/e1", k=5)
+    client.resolve({"uri": "urn:q:1", "pairs": [["name", {"lit": "bob"}]]})
     client.apply_delta({"ops": [
         {"op": "remove", "kb": "kb1", "uris": ["http://ex/e1"]},
     ]})
     client.snapshot()
 
 Entity URIs are percent-quoted into the path (``quote(uri, safe="")``),
-matching the daemon's routing.  Error responses raise
-:class:`ServeClientError` carrying the HTTP status and the decoded
-``error`` message.
+matching the daemon's routing.  Every failure mode raises
+:class:`ServeClientError`: non-2xx responses carry the HTTP status and
+the decoded ``error`` message, while connection-level failures — DNS,
+refused connections, and read/connect timeouts — carry status ``0``
+(no urllib or socket exception ever escapes).  Each request method
+accepts a ``timeout=`` override for that one call; the constructor's
+timeout is the default.
 """
 
 from __future__ import annotations
 
+import http.client
 import json
 from typing import Any
 from urllib.error import HTTPError, URLError
@@ -29,7 +35,11 @@ from urllib.request import Request, urlopen
 
 
 class ServeClientError(RuntimeError):
-    """A non-2xx daemon response (or no response at all)."""
+    """A non-2xx daemon response (or no response at all).
+
+    ``status`` is the HTTP status code, or ``0`` when the failure
+    happened below HTTP (unreachable daemon, timeout, torn response).
+    """
 
     def __init__(self, status: int, message: str) -> None:
         super().__init__(f"HTTP {status}: {message}")
@@ -47,18 +57,30 @@ class ServeClient:
     # Transport
     # ------------------------------------------------------------------
     def _request(
-        self, method: str, path: str, payload: Any | None = None
+        self,
+        method: str,
+        path: str,
+        payload: Any | None = None,
+        timeout: float | None = None,
     ) -> tuple[int, str, str]:
         body = None
         headers = {"Accept": "application/json"}
         if payload is not None:
-            body = json.dumps(payload).encode("utf-8")
+            body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
             headers["Content-Type"] = "application/json"
         request = Request(
             self.base_url + path, data=body, headers=headers, method=method
         )
+        if timeout is None:
+            timeout = self.timeout
+        # Exception taxonomy, most to least specific: HTTPError is a
+        # daemon answer (keep its status); URLError wraps most
+        # connect-phase failures; but a timeout *mid-read* surfaces as a
+        # bare TimeoutError/socket.timeout, a torn response as
+        # http.client.HTTPException, and stray socket errors as OSError
+        # (URLError's base class, so it must be caught after it).
         try:
-            with urlopen(request, timeout=self.timeout) as response:
+            with urlopen(request, timeout=timeout) as response:
                 return (
                     response.status,
                     response.read().decode("utf-8"),
@@ -73,9 +95,27 @@ class ServeClient:
             raise ServeClientError(error.code, message) from None
         except URLError as error:
             raise ServeClientError(0, f"daemon unreachable: {error.reason}")
+        except TimeoutError as error:
+            raise ServeClientError(
+                0, f"request timed out after {timeout}s: {error}"
+            ) from None
+        except http.client.HTTPException as error:
+            raise ServeClientError(
+                0, f"malformed daemon response: {error!r}"
+            ) from None
+        except OSError as error:
+            raise ServeClientError(
+                0, f"connection failed: {error}"
+            ) from None
 
-    def _json(self, method: str, path: str, payload: Any | None = None) -> Any:
-        _, body, _ = self._request(method, path, payload)
+    def _json(
+        self,
+        method: str,
+        path: str,
+        payload: Any | None = None,
+        timeout: float | None = None,
+    ) -> Any:
+        _, body, _ = self._request(method, path, payload, timeout)
         return json.loads(body)
 
     @staticmethod
@@ -85,43 +125,79 @@ class ServeClient:
     # ------------------------------------------------------------------
     # Read endpoints
     # ------------------------------------------------------------------
-    def healthz(self) -> dict[str, Any]:
-        return self._json("GET", "/healthz")
+    def healthz(self, timeout: float | None = None) -> dict[str, Any]:
+        return self._json("GET", "/healthz", timeout=timeout)
 
-    def stats(self) -> dict[str, Any]:
-        return self._json("GET", "/stats")
+    def stats(self, timeout: float | None = None) -> dict[str, Any]:
+        return self._json("GET", "/stats", timeout=timeout)
 
-    def metrics(self) -> str:
+    def metrics(self, timeout: float | None = None) -> str:
         """The raw Prometheus text exposition."""
-        _, body, _ = self._request("GET", "/metrics")
+        _, body, _ = self._request("GET", "/metrics", timeout=timeout)
         return body
 
-    def match(self, uri: str) -> dict[str, Any]:
-        return self._json("GET", self._entity_path("/match", uri))
+    def match(self, uri: str, timeout: float | None = None) -> dict[str, Any]:
+        return self._json(
+            "GET", self._entity_path("/match", uri), timeout=timeout
+        )
 
-    def candidates(self, uri: str, k: int | None = None) -> dict[str, Any]:
+    def candidates(
+        self, uri: str, k: int | None = None, timeout: float | None = None
+    ) -> dict[str, Any]:
         path = self._entity_path("/candidates", uri)
         if k is not None:
             path += "?" + urlencode({"k": k})
-        return self._json("GET", path)
+        return self._json("GET", path, timeout=timeout)
 
-    def best(self, uri: str) -> dict[str, Any]:
-        return self._json("GET", self._entity_path("/best", uri))
+    def best(self, uri: str, timeout: float | None = None) -> dict[str, Any]:
+        return self._json(
+            "GET", self._entity_path("/best", uri), timeout=timeout
+        )
+
+    def resolve(
+        self,
+        record: dict[str, Any],
+        k: int | None = None,
+        timeout: float | None = None,
+    ) -> dict[str, Any]:
+        """Online-resolve one raw record (delta wire format: uri+pairs)."""
+        body: dict[str, Any] = {"record": record}
+        if k is not None:
+            body["k"] = k
+        return self._json("POST", "/resolve", body, timeout=timeout)
+
+    def resolve_batch(
+        self,
+        records: list[dict[str, Any]],
+        k: int | None = None,
+        timeout: float | None = None,
+    ) -> dict[str, Any]:
+        """Online-resolve a batch of records in one request."""
+        body: dict[str, Any] = {"records": records}
+        if k is not None:
+            body["k"] = k
+        return self._json("POST", "/resolve_batch", body, timeout=timeout)
 
     # ------------------------------------------------------------------
     # Write / admin endpoints
     # ------------------------------------------------------------------
-    def apply_delta(self, payload: dict[str, Any]) -> dict[str, Any]:
+    def apply_delta(
+        self, payload: dict[str, Any], timeout: float | None = None
+    ) -> dict[str, Any]:
         """POST a delta batch (see :mod:`repro.serve.json_codec`)."""
-        return self._json("POST", "/delta", payload)
+        return self._json("POST", "/delta", payload, timeout=timeout)
 
-    def snapshot(self, path: str | None = None) -> dict[str, Any]:
+    def snapshot(
+        self, path: str | None = None, timeout: float | None = None
+    ) -> dict[str, Any]:
         body = {"path": path} if path is not None else None
-        return self._json("POST", "/snapshot", body)
+        return self._json("POST", "/snapshot", body, timeout=timeout)
 
-    def reload(self, path: str | None = None) -> dict[str, Any]:
+    def reload(
+        self, path: str | None = None, timeout: float | None = None
+    ) -> dict[str, Any]:
         body = {"path": path} if path is not None else None
-        return self._json("POST", "/reload", body)
+        return self._json("POST", "/reload", body, timeout=timeout)
 
     def __repr__(self) -> str:
         return f"ServeClient({self.base_url!r})"

@@ -31,7 +31,13 @@ class RequestError(ValueError):
 #: (method, endpoint name) per fixed path; entity endpoints are prefixes.
 _FIXED_GET = {"/healthz": "healthz", "/stats": "stats", "/metrics": "metrics"}
 _PREFIX_GET = {"/match/": "match", "/candidates/": "candidates", "/best/": "best"}
-_FIXED_POST = {"/delta": "delta", "/snapshot": "snapshot", "/reload": "reload"}
+_FIXED_POST = {
+    "/delta": "delta",
+    "/snapshot": "snapshot",
+    "/reload": "reload",
+    "/resolve": "resolve",
+    "/resolve_batch": "resolve_batch",
+}
 
 
 def route(method: str, target: str) -> tuple[str, str | None, dict[str, list[str]]]:
@@ -129,6 +135,71 @@ def handle_best(state: "ServingState", uri: str) -> dict[str, Any]:
         "known": uri in state.uris1,
         "best": list(best) if best is not None else None,
     }
+
+
+def handle_resolve(
+    state: "ServingState", body: dict[str, Any]
+) -> dict[str, Any]:
+    """``POST /resolve``: online resolution of one raw record.
+
+    Body: ``{"record": <entity dict>, "k": <optional int>}`` where the
+    record uses the delta wire format (``uri`` + ``pairs``).  Entirely
+    read-only against the pinned generation — the resolver's tables
+    were frozen at publish time.
+    """
+    from .json_codec import entity_from_dict
+
+    record_dict = body.get("record")
+    if not isinstance(record_dict, dict):
+        raise RequestError(400, "body must carry a 'record' object")
+    record = entity_from_dict(record_dict)
+    k = _parse_body_k(body)
+    try:
+        result = state.resolve(record, k)
+    except ValueError as error:
+        raise RequestError(400, str(error))
+    payload = result.as_dict()
+    payload["generation"] = state.generation
+    payload["k"] = k if k is not None else state.config.top_k_candidates
+    return payload
+
+
+def handle_resolve_batch(
+    state: "ServingState", body: dict[str, Any]
+) -> dict[str, Any]:
+    """``POST /resolve_batch``: many records, one amortized pass.
+
+    Body: ``{"records": [<entity dict>, ...], "k": <optional int>}``.
+    The results list preserves request order and equals per-record
+    ``POST /resolve`` calls exactly.
+    """
+    from .json_codec import entity_from_dict
+
+    record_dicts = body.get("records")
+    if not isinstance(record_dicts, list):
+        raise RequestError(400, "body must carry a 'records' list")
+    records = [entity_from_dict(entry) for entry in record_dicts]
+    k = _parse_body_k(body)
+    try:
+        results = state.resolve_batch(records, k)
+    except ValueError as error:
+        raise RequestError(400, str(error))
+    return {
+        "generation": state.generation,
+        "k": k if k is not None else state.config.top_k_candidates,
+        "results": [result.as_dict() for result in results],
+    }
+
+
+def _parse_body_k(body: dict[str, Any]) -> int | None:
+    k = body.get("k")
+    if k is None:
+        return None
+    if not isinstance(k, int) or isinstance(k, bool):
+        raise RequestError(400, f"k must be an integer, got {k!r}")
+    if k < 1:
+        raise RequestError(400, f"k must be >= 1, got {k}")
+    return k
 
 
 def handle_stats(state: "ServingState") -> dict[str, Any]:

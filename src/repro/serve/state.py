@@ -26,6 +26,7 @@ import threading
 from typing import TYPE_CHECKING, Any
 
 from ..core.candidates import ProbeCache, ProbeResult, probe_rows
+from ..core.resolve import OnlineResolver, ResolveResult, resolve_cache_key
 from ..pipeline.digest import artifact_digest
 from ..pipeline.session import PROBE_CACHE_SIZE
 
@@ -61,6 +62,7 @@ class ServingState:
         "delta_count",
         "matches_digest",
         "_probe_cache",
+        "_resolver",
         "__weakref__",
     )
 
@@ -76,6 +78,7 @@ class ServingState:
         config: Any,
         delta_count: int,
         matches_digest: str,
+        resolver: Any = None,
     ) -> None:
         self.generation = generation
         self.value_index = value_index
@@ -96,6 +99,7 @@ class ServingState:
         self.delta_count = delta_count
         self.matches_digest = matches_digest
         self._probe_cache = ProbeCache(PROBE_CACHE_SIZE)
+        self._resolver = resolver
 
     # ------------------------------------------------------------------
     # Construction
@@ -123,16 +127,24 @@ class ServingState:
             )
         matches = ctx.get("matches")
         kb1, kb2 = matcher.kbs
+        uris1 = frozenset(kb1.uris())
+        # The resolver snapshots KB1 membership and builds its derived
+        # tables eagerly: once published, a state never reads the live
+        # KBs again, so later deltas cannot leak into this generation
+        # (and the first /resolve request is already warm).
+        resolver = OnlineResolver.from_context(ctx, kb1, kb2, known1=uris1)
+        resolver.warm()
         return cls(
             generation=generation,
             value_index=ctx.get("value_index"),
             neighbor_index=ctx.get("neighbor_index"),
             matches=tuple(matches),
-            uris1=frozenset(kb1.uris()),
+            uris1=uris1,
             uris2=frozenset(kb2.uris()),
             config=matcher.config,
             delta_count=delta_count,
             matches_digest=artifact_digest(matches),
+            resolver=resolver,
         )
 
     # ------------------------------------------------------------------
@@ -162,6 +174,60 @@ class ServingState:
             best=best,
             match=self.decisions1.get(uri),
         )
+
+    def resolve(self, record: Any, k: int | None = None) -> ResolveResult:
+        """Online resolution of one raw record against this generation.
+
+        Read-only: the resolver's tables were frozen at publish time,
+        results land in this state's own probe cache (keyed by the
+        record's full content), and nothing else is touched.
+        """
+        if self._resolver is None:
+            raise RuntimeError("this state was published without a resolver")
+        if k is not None and k < 1:
+            raise ValueError("k must be >= 1")
+        key = resolve_cache_key(record, k)
+        result = self._probe_cache.get(key)
+        if result is None:
+            result = self._resolver.resolve(record, k)
+            self._probe_cache.put(key, result)
+        return result
+
+    def resolve_batch(
+        self, records: list, k: int | None = None
+    ) -> list[ResolveResult]:
+        """Batch resolution (equals per-record :meth:`resolve` exactly).
+
+        Cached records are served from the probe cache; only the misses
+        go through the resolver's amortized batch scorer.
+        """
+        if self._resolver is None:
+            raise RuntimeError("this state was published without a resolver")
+        if k is not None and k < 1:
+            raise ValueError("k must be >= 1")
+        results: list[ResolveResult | None] = [None] * len(records)
+        misses: list[int] = []
+        miss_keys: list[tuple] = []
+        for position, record in enumerate(records):
+            key = resolve_cache_key(record, k)
+            cached = self._probe_cache.get(key)
+            if cached is not None:
+                results[position] = cached
+            else:
+                misses.append(position)
+                miss_keys.append(key)
+        if misses:
+            fresh = self._resolver.resolve_batch(
+                [records[position] for position in misses], k
+            )
+            for position, key, result in zip(misses, miss_keys, fresh):
+                results[position] = result
+                self._probe_cache.put(key, result)
+        return results  # type: ignore[return-value]
+
+    def probe_cache_stats(self) -> dict[str, int]:
+        """This generation's probe-cache counters (for ``/metrics``)."""
+        return self._probe_cache.stats()
 
     def decision_of(self, uri: str) -> "Match | None":
         """The standing decision mentioning ``uri`` (either side)."""

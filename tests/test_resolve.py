@@ -1,0 +1,485 @@
+"""Tests for the online resolution fast path (repro.core.resolve).
+
+Covers the parity contract (a record byte-identical to an existing KB1
+entity resolves exactly like the precomputed probe path, across
+serial/thread/process engines and the NumPy/stdlib kernels), the
+batch-equals-sequential property, generation isolation of the serving
+path, the ``query_stream`` held-out record generator, the ProbeCache
+counters, the ServeClient failure taxonomy, and the ``POST /resolve``
+and ``POST /resolve_batch`` endpoints end to end.
+"""
+
+import socket
+import threading
+from pathlib import Path
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import MinoanERConfig
+from repro.core.candidates import ProbeCache
+from repro.core.resolve import OnlineResolver, resolve_cache_key
+from repro.datasets import generate, load_profile, query_stream
+from repro.ids.arrays import numpy_enabled
+from repro.kb.entity import EntityDescription, UriRef
+from repro.kb.io_ntriples import read_ntriples
+from repro.pipeline import MatchSession
+from repro.pipeline.digest import artifact_digest
+from repro.serve import (
+    ResolutionDaemon,
+    ServeClient,
+    ServeClientError,
+    build_server,
+)
+from repro.serve.json_codec import entity_to_dict
+
+from test_pipeline import make_pair
+
+GOLDEN = Path(__file__).parent / "golden"
+
+
+def numpy_modes():
+    modes = [pytest.param(True, id="stdlib")]
+    if numpy_enabled():
+        modes.append(pytest.param(False, id="numpy"))
+    return modes
+
+
+@pytest.fixture(params=numpy_modes())
+def toggled_numpy(request, monkeypatch):
+    if request.param:
+        monkeypatch.setenv("REPRO_DISABLE_NUMPY", "1")
+    return request.param
+
+
+@pytest.fixture()
+def served(tmp_path):
+    """A live daemon + client over the make_pair KBs."""
+    kb1, kb2 = make_pair()
+    session = MatchSession(kb1, kb2)
+    session.match()
+    snapshot_dir = session.save(tmp_path / "seed")
+    daemon = ResolutionDaemon.from_snapshot(
+        snapshot_dir, snapshot_dir=tmp_path / "snaps"
+    )
+    server = build_server(daemon, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    client = ServeClient(f"http://127.0.0.1:{server.server_address[1]}")
+    try:
+        yield daemon, client
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5)
+
+
+def clone_record(entity, uri):
+    """The entity's exact pairs under a fresh (never-seen) URI."""
+    return EntityDescription(uri, entity.pairs)
+
+
+# ----------------------------------------------------------------------
+# Parity with the precomputed probe path
+# ----------------------------------------------------------------------
+class TestKnownRecordParity:
+    @pytest.mark.parametrize("engine", ["serial", "thread", "process"])
+    def test_known_uri_equals_probe_across_engines(
+        self, engine, toggled_numpy
+    ):
+        kb1, kb2 = make_pair()
+        session = MatchSession(kb1, kb2, MinoanERConfig(engine=engine))
+        session.match()
+        for uri in kb1.uris():
+            resolved = session.resolve(kb1[uri])
+            probed = session.probe(uri)
+            assert resolved.known is True
+            assert resolved.as_dict() == probed.as_dict()
+
+    def test_golden_fixture_digest_parity(self, toggled_numpy):
+        """Resolve on a golden KB1 record is digest-identical to probe."""
+        kb1 = read_ntriples(GOLDEN / "kb1.nt", name="golden1")
+        kb2 = read_ntriples(GOLDEN / "kb2.nt", name="golden2")
+        session = MatchSession(kb1, kb2)
+        session.match()
+        for uri in sorted(kb1.uris())[:25]:
+            resolved = session.resolve(kb1[uri])
+            probed = session.probe(uri)
+            assert artifact_digest(resolved.as_dict()) == artifact_digest(
+                probed.as_dict()
+            )
+
+    def test_unknown_clone_matches_original_counterpart(self, toggled_numpy):
+        """A never-seen copy of a KB1 entity finds the same KB2 match."""
+        kb1, kb2 = make_pair()
+        session = MatchSession(kb1, kb2)
+        session.match()
+        for uri1, uri2 in [("a1", "b1"), ("a2", "b2")]:
+            record = clone_record(kb1[uri1], f"urn:q:{uri1}")
+            result = session.resolve(record)
+            assert result.known is False
+            assert result.match is not None
+            assert result.match.uri1 == record.uri
+            assert result.match.uri2 == uri2
+
+    def test_resolve_validates_k(self):
+        kb1, kb2 = make_pair()
+        session = MatchSession(kb1, kb2)
+        session.match()
+        with pytest.raises(ValueError):
+            session.resolve(kb1["a0"], k=0)
+        with pytest.raises(ValueError):
+            session.resolve_batch([kb1["a0"]], k=-1)
+
+
+# ----------------------------------------------------------------------
+# Batch == sequential (hypothesis property)
+# ----------------------------------------------------------------------
+_WORDS = [
+    "unique", "venue", "first", "label", "zanzibar", "festival",
+    "shared", "third", "thing", "mild", "parade", "calm", "other",
+    "different", "name", "qqq", "zzz",
+]
+_literals = st.lists(
+    st.sampled_from(_WORDS), min_size=1, max_size=4
+).map(" ".join)
+_pairs = st.lists(
+    st.one_of(
+        st.tuples(st.sampled_from(["name", "info", "notes"]), _literals),
+        st.tuples(
+            st.just("linked"),
+            st.sampled_from(["a0", "a1", "a2", "urn:none"]).map(UriRef),
+        ),
+    ),
+    min_size=1,
+    max_size=4,
+)
+_records = st.lists(
+    st.builds(
+        lambda index, pairs: EntityDescription(f"urn:h:{index}", pairs),
+        st.integers(min_value=0, max_value=99),
+        _pairs,
+    ),
+    min_size=1,
+    max_size=6,
+)
+
+
+@pytest.fixture(scope="module")
+def pair_resolver():
+    """An OnlineResolver over the make_pair KBs (no session cache)."""
+    kb1, kb2 = make_pair()
+    session = MatchSession(kb1, kb2)
+    session.match()
+    return session._ensure_resolver()
+
+
+class TestBatchEqualsSequential:
+    @given(records=_records, k=st.one_of(st.none(), st.integers(1, 5)))
+    def test_property(self, pair_resolver, records, k):
+        batch = pair_resolver.resolve_batch(records, k)
+        single = [pair_resolver.resolve(record, k) for record in records]
+        assert [r.as_dict() for r in batch] == [r.as_dict() for r in single]
+
+    def test_mixed_known_and_unknown_preserves_order(self, pair_resolver):
+        kb1, _ = make_pair()
+        records = [
+            clone_record(kb1["a1"], "urn:q:x"),
+            kb1["a0"],
+            EntityDescription("urn:q:empty", [("name", "nothing here")]),
+            kb1["a2"],
+        ]
+        batch = pair_resolver.resolve_batch(records)
+        assert [r.uri for r in batch] == [r.uri for r in records]
+        assert [r.known for r in batch] == [False, True, False, True]
+        single = [pair_resolver.resolve(record) for record in records]
+        assert [r.as_dict() for r in batch] == [r.as_dict() for r in single]
+
+    def test_empty_batch(self, pair_resolver):
+        assert pair_resolver.resolve_batch([]) == []
+
+
+# ----------------------------------------------------------------------
+# Generation isolation: resolve never mutates a published state
+# ----------------------------------------------------------------------
+class TestGenerationPin:
+    def test_resolve_leaves_published_state_untouched(self, served):
+        daemon, client = served
+        pinned = daemon.state()
+        generation = pinned.generation
+        digest = pinned.matches_digest
+        probe_before = pinned.probe("a0").as_dict()
+        kb1, _ = make_pair()
+        record = clone_record(kb1["a1"], "urn:q:pin")
+
+        first = pinned.resolve(record).as_dict()
+        assert pinned.generation == generation
+        assert pinned.matches_digest == digest
+        assert pinned.probe("a0").as_dict() == probe_before
+        assert pinned.resolve(record).as_dict() == first
+
+    def test_pinned_generation_survives_delta(self, served):
+        """A delta publishes a new state; the old one answers as before."""
+        daemon, client = served
+        pinned = daemon.state()
+        kb1, _ = make_pair()
+        record = clone_record(kb1["a1"], "urn:q:pin2")
+        before = pinned.resolve(record).as_dict()
+
+        client.apply_delta(
+            {
+                "ops": [
+                    {
+                        "op": "add",
+                        "kb": "kb2",
+                        "entities": [
+                            {
+                                "uri": "b9",
+                                "pairs": [
+                                    ["notes", {"lit": "zanzibar surprise"}]
+                                ],
+                            }
+                        ],
+                    }
+                ]
+            }
+        )
+        assert daemon.state() is not pinned
+        assert daemon.state().generation == pinned.generation + 1
+        assert pinned.resolve(record).as_dict() == before
+
+
+# ----------------------------------------------------------------------
+# query_stream
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def small_dataset():
+    return generate(load_profile("rexa_dblp", scale=0.05, seed=7))
+
+
+class TestQueryStream:
+    def test_deterministic(self, small_dataset):
+        first = query_stream(small_dataset, n=9, dirtiness=0.3, seed=3)
+        second = query_stream(small_dataset, n=9, dirtiness=0.3, seed=3)
+        assert [
+            (q.record.uri, q.record.pairs, q.expected, q.variant)
+            for q in first
+        ] == [
+            (q.record.uri, q.record.pairs, q.expected, q.variant)
+            for q in second
+        ]
+
+    def test_variants_cycle_and_uris_are_fresh(self, small_dataset):
+        queries = query_stream(small_dataset, n=7, seed=0)
+        cycle = ("clean", "token_dropped", "near_miss")
+        assert [q.variant for q in queries] == [
+            cycle[i % 3] for i in range(7)
+        ]
+        known = set(small_dataset.kb1.uris()) | set(small_dataset.kb2.uris())
+        for q in queries:
+            assert q.record.uri not in known
+            assert q.expected in small_dataset.kb2
+
+    def test_records_resolve_to_expected(self, small_dataset):
+        session = MatchSession(small_dataset.kb1, small_dataset.kb2)
+        session.match()
+        queries = query_stream(small_dataset, n=12, dirtiness=0.2, seed=1)
+        for q in queries:
+            result = session.resolve(q.record)
+            assert result.known is False
+            assert result.match is not None, q.variant
+            assert result.match.uri2 == q.expected, q.variant
+
+    def test_accepts_profile_directly(self):
+        queries = query_stream(
+            load_profile("rexa_dblp", scale=0.05, seed=7), n=3, seed=2
+        )
+        assert len(queries) == 3
+
+    def test_validation(self, small_dataset):
+        with pytest.raises(ValueError):
+            query_stream(small_dataset, n=-1)
+        with pytest.raises(ValueError):
+            query_stream(small_dataset, n=1, dirtiness=1.5)
+
+
+# ----------------------------------------------------------------------
+# ProbeCache counters (satellite 1)
+# ----------------------------------------------------------------------
+class TestProbeCacheCounters:
+    def test_hit_miss_eviction_counts(self):
+        cache = ProbeCache(2)
+        assert cache.get("a") is None
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        cache.put("b", 2)
+        cache.put("c", 3)  # evicts "a"
+        assert cache.get("a") is None
+        assert cache.stats() == {
+            "hits": 1,
+            "misses": 2,
+            "evictions": 1,
+            "size": 2,
+        }
+
+    def test_clear_keeps_lifetime_counters(self):
+        cache = ProbeCache(4)
+        cache.get("x")
+        cache.put("x", 1)
+        cache.get("x")
+        cache.clear()
+        stats = cache.stats()
+        assert stats["size"] == 0
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+
+    def test_counters_reach_metrics_endpoint(self, served):
+        _, client = served
+        record = entity_to_dict(
+            EntityDescription("urn:q:m", [("name", "unique venue")])
+        )
+        client.resolve(record)
+        client.resolve(record)  # cache hit
+        text = client.metrics()
+        samples = {
+            line.split()[0]: float(line.split()[1])
+            for line in text.splitlines()
+            if line and not line.startswith("#")
+        }
+        assert samples["repro_serve_probe_cache_hits"] >= 1
+        assert samples["repro_serve_probe_cache_misses"] >= 1
+        assert "repro_serve_probe_cache_evictions" in samples
+        assert samples["repro_serve_resolve_records"] >= 2
+
+
+# ----------------------------------------------------------------------
+# ServeClient failure taxonomy (satellite 2)
+# ----------------------------------------------------------------------
+class TestServeClientErrors:
+    def test_connection_refused_maps_to_status_zero(self):
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            port = probe.getsockname()[1]
+        client = ServeClient(f"http://127.0.0.1:{port}", timeout=0.5)
+        with pytest.raises(ServeClientError) as excinfo:
+            client.healthz()
+        assert excinfo.value.status == 0
+
+    def test_read_timeout_maps_to_status_zero(self):
+        """A server that accepts but never answers trips the timeout."""
+        listener = socket.socket()
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+        port = listener.getsockname()[1]
+        try:
+            client = ServeClient(f"http://127.0.0.1:{port}", timeout=30.0)
+            with pytest.raises(ServeClientError) as excinfo:
+                client.healthz(timeout=0.2)  # per-call override
+            assert excinfo.value.status == 0
+        finally:
+            listener.close()
+
+    def test_http_error_keeps_status_and_message(self, served):
+        _, client = served
+        with pytest.raises(ServeClientError) as excinfo:
+            client._json("GET", "/no-such-endpoint")
+        assert excinfo.value.status == 404
+
+
+# ----------------------------------------------------------------------
+# /resolve and /resolve_batch endpoints
+# ----------------------------------------------------------------------
+class TestResolveEndpoints:
+    def test_resolve_known_equals_candidates(self, served):
+        _, client = served
+        kb1, _ = make_pair()
+        payload = client.resolve(entity_to_dict(kb1["a0"]))
+        probed = client.candidates("a0")
+        assert payload["known"] is True
+        assert payload["generation"] == probed["generation"]
+        for key in ("value", "neighbor", "best", "match"):
+            assert payload[key] == probed[key]
+
+    def test_resolve_unknown_record(self, served):
+        _, client = served
+        kb1, _ = make_pair()
+        record = clone_record(kb1["a1"], "urn:q:http")
+        payload = client.resolve(entity_to_dict(record), k=3)
+        assert payload["known"] is False
+        assert payload["k"] == 3
+        assert payload["match"]["uri1"] == "urn:q:http"
+        assert payload["match"]["uri2"] == "b1"
+
+    def test_resolve_batch_equals_per_record(self, served):
+        _, client = served
+        kb1, _ = make_pair()
+        records = [
+            entity_to_dict(clone_record(kb1["a1"], "urn:q:h1")),
+            entity_to_dict(kb1["a0"]),
+        ]
+        batch = client.resolve_batch(records)
+        singles = [client.resolve(record) for record in records]
+        assert len(batch["results"]) == 2
+        for got, want in zip(batch["results"], singles):
+            for key in ("uri", "known", "value", "neighbor", "best", "match"):
+                assert got[key] == want[key]
+
+    @pytest.mark.parametrize(
+        "path, body",
+        [
+            ("/resolve", {}),
+            ("/resolve", {"record": "not a dict"}),
+            ("/resolve", {"record": {"uri": "urn:q", "pairs": []}, "k": 0}),
+            ("/resolve", {"record": {"uri": "urn:q", "pairs": []}, "k": True}),
+            ("/resolve", {"record": {"pairs": []}}),
+            ("/resolve_batch", {}),
+            ("/resolve_batch", {"records": {"uri": "urn:q"}}),
+            ("/resolve_batch", {"records": [{"pairs": []}]}),
+        ],
+    )
+    def test_malformed_bodies_are_400(self, served, path, body):
+        _, client = served
+        with pytest.raises(ServeClientError) as excinfo:
+            client._json("POST", path, body)
+        assert excinfo.value.status == 400
+
+    def test_resolver_survives_snapshot_round_trip(self, served, tmp_path):
+        """reload() rebuilds a state whose resolver still answers."""
+        _, client = served
+        target = str(tmp_path / "round")
+        client.snapshot(target)
+        client.reload(target)
+        kb1, _ = make_pair()
+        record = clone_record(kb1["a1"], "urn:q:reloaded")
+        payload = client.resolve(entity_to_dict(record))
+        assert payload["match"]["uri2"] == "b1"
+
+
+# ----------------------------------------------------------------------
+# Resolver construction details
+# ----------------------------------------------------------------------
+class TestResolverInternals:
+    def test_cache_key_is_hashable_and_pair_sensitive(self):
+        a = EntityDescription("urn:q", [("name", "x")])
+        b = EntityDescription("urn:q", [("name", "y")])
+        key_a = resolve_cache_key(a, None)
+        key_b = resolve_cache_key(b, None)
+        assert hash(key_a) != hash(key_b) or key_a != key_b
+        assert key_a == resolve_cache_key(
+            EntityDescription("urn:q", [("name", "x")]), None
+        )
+
+    def test_from_context_pins_known_uris(self):
+        """A resolver built with known1 never consults the live KB1."""
+        kb1, kb2 = make_pair()
+        session = MatchSession(kb1, kb2)
+        session.match()
+        session._ensure_probe_context()
+        resolver = OnlineResolver.from_context(
+            session._probe_ctx, kb1, kb2, known1=frozenset(kb1.uris())
+        )
+        resolver.warm()
+        kb1.new_entity("a9").add_literal("name", "late arrival")
+        result = resolver.resolve(EntityDescription("a9", kb1["a9"].pairs))
+        assert result.known is False
